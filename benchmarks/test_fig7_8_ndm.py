@@ -1,0 +1,66 @@
+"""Figures 7 & 8: NDM (partitioned DRAM+NVM) with the placement oracle.
+
+Shape claims checked (paper, Section V + conclusions):
+- every workload pays a runtime overhead under NDM (paper: 5–63%);
+- energy savings occur exactly for the workloads whose static energy
+  dominates their dynamic energy (paper names Velvet, Hashing, AMG,
+  Graph500 as savers);
+- the oracle finds 2–3 candidate ranges per workload ("Typically we
+  found 2 or 3 address ranges in each workload").
+"""
+
+from conftest import once
+
+from repro.experiments.figures import figure7, figure8
+from repro.experiments.render import render_figure
+from repro.partition.profiler import profile_ranges
+from repro.tech.params import PCM
+
+
+def test_figure7_ndm_runtime(benchmark, runner, workloads):
+    fig = once(benchmark, lambda: figure7(runner, workloads=workloads))
+    print("\n" + render_figure(fig))
+    for tech, series in fig.series.items():
+        for workload, value in series.items():
+            assert value >= 1.0, (tech, workload)  # overhead everywhere
+            assert value < 3.0, (tech, workload)  # but bounded
+
+
+def test_figure8_ndm_energy_static_dynamic_split(benchmark, runner, workloads):
+    fig = once(benchmark, lambda: figure8(runner, workloads=workloads))
+    print("\n" + render_figure(fig))
+    # The static-energy-dominated data-centric workloads save energy.
+    savers = {"Hashing", "Graph500", "Velvet", "AMG2013"}
+    for tech, series in fig.series.items():
+        for workload, value in series.items():
+            if workload in savers:
+                assert value < 1.0, (tech, workload)
+
+
+def test_oracle_finds_few_ranges(benchmark, runner, workloads):
+    """The paper's '2 or 3 address ranges per workload' observation."""
+
+    def run():
+        counts = {}
+        for workload in workloads:
+            trace = runner.prepare(workload)
+            profiles = profile_ranges(trace.result.stream, trace.result.tracer)
+            counts[workload.name] = len(profiles)
+        return counts
+
+    counts = once(benchmark, run)
+    print()
+    for name, count in counts.items():
+        print(f"  {name}: {count} candidate ranges")
+        assert 1 <= count <= 8, name
+
+
+def test_oracle_best_placement_routes_bulk_to_nvm(benchmark, runner, workloads):
+    """The winning placements put the bulk of the footprint in NVM
+    (that is NDM's capacity story — DRAM is only 512 MB)."""
+    workload = workloads[0]
+    placements = once(benchmark, lambda: runner.ndm_oracle(workload, PCM))
+    best = placements[0]
+    trace = runner.prepare(workload)
+    nvm_bytes = sum(r.size for r in best.nvm_ranges)
+    assert nvm_bytes > 0.2 * trace.traced_footprint_bytes

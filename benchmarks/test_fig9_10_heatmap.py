@@ -1,0 +1,57 @@
+"""Figures 9 & 10: the generalization heat maps.
+
+Shape claims checked (paper, Section V):
+- runtime penalty grows monotonically with both latency multipliers;
+- the calibration anchor: 5× read latency costs a small-single-digit
+  percentage of runtime over the 1×/1× cell;
+- for energy: substantial write-energy headroom exists — higher
+  per-operation energy than DRAM can still beat DRAM's total energy
+  because NVM pays no static power (paper: up to 9× write / 2× read).
+"""
+
+from conftest import once
+
+from repro.experiments.heatmap import figure9, figure10
+from repro.experiments.render import render_heatmap
+
+FACTORS = (1, 2, 5, 10, 20)
+
+
+def test_figure9_latency_heatmap(benchmark, runner, workloads):
+    hm = once(
+        benchmark, lambda: figure9(runner, workloads=workloads, factors=FACTORS)
+    )
+    print("\n" + render_heatmap(hm))
+    base = hm.at(1, 1)
+    # Monotone in read latency along every write row.
+    for write_x in FACTORS:
+        row = [hm.at(read_x, write_x) for read_x in FACTORS]
+        assert row == sorted(row), f"write={write_x}"
+    # Monotone in write latency along every read column.
+    for read_x in FACTORS:
+        col = [hm.at(read_x, write_x) for write_x in FACTORS]
+        assert col == sorted(col), f"read={read_x}"
+    # Calibration anchor: 5x read costs a small fraction of runtime.
+    assert 0.0 < hm.at(5, 1) - base < 0.15
+    # 20x/20x is a bounded, not catastrophic, penalty.
+    assert hm.at(20, 20) - base < 1.0
+
+
+def test_figure10_energy_heatmap(benchmark, runner, workloads):
+    hm = once(
+        benchmark, lambda: figure10(runner, workloads=workloads, factors=FACTORS)
+    )
+    print("\n" + render_heatmap(hm))
+    # The paper's headroom claim: ~2x read / up to ~10x write energy
+    # still at or below DRAM's total energy.
+    assert hm.at(read_x=2, write_x=10) <= 1.0
+    # Static-power elimination produces energy-saving cells even with
+    # higher per-op energy ("several energy saving configurations").
+    saving_cells = sum(
+        1 for row in hm.values for value in row if value < 1.0
+    )
+    assert saving_cells >= len(FACTORS)
+    # And the map is monotone in read energy.
+    for write_x in FACTORS:
+        row = [hm.at(read_x, write_x) for read_x in FACTORS]
+        assert row == sorted(row)

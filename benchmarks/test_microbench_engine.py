@@ -1,0 +1,104 @@
+"""Micro-benchmarks of the simulator substrate itself.
+
+Unlike the figure benchmarks (run-once experiments) these measure hot
+paths statistically — pytest-benchmark's natural mode — so simulator
+performance regressions are visible.
+"""
+
+import numpy as np
+
+from repro.cache.config import CacheConfig
+from repro.cache.hierarchy import Hierarchy
+from repro.cache.mainmem import MainMemory
+from repro.cache.setassoc import SetAssociativeCache
+from repro.trace.stream import AddressStream
+from repro.trace.synthetic import random_stream, sequential_stream
+from repro.trace.tracer import Tracer
+from repro.units import KiB, MiB
+
+N_EVENTS = 200_000
+
+
+def test_engine_sequential_throughput(benchmark):
+    """Run-length collapse makes sequential streams the fast path."""
+    stream = sequential_stream(N_EVENTS)
+    batches = list(stream.chunks())
+
+    def run():
+        cache = SetAssociativeCache(CacheConfig("L1", 32 * KiB, 8, 64))
+        for batch in batches:
+            cache.process(batch)
+        return cache.stats.accesses
+
+    assert benchmark(run) == N_EVENTS
+
+
+def test_engine_random_throughput(benchmark):
+    """Random streams defeat collapsing: the worst-case loop."""
+    stream = random_stream(N_EVENTS, footprint_bytes=8 * MiB, seed=1)
+    batches = list(stream.chunks())
+
+    def run():
+        cache = SetAssociativeCache(CacheConfig("L1", 32 * KiB, 8, 64))
+        for batch in batches:
+            cache.process(batch)
+        return cache.stats.accesses
+
+    assert benchmark(run) == N_EVENTS
+
+
+def test_sectored_page_cache_throughput(benchmark):
+    stream = random_stream(N_EVENTS, footprint_bytes=8 * MiB, seed=1, access_size=64)
+    batches = list(stream.chunks())
+
+    def run():
+        cache = SetAssociativeCache(
+            CacheConfig("P", 1 * MiB, 8, 2048, sector_size=64, hashed_sets=True)
+        )
+        for batch in batches:
+            cache.process(batch)
+        return cache.stats.accesses
+
+    assert benchmark(run) == N_EVENTS
+
+
+def test_full_hierarchy_throughput(benchmark):
+    stream = random_stream(N_EVENTS, footprint_bytes=4 * MiB, seed=2, store_fraction=0.3)
+
+    def run():
+        h = Hierarchy(
+            [
+                SetAssociativeCache(CacheConfig("L1", 32 * KiB, 8, 64)),
+                SetAssociativeCache(CacheConfig("L2", 256 * KiB, 8, 64)),
+                SetAssociativeCache(CacheConfig("L3", 1 * MiB, 16, 64)),
+            ],
+            MainMemory("DRAM"),
+        )
+        return h.run(stream).references
+
+    assert benchmark(run) == N_EVENTS
+
+
+def test_traced_array_recording_overhead(benchmark):
+    """Vectorized recording cost per element access."""
+
+    def run():
+        tracer = Tracer()
+        a = tracer.array("a", (100_000,))
+        idx = np.arange(100_000)
+        _ = a[idx]
+        return len(tracer.stream)
+
+    assert benchmark(run) == 100_000
+
+
+def test_stream_append_throughput(benchmark):
+    addrs = np.arange(N_EVENTS, dtype=np.uint64)
+
+    def run():
+        stream = AddressStream()
+        for start in range(0, N_EVENTS, 4096):
+            stream.append(addrs[start : start + 4096], 8, 0)
+        return len(stream)
+
+    assert benchmark(run) == N_EVENTS

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Capacity / page-size sweep over the NMM design space (Figures 1 & 2).
+
+Reproduces the paper's headline NVM study for a workload subset you
+choose on the command line: how does the DRAM-cache capacity (N1–N3)
+and page size (N3–N9) trade runtime against energy for PCM, STT-RAM,
+and FeRAM main memories?
+
+Run:  python examples/capacity_sweep.py [workload ...]
+      python examples/capacity_sweep.py Graph500 Hashing
+"""
+
+import sys
+
+from repro.experiments.figures import figure1, figure2
+from repro.experiments.render import render_figure
+from repro.experiments.runner import Runner
+from repro.workloads.registry import SUITE, get_workload
+
+
+def main() -> None:
+    names = sys.argv[1:] or ["CG", "Graph500"]
+    for name in names:
+        if name not in SUITE:
+            raise SystemExit(f"unknown workload {name!r}; choose from {list(SUITE)}")
+    workloads = [get_workload(name) for name in names]
+
+    runner = Runner(scale=1 / 1024, seed=0)
+    print(f"workloads: {', '.join(names)}   (scale {runner.scale:g})\n")
+
+    runtime = figure1(runner, workloads=workloads)
+    print(render_figure(runtime))
+    print()
+    energy = figure2(runner, workloads=workloads)
+    print(render_figure(energy))
+
+    # Point out the EDP-optimal configuration per technology.
+    print("\nEDP-optimal configurations (time_norm * energy_norm):")
+    for tech in runtime.series:
+        edp = {
+            cfg: runtime.series[tech][cfg] * energy.series[tech][cfg]
+            for cfg in runtime.categories
+        }
+        best = min(edp, key=edp.get)
+        print(f"  {tech:8s} -> {best} (EDP {edp[best]:.3f}, "
+              f"time {runtime.series[tech][best]:.3f}, "
+              f"energy {energy.series[tech][best]:.3f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Evaluate a hypothetical future memory technology (Figures 9 & 10).
+
+The paper's generalization study asks: as emerging technologies mature,
+what latency/energy envelope must they hit to be viable? This example
+answers it two ways:
+
+1. sweeps read/write latency and energy multipliers over the NMM/N6
+   execution profile (the paper's heat maps), and
+2. defines a concrete hypothetical device ("ReRAM-2020": 2x DRAM read
+   latency, 6x write, 1.5x read energy, 8x write energy, no refresh)
+   and evaluates it directly against PCM/STT-RAM/FeRAM.
+
+Run:  python examples/custom_technology.py
+"""
+
+from repro.designs.configs import N_CONFIGS
+from repro.designs.nmm import NMMDesign
+from repro.experiments.heatmap import figure9, figure10
+from repro.experiments.render import render_heatmap
+from repro.experiments.runner import Runner
+from repro.tech.params import DRAM, FERAM, PCM, STTRAM
+from repro.tech.scaling import scaled_technology
+from repro.workloads.registry import get_workload
+
+
+def main() -> None:
+    runner = Runner(scale=1 / 1024, seed=0)
+    workloads = [get_workload(n) for n in ("CG", "BT", "Hashing")]
+
+    print("== generalization heat maps (NMM, 512MB DRAM cache, 512B pages) ==\n")
+    print(render_heatmap(figure9(runner, workloads=workloads, factors=(1, 2, 5, 10, 20))))
+    print()
+    print(render_heatmap(figure10(runner, workloads=workloads, factors=(1, 2, 5, 10, 20))))
+
+    # A concrete hypothetical device on the same profile.
+    reram = scaled_technology(
+        DRAM,
+        read_latency_x=2.0,
+        write_latency_x=6.0,
+        read_energy_x=1.5,
+        write_energy_x=8.0,
+        static_x=0.0,  # non-volatile: no refresh
+        name="ReRAM-2020",
+    )
+
+    print("\n== hypothetical ReRAM-2020 vs the paper's NVMs (NMM/N6) ==\n")
+    print(f"{'tech':12s} {'time_norm':>10s} {'energy_norm':>12s} {'edp_norm':>10s}")
+    for tech in (reram, PCM, STTRAM, FERAM):
+        time_sum = energy_sum = edp_sum = 0.0
+        for workload in workloads:
+            design = NMMDesign(
+                tech, N_CONFIGS["N6"], scale=runner.scale, reference=runner.reference
+            )
+            ev = runner.evaluate(design, workload)
+            time_sum += ev.time_norm
+            energy_sum += ev.energy_norm
+            edp_sum += ev.edp_norm
+        n = len(workloads)
+        print(f"{tech.name:12s} {time_sum / n:10.3f} {energy_sum / n:12.3f} "
+              f"{edp_sum / n:10.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""The paper's deferred factors, quantified: cost, wear, checkpointing.
+
+Section VI lists what the study does not cover — total cost of
+ownership, NVM wear — and its related work motivates NVM as fast
+checkpoint memory. This example runs all three extension models on one
+configuration (NMM with PCM at N3 capacity) and prints a one-page
+"should you buy it" summary.
+
+Run:  python examples/deferred_factors.py [workload]
+"""
+
+import sys
+
+from repro.designs.configs import N_CONFIGS
+from repro.designs.nmm import NMMDesign
+from repro.designs.reference import ReferenceDesign
+from repro.experiments.checkpoint import (
+    PFS_TARGET,
+    CheckpointTarget,
+    plan_checkpointing,
+)
+from repro.experiments.runner import Runner
+from repro.tech.cost import design_capacities_gb, estimate_cost
+from repro.tech.ewt import with_early_write_termination
+from repro.tech.params import PCM
+from repro.workloads.registry import SUITE, get_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "AMG2013"
+    if name not in SUITE:
+        raise SystemExit(f"unknown workload {name!r}; choose from {list(SUITE)}")
+
+    runner = Runner(scale=1 / 1024, seed=0)
+    workload = get_workload(name)
+    footprint = workload.info.footprint_bytes
+
+    reference = ReferenceDesign(scale=runner.scale, reference=runner.reference)
+    nmm = NMMDesign(PCM, N_CONFIGS["N3"], scale=runner.scale,
+                    reference=runner.reference)
+    nmm_ewt = NMMDesign(with_early_write_termination(PCM), N_CONFIGS["N3"],
+                        scale=runner.scale, reference=runner.reference)
+
+    print(f"== deferred-factor summary: {name}, NMM-PCM-N3 vs DRAM baseline ==\n")
+
+    # --- performance & energy (the paper's models) -----------------------
+    ev_ref = runner.evaluate(reference, workload)
+    ev_nmm = runner.evaluate(nmm, workload)
+    ev_ewt = runner.evaluate(nmm_ewt, workload)
+    print("performance/energy:")
+    print(f"  runtime    x{ev_nmm.time_norm:.3f}")
+    print(f"  energy     x{ev_nmm.energy_norm:.3f} "
+          f"(x{ev_ewt.energy_norm:.3f} with early write termination)")
+
+    # --- cost (deferred: TCO) --------------------------------------------
+    ref_cost = estimate_cost(ev_ref, design_capacities_gb(reference, footprint))
+    nmm_cost = estimate_cost(ev_nmm, design_capacities_gb(nmm, footprint))
+    print("\ncapital + energy cost (1M runs amortized):")
+    print(f"  baseline   ${ref_cost.total_dollars:10,.0f} "
+          f"(capital ${ref_cost.capital_dollars:,.0f})")
+    print(f"  NMM-PCM    ${nmm_cost.total_dollars:10,.0f} "
+          f"(capital ${nmm_cost.capital_dollars:,.0f})")
+
+    # --- wear (deferred: endurance) ----------------------------------------
+    stats = runner.stats_for(nmm, workload)
+    nvm = stats.level("NVM")
+    trace = runner.prepare(workload)
+    upscale = (
+        workload.info.t_ref_s / (trace.ref_raw.amat_ns * 1e-9)
+    ) / stats.references
+    write_rate = nvm.stores * upscale / ev_nmm.time_s
+    from repro.endurance.lifetime import CELL_ENDURANCE, estimate_lifetime
+    from repro.endurance.writes import WearStats
+
+    perfect = WearStats(0, 0, 0, 0.0, 0.0, 1.0)
+    lifetime = estimate_lifetime(
+        perfect,
+        cell_endurance=CELL_ENDURANCE["PCM"],
+        device_lines=footprint // 64,
+        write_rate_per_s=write_rate,
+        overhead_fraction=0.01,  # Start-Gap at psi=100
+    )
+    print("\nendurance (PCM, Start-Gap leveled):")
+    print(f"  NVM write rate {write_rate:,.0f} lines/s "
+          f"-> lifetime {lifetime.years:,.1f} years")
+
+    # --- checkpointing (related-work motivation) ---------------------------
+    pcm_target = CheckpointTarget.from_technology(PCM, bandwidth_gbs=2.0)
+    for target in (pcm_target, PFS_TARGET):
+        plan = plan_checkpointing(footprint, target)
+        print(f"\ncheckpointing to {target.name}:")
+        print(f"  {plan.delta_s:6.1f} s/checkpoint, optimal interval "
+              f"{plan.tau_opt_s / 60:5.1f} min, waste {plan.waste_fraction:.1%}")
+
+
+if __name__ == "__main__":
+    main()

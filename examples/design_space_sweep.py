@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Full design-space sweep with Pareto-frontier extraction.
+
+Evaluates every design family of the paper — plus this reproduction's
+6-level deep hybrid — on a workload subset, prints the suite-average
+summary per configuration, extracts the time/energy Pareto frontier,
+and writes an SVG chart of the frontier designs.
+
+Run:  python examples/design_space_sweep.py
+"""
+
+import logging
+
+from repro.designs.configs import EH_CONFIGS, N_CONFIGS
+from repro.designs.deephybrid import DeepHybridDesign
+from repro.designs.fourlc import FourLCDesign
+from repro.designs.fourlcnvm import FourLCNVMDesign
+from repro.designs.nmm import NMMDesign
+from repro.designs.reference import ReferenceDesign
+from repro.experiments.figures import FigureSeries
+from repro.experiments.plot import figure_to_svg
+from repro.experiments.runner import Runner
+from repro.experiments.sweep import (
+    best_by,
+    pareto_frontier,
+    run_sweep,
+    summarize,
+)
+from repro.tech.params import EDRAM, HMC, PCM, STTRAM
+from repro.workloads.registry import get_workload
+
+
+def build_designs(runner):
+    """A cross-section of the design space (24 configurations)."""
+    common = dict(scale=runner.scale, reference=runner.reference)
+    designs = [ReferenceDesign(**common)]
+    for tech in (EDRAM, HMC):
+        for cfg in ("EH1", "EH6"):
+            designs.append(FourLCDesign(tech, EH_CONFIGS[cfg], **common))
+    for nvm in (PCM, STTRAM):
+        for cfg in ("N1", "N3", "N6", "N9"):
+            designs.append(NMMDesign(nvm, N_CONFIGS[cfg], **common))
+        designs.append(
+            FourLCNVMDesign(EDRAM, nvm, EH_CONFIGS["EH1"], **common)
+        )
+        designs.append(
+            DeepHybridDesign(EDRAM, nvm, EH_CONFIGS["EH1"], N_CONFIGS["N6"],
+                             **common)
+        )
+    return designs
+
+
+def main() -> None:
+    logging.basicConfig(level=logging.INFO, format="%(message)s")
+    runner = Runner(scale=1 / 1024, seed=0)
+    workloads = [get_workload(n) for n in ("BT", "CG", "Hashing")]
+
+    records = run_sweep(runner, build_designs(runner), workloads)
+    summaries = summarize(records)
+
+    print(f"\n{'design':28s} {'time':>8s} {'energy':>8s} {'EDP':>8s}")
+    for summary in sorted(summaries, key=lambda s: s.edp_norm):
+        print(f"{summary.design:28s} {summary.time_norm:8.3f} "
+              f"{summary.energy_norm:8.3f} {summary.edp_norm:8.3f}")
+
+    frontier = pareto_frontier(summaries)
+    print("\ntime/energy Pareto frontier:")
+    for summary in frontier:
+        print(f"  {summary.design:28s} time x{summary.time_norm:.3f} "
+              f"energy x{summary.energy_norm:.3f}")
+    winner = best_by(summaries, "edp_norm")
+    print(f"\nbest EDP overall: {winner.design} (x{winner.edp_norm:.3f})")
+
+    # Chart the frontier.
+    chart = FigureSeries(
+        figure="Pareto frontier",
+        title="suite-average time vs energy (frontier designs)",
+        metric="normalized",
+        categories=[s.design for s in frontier],
+        series={
+            "time_norm": {s.design: s.time_norm for s in frontier},
+            "energy_norm": {s.design: s.energy_norm for s in frontier},
+        },
+    )
+    path = figure_to_svg(chart, "pareto_frontier.svg", width=1100)
+    print(f"\nwrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: evaluate one emerging-memory design on one workload.
+
+Builds the paper's NMM design (PCM main memory behind a 512 MB DRAM
+cache with 512 B pages — configuration N6), traces the NPB CG kernel,
+and prints runtime/energy/EDP against the conventional DRAM baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.designs.configs import N_CONFIGS
+from repro.designs.nmm import NMMDesign
+from repro.experiments.runner import Runner
+from repro.tech.params import PCM
+from repro.workloads.registry import get_workload
+
+
+def main() -> None:
+    # A runner owns tracing, the shared L1-L3 simulation, and the
+    # models. scale shrinks every capacity and footprint together so
+    # the experiment fits on a laptop (DESIGN.md section 4).
+    runner = Runner(scale=1 / 1024, seed=0)
+
+    workload = get_workload("CG")
+    design = NMMDesign(
+        PCM, N_CONFIGS["N6"], scale=runner.scale, reference=runner.reference
+    )
+
+    evaluation = runner.evaluate(design, workload)
+
+    print(f"workload : {workload.name} ({workload.info.description})")
+    print(f"design   : {design.name}  ({design.dram_cache_config().describe()})")
+    print()
+    print(f"runtime  : {evaluation.time_s:8.2f} s   "
+          f"({evaluation.time_overhead_pct:+.1f}% vs DRAM baseline)")
+    print(f"dynamic  : {evaluation.dynamic_j:8.2f} J")
+    print(f"static   : {evaluation.static_j:8.2f} J")
+    print(f"total    : {evaluation.energy_j:8.2f} J   "
+          f"({evaluation.energy_saving_pct:+.1f}% saving)")
+    print(f"EDP      : {evaluation.edp_js:8.1f} J*s  "
+          f"(normalized {evaluation.edp_norm:.3f})")
+
+    # Per-level data movement is available too:
+    stats = runner.stats_for(design, workload)
+    print("\nper-level traffic:")
+    for level in stats.levels:
+        print(f"  {level.name:6s} loads={level.loads:>10,} "
+              f"stores={level.stores:>9,} hit={level.hit_rate:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Kept because `pip install -e .` (PEP 660) requires the `wheel` package,
+which offline environments may lack; `python setup.py develop` installs
+an editable egg-link with plain setuptools. All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""repro — trace-driven evaluation of emerging memory technologies.
+
+A reproduction of "Evaluation of emerging memory technologies for HPC,
+data intensive applications" (Suresh, Cicotti, Carrington — CLUSTER 2014).
+
+The package models 5-level hybrid memory hierarchies (eDRAM/HMC as a
+fourth-level cache, PCM/STT-RAM/FeRAM as main memory, and a partitioned
+DRAM+NVM main memory) and evaluates them on instrumented HPC and
+data-intensive workload kernels via AMAT-based runtime scaling and a
+dynamic+static energy model.
+
+Top-level convenience re-exports cover the most common entry points;
+see the subpackages for the full API:
+
+- :mod:`repro.trace`       address-stream capture (PEBIL analog)
+- :mod:`repro.cache`       multi-level cache simulator
+- :mod:`repro.tech`        memory-technology characterization
+- :mod:`repro.model`       AMAT / runtime / energy / EDP models
+- :mod:`repro.designs`     the paper's four designs + reference system
+- :mod:`repro.partition`   NDM address-space partitioning oracle
+- :mod:`repro.workloads`   NPB / CORAL / Velvet workload kernels
+- :mod:`repro.experiments` harness regenerating every table and figure
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    ReproError,
+    ConfigError,
+    TraceError,
+    SimulationError,
+    ModelError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfigError",
+    "TraceError",
+    "SimulationError",
+    "ModelError",
+]

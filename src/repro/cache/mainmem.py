@@ -1,0 +1,52 @@
+"""Terminal main-memory device.
+
+A :class:`MainMemory` ends a hierarchy chain: it absorbs every request
+(all "hits") and counts reads (fills from the last cache) and writes
+(dirty-line writebacks) with their transferred bit volumes — the inputs
+to the NVM performance/energy asymmetry model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.stats import LevelStats
+from repro.trace.events import AccessBatch
+
+
+class MainMemory:
+    """Request-counting terminal memory device."""
+
+    def __init__(self, name: str = "MEM") -> None:
+        self.stats = LevelStats(name=name)
+
+    @property
+    def name(self) -> str:
+        """Device label."""
+        return self.stats.name
+
+    def process(self, batch: AccessBatch) -> AccessBatch:
+        """Absorb a request batch; returns an empty downstream batch."""
+        n = len(batch)
+        if n == 0:
+            return AccessBatch.empty()
+        stats = self.stats
+        n_stores = int(np.count_nonzero(batch.is_store))
+        n_loads = n - n_stores
+        stats.loads += n_loads
+        stats.stores += n_stores
+        sizes64 = batch.sizes.astype(np.int64)
+        store_bytes = int(sizes64[batch.is_store != 0].sum())
+        stats.store_bits += 8 * store_bytes
+        stats.load_bits += 8 * (int(sizes64.sum()) - store_bytes)
+        # Memory always "hits".
+        stats.load_hits += n_loads
+        stats.store_hits += n_stores
+        return AccessBatch.empty()
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        self.stats = LevelStats(name=self.stats.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MainMemory({self.stats.name!r})"

@@ -1,0 +1,133 @@
+"""Replacement-policy engines.
+
+The simulator's hot loop specializes LRU inline (it is the policy used
+for every result in the paper); these classes provide the same contract
+for the generic loop so alternative policies can be studied (the
+ablation benchmarks compare LRU against FIFO and Random).
+
+A policy instance owns all per-set state for one cache. The contract:
+
+- :meth:`lookup` — probe a set for a block; on hit, update recency
+  state and return True.
+- :meth:`insert` — add a block to a set (caller guarantees it is not
+  present); return the evicted block number, or None if a way was free.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigError
+
+
+class ReplacementPolicy(ABC):
+    """Per-cache replacement state and decisions."""
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        if num_sets <= 0 or associativity <= 0:
+            raise ConfigError("num_sets and associativity must be positive")
+        self.num_sets = num_sets
+        self.associativity = associativity
+
+    @abstractmethod
+    def lookup(self, set_index: int, block: int) -> bool:
+        """Probe for ``block``; update recency on hit."""
+
+    @abstractmethod
+    def insert(self, set_index: int, block: int) -> int | None:
+        """Insert ``block``; return the victim block or None."""
+
+    @abstractmethod
+    def contents(self, set_index: int) -> list[int]:
+        """Blocks currently resident in the set (diagnostics/tests)."""
+
+    def reset(self) -> None:
+        """Drop all cached blocks (back to a cold cache)."""
+        self.__init__(self.num_sets, self.associativity)  # type: ignore[misc]
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used: per-set list kept in MRU-first order."""
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        super().__init__(num_sets, associativity)
+        self.sets: list[list[int]] = [[] for _ in range(num_sets)]
+
+    def lookup(self, set_index: int, block: int) -> bool:
+        s = self.sets[set_index]
+        if block in s:
+            s.remove(block)
+            s.insert(0, block)
+            return True
+        return False
+
+    def insert(self, set_index: int, block: int) -> int | None:
+        s = self.sets[set_index]
+        s.insert(0, block)
+        if len(s) > self.associativity:
+            return s.pop()
+        return None
+
+    def contents(self, set_index: int) -> list[int]:
+        return list(self.sets[set_index])
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out: hits do not refresh recency."""
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        super().__init__(num_sets, associativity)
+        self.sets: list[list[int]] = [[] for _ in range(num_sets)]
+
+    def lookup(self, set_index: int, block: int) -> bool:
+        return block in self.sets[set_index]
+
+    def insert(self, set_index: int, block: int) -> int | None:
+        s = self.sets[set_index]
+        s.insert(0, block)
+        if len(s) > self.associativity:
+            return s.pop()
+        return None
+
+    def contents(self, set_index: int) -> list[int]:
+        return list(self.sets[set_index])
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Random victim selection (deterministic given the seed)."""
+
+    def __init__(self, num_sets: int, associativity: int, seed: int = 0) -> None:
+        super().__init__(num_sets, associativity)
+        self.sets: list[list[int]] = [[] for _ in range(num_sets)]
+        self._rng = random.Random(seed)
+
+    def lookup(self, set_index: int, block: int) -> bool:
+        return block in self.sets[set_index]
+
+    def insert(self, set_index: int, block: int) -> int | None:
+        s = self.sets[set_index]
+        if len(s) < self.associativity:
+            s.append(block)
+            return None
+        victim_idx = self._rng.randrange(self.associativity)
+        victim = s[victim_idx]
+        s[victim_idx] = block
+        return victim
+
+    def contents(self, set_index: int) -> list[int]:
+        return list(self.sets[set_index])
+
+    def reset(self) -> None:
+        self.__init__(self.num_sets, self.associativity)
+
+
+def make_policy(name: str, num_sets: int, associativity: int) -> ReplacementPolicy:
+    """Factory used by :class:`~repro.cache.setassoc.SetAssociativeCache`."""
+    if name == "lru":
+        return LRUPolicy(num_sets, associativity)
+    if name == "fifo":
+        return FIFOPolicy(num_sets, associativity)
+    if name == "random":
+        return RandomPolicy(num_sets, associativity)
+    raise ConfigError(f"unknown replacement policy {name!r}")

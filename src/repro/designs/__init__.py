@@ -1,0 +1,51 @@
+"""The paper's memory-hierarchy designs.
+
+Five design families (Section III.A):
+
+- :class:`~repro.designs.reference.ReferenceDesign` — 3 SRAM caches +
+  DRAM (the normalization baseline).
+- :class:`~repro.designs.fourlc.FourLCDesign` — eDRAM/HMC fourth-level
+  cache in front of DRAM (4LC).
+- :class:`~repro.designs.nmm.NMMDesign` — NVM main memory behind a
+  DRAM page cache (NMM).
+- :class:`~repro.designs.fourlcnvm.FourLCNVMDesign` — eDRAM/HMC cache
+  directly over NVM, no DRAM (4LCNVM).
+- :class:`~repro.designs.ndm.NDMDesign` — partitioned DRAM+NVM main
+  memory (NDM).
+
+:mod:`repro.designs.configs` holds the Table 2 (EH1–EH8) and Table 3
+(N1–N9) configuration constants and the capacity-scaling machinery.
+"""
+
+from repro.designs.base import MemoryDesign, ReferenceSystem
+from repro.designs.reference import ReferenceDesign
+from repro.designs.fourlc import FourLCDesign
+from repro.designs.nmm import NMMDesign
+from repro.designs.fourlcnvm import FourLCNVMDesign
+from repro.designs.ndm import NDMDesign
+from repro.designs.deephybrid import DeepHybridDesign
+from repro.designs.configs import (
+    DEFAULT_SCALE,
+    EH_CONFIGS,
+    N_CONFIGS,
+    NDM_DRAM_CAPACITY,
+    EHConfig,
+    NConfig,
+)
+
+__all__ = [
+    "MemoryDesign",
+    "ReferenceSystem",
+    "ReferenceDesign",
+    "FourLCDesign",
+    "NMMDesign",
+    "FourLCNVMDesign",
+    "NDMDesign",
+    "DeepHybridDesign",
+    "EHConfig",
+    "NConfig",
+    "EH_CONFIGS",
+    "N_CONFIGS",
+    "NDM_DRAM_CAPACITY",
+    "DEFAULT_SCALE",
+]

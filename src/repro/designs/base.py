@@ -1,0 +1,193 @@
+"""Design abstraction and the reference SRAM cache pyramid.
+
+A :class:`MemoryDesign` knows how to build its (scaled) simulation
+hierarchy and how to bind every level to technology parameters at full
+size. The split between the shared *upper* levels (L1/L2/L3 — identical
+in every design) and the design-specific *lower* levels (L4 and/or
+memory devices) is what lets the experiment runner simulate the upper
+levels once per workload and reuse the post-L3 request stream across
+the whole configuration space.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.cache.config import CacheConfig
+from repro.cache.hierarchy import Hierarchy
+from repro.cache.mainmem import MainMemory
+from repro.cache.partition import PartitionedMemory
+from repro.cache.setassoc import SetAssociativeCache
+from repro.errors import ConfigError
+from repro.model.bindings import LevelBinding
+from repro.tech.minicacti import estimate_sram_cache
+from repro.units import KiB, MiB
+
+
+@dataclass(frozen=True)
+class ReferenceSystem:
+    """The paper's reference cache pyramid (Sandy Bridge Xeon).
+
+    64 B lines; 32 KB 8-way L1, 256 KB 8-way L2, 20 MB 20-way shared
+    L3. Capacities here are always *full size* — scaling happens when
+    the simulation hierarchy is built.
+
+    The 20 MB L3 is shared by the chip's 8 cores while every workload
+    and capacity in the study is stated *per core*; the single-core
+    simulation therefore uses the per-core L3 slice (2.5 MB). This
+    interpretation is required for the paper's own Table 2 to make
+    sense: a 16 MB per-core eDRAM L4 behind a 20 MB per-core L3 could
+    capture almost nothing, yet the paper measures clear 4LC gains.
+    """
+
+    l1: CacheConfig
+    l2: CacheConfig
+    l3: CacheConfig
+
+    #: Cores sharing the L3 on the reference Xeon.
+    CORES_SHARING_L3 = 8
+
+    @classmethod
+    def sandy_bridge(cls) -> "ReferenceSystem":
+        """The configuration used throughout the paper (per-core view)."""
+        return cls(
+            l1=CacheConfig("L1", 32 * KiB, 8, 64),
+            l2=CacheConfig("L2", 256 * KiB, 8, 64),
+            l3=CacheConfig("L3", 20 * MiB // cls.CORES_SHARING_L3, 20, 64),
+        )
+
+    @property
+    def line_size(self) -> int:
+        """Cache line size shared by the SRAM levels."""
+        return self.l1.block_size
+
+    def configs(self) -> list[CacheConfig]:
+        """Full-size configs, top to bottom."""
+        return [self.l1, self.l2, self.l3]
+
+    def scaled_configs(self, scale: float) -> list[CacheConfig]:
+        """Capacity-scaled configs for simulation.
+
+        L3 (and everything below it, scaled elsewhere) shrinks linearly
+        with ``scale`` so footprint:LLC capacity ratios — the quantity
+        hit rates depend on — are preserved exactly. The private L1/L2
+        shrink only by sqrt(scale): linear scaling would collapse them
+        below one set and invert the pyramid (L2 > L3), grossly
+        distorting the reference AMAT; square-root scaling keeps the
+        capacity ordering L1 < L2 < L3 for every scale down to ~1/4096
+        while still shrinking their filtering reach with the problem.
+        """
+        upper_scale = min(1.0, scale**0.5)
+        l3c = self.l3.scaled(scale)
+        l2c = self.l2.scaled(upper_scale)
+        while l2c.capacity > l3c.capacity // 2 and l2c.capacity > l2c.block_size * l2c.associativity:
+            l2c = l2c.scaled(0.5)
+        l1c = self.l1.scaled(upper_scale)
+        while l1c.capacity > l2c.capacity // 2 and l1c.capacity > l1c.block_size * l1c.associativity:
+            l1c = l1c.scaled(0.5)
+        return [l1c, l2c, l3c]
+
+    def build_caches(self, scale: float) -> list[SetAssociativeCache]:
+        """Fresh (cold) scaled SRAM cache instances."""
+        return [SetAssociativeCache(c) for c in self.scaled_configs(scale)]
+
+    def bindings(self) -> dict[str, LevelBinding]:
+        """mini-CACTI bindings for the full-size SRAM levels.
+
+        Latency and energy-per-bit are properties of the *physical*
+        array, so the shared L3 is characterized at its full 20 MB
+        size; leakage is charged as the per-core share (the slice this
+        single-core study owns).
+        """
+        out: dict[str, LevelBinding] = {}
+        for config, shared_by in zip(
+            self.configs(), (1, 1, self.CORES_SHARING_L3)
+        ):
+            est = estimate_sram_cache(
+                config.capacity * shared_by, config.associativity, config.block_size
+            )
+            out[config.name] = LevelBinding(
+                name=config.name,
+                read_ns=est.access_ns,
+                write_ns=est.access_ns,
+                read_pj_per_bit=est.energy_pj_per_bit,
+                write_pj_per_bit=est.energy_pj_per_bit,
+                static_w=est.leakage_w / shared_by,
+            )
+        return out
+
+
+class MemoryDesign(ABC):
+    """One memory-hierarchy design at one configuration point.
+
+    Concrete designs define the levels *below* L3 (``lower_caches`` +
+    ``memory``) and their technology bindings; the SRAM pyramid and its
+    bindings come from the shared :class:`ReferenceSystem`.
+
+    Args:
+        name: configuration label (e.g. ``"NMM-PCM-N6"``).
+        scale: capacity scale applied to every simulated cache (see
+            DESIGN.md §4); bindings always use full-size capacities.
+        reference: the SRAM pyramid (defaults to Sandy Bridge).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        scale: float = 1.0,
+        reference: ReferenceSystem | None = None,
+    ) -> None:
+        if scale <= 0 or scale > 1:
+            raise ConfigError(f"scale must be in (0, 1], got {scale}")
+        self.name = name
+        self.scale = scale
+        self.reference = reference or ReferenceSystem.sandy_bridge()
+
+    # -- design-specific pieces -----------------------------------------
+
+    @abstractmethod
+    def lower_caches(self) -> list[SetAssociativeCache]:
+        """Fresh scaled cache instances below L3 (may be empty)."""
+
+    @abstractmethod
+    def memory(self) -> MainMemory | PartitionedMemory:
+        """Fresh terminal memory device(s)."""
+
+    @abstractmethod
+    def lower_bindings(self, footprint_bytes: int) -> dict[str, LevelBinding]:
+        """Bindings for the lower levels, at full-size capacities.
+
+        Args:
+            footprint_bytes: the workload's *full-size* footprint —
+                sizes footprint-dependent devices (baseline DRAM, NVM).
+        """
+
+    def sim_key(self) -> str:
+        """Identity of the design's *simulation behaviour*.
+
+        Two designs with the same sim key produce identical hierarchy
+        statistics on the same stream (e.g. NMM with PCM vs STT-RAM —
+        the terminal technology changes only the model bindings, not
+        the data movement). The experiment runner uses this to share
+        simulations across the technology axis of a sweep.
+        """
+        return self.name
+
+    # -- common machinery -------------------------------------------------
+
+    def build(self) -> Hierarchy:
+        """A fresh, cold, fully-assembled scaled hierarchy."""
+        return Hierarchy(
+            self.reference.build_caches(self.scale) + self.lower_caches(),
+            self.memory(),
+        )
+
+    def bindings(self, footprint_bytes: int) -> dict[str, LevelBinding]:
+        """Full binding map: SRAM levels + design-specific levels."""
+        out = self.reference.bindings()
+        out.update(self.lower_bindings(footprint_bytes))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, scale={self.scale:g})"

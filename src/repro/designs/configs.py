@@ -1,0 +1,108 @@
+"""Configuration tables: Table 2 (EH1–EH8) and Table 3 (N1–N9).
+
+Capacities are per core, full size; the experiment harness scales them
+(together with workload footprints) for laptop-size simulation.
+
+Deviation note (see DESIGN.md §5): the published Table 2 lists EH7 and
+EH8 with identical parameters (8 MB, 2048 B) — almost certainly a typo,
+since every other configuration varies exactly one parameter. We use
+EH7 = 8 MB and EH8 = 4 MB at 2048 B pages to complete the capacity
+sweep the text implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import KiB, MiB, format_bytes, is_power_of_two
+
+#: Default capacity scale for laptop-size experiments (DESIGN.md §4).
+DEFAULT_SCALE: float = 1.0 / 256.0
+
+#: DRAM partition capacity explored for the NDM design ("For the NDM
+#: design we explored a DRAM of size 512MB").
+NDM_DRAM_CAPACITY: int = 512 * MiB
+
+#: Associativity used for the page-granularity levels (eDRAM/HMC L4 and
+#: the NMM DRAM cache). The paper does not state it; 8 ways keeps the
+#: set count a power of two across the whole page-size sweep.
+PAGE_CACHE_ASSOCIATIVITY: int = 8
+
+
+@dataclass(frozen=True)
+class EHConfig:
+    """One Table 2 row: eDRAM/HMC fourth-level-cache configuration.
+
+    Attributes:
+        name: "EH1" … "EH8".
+        capacity: eDRAM/HMC capacity in bytes (per core).
+        page_size: allocation granularity in bytes.
+    """
+
+    name: str
+    capacity: int
+    page_size: int
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0 or not is_power_of_two(self.page_size):
+            raise ConfigError(f"{self.name}: invalid EH configuration")
+
+    def describe(self) -> str:
+        """e.g. 'EH1: 16MB / 64B pages'."""
+        return (
+            f"{self.name}: {format_bytes(self.capacity)} / "
+            f"{format_bytes(self.page_size)} pages"
+        )
+
+
+@dataclass(frozen=True)
+class NConfig:
+    """One Table 3 row: NMM DRAM-cache configuration.
+
+    Attributes:
+        name: "N1" … "N9".
+        dram_capacity: DRAM cache capacity in bytes (per core).
+        page_size: DRAM cache page size in bytes.
+    """
+
+    name: str
+    dram_capacity: int
+    page_size: int
+
+    def __post_init__(self) -> None:
+        if self.dram_capacity <= 0 or not is_power_of_two(self.page_size):
+            raise ConfigError(f"{self.name}: invalid N configuration")
+
+    def describe(self) -> str:
+        """e.g. 'N6: 512MB DRAM / 512B pages'."""
+        return (
+            f"{self.name}: {format_bytes(self.dram_capacity)} DRAM / "
+            f"{format_bytes(self.page_size)} pages"
+        )
+
+
+#: Table 2 — eDRAM/HMC configurations (capacity per core).
+EH_CONFIGS: dict[str, EHConfig] = {
+    "EH1": EHConfig("EH1", 16 * MiB, 64),
+    "EH2": EHConfig("EH2", 16 * MiB, 128),
+    "EH3": EHConfig("EH3", 16 * MiB, 256),
+    "EH4": EHConfig("EH4", 16 * MiB, 512),
+    "EH5": EHConfig("EH5", 16 * MiB, 1024),
+    "EH6": EHConfig("EH6", 16 * MiB, 2048),
+    "EH7": EHConfig("EH7", 8 * MiB, 2048),
+    "EH8": EHConfig("EH8", 4 * MiB, 2048),  # deviation: see module docstring
+}
+
+#: Table 3 — NMM configurations (capacity per core).
+N_CONFIGS: dict[str, NConfig] = {
+    "N1": NConfig("N1", 128 * MiB, 4096),
+    "N2": NConfig("N2", 256 * MiB, 4096),
+    "N3": NConfig("N3", 512 * MiB, 4096),
+    "N4": NConfig("N4", 512 * MiB, 2048),
+    "N5": NConfig("N5", 512 * MiB, 1024),
+    "N6": NConfig("N6", 512 * MiB, 512),
+    "N7": NConfig("N7", 512 * MiB, 256),
+    "N8": NConfig("N8", 512 * MiB, 128),
+    "N9": NConfig("N9", 512 * MiB, 64),
+}

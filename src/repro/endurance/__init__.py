@@ -1,0 +1,27 @@
+"""NVM endurance modeling (the paper's deferred "wearing" factor).
+
+"We have not factored in ... wearing, which is typical of NVM" —
+Section VI. This subpackage adds it:
+
+- :mod:`repro.endurance.writes` — per-line write tracking of the
+  NVM-arriving request stream and wear-distribution statistics;
+- :mod:`repro.endurance.startgap` — the Start-Gap wear-leveling scheme
+  the paper cites (Qureshi et al., MICRO 2009 [12]): an algebraic
+  line remapping that needs only two registers, spreading hot-line
+  writes over the whole device;
+- :mod:`repro.endurance.lifetime` — device lifetime estimation from
+  cell endurance, modeled write rates, and the wear distribution.
+"""
+
+from repro.endurance.writes import WearStats, WriteTracker
+from repro.endurance.startgap import StartGapRemapper
+from repro.endurance.lifetime import CELL_ENDURANCE, estimate_lifetime, LifetimeEstimate
+
+__all__ = [
+    "WriteTracker",
+    "WearStats",
+    "StartGapRemapper",
+    "CELL_ENDURANCE",
+    "LifetimeEstimate",
+    "estimate_lifetime",
+]

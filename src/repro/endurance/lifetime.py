@@ -1,0 +1,103 @@
+"""NVM device-lifetime estimation.
+
+Lifetime is set by the first line to exhaust its cell endurance::
+
+    lifetime_s = endurance / (per-line write rate of the hottest line)
+               = endurance * device_lines / (write_rate * imbalance)
+
+where ``imbalance`` (max/mean per-line writes) comes from the measured
+wear distribution and ``write_rate`` (line writes per second at full
+scale) comes from the performance model: NVM stores of the traced run,
+upscaled to the full run, divided by the modeled runtime. Wear leveling
+improves lifetime by driving ``imbalance`` toward 1 at the cost of its
+overhead writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.endurance.writes import WearStats
+from repro.errors import ModelError
+
+#: Published cell-endurance orders of magnitude (writes per cell).
+CELL_ENDURANCE: dict[str, float] = {
+    "PCM": 1e8,
+    "STTRAM": 1e15,
+    "FeRAM": 1e14,
+}
+
+_SECONDS_PER_YEAR: float = 365.25 * 24 * 3600
+
+
+@dataclass(frozen=True)
+class LifetimeEstimate:
+    """Outcome of a lifetime analysis.
+
+    Attributes:
+        years: estimated years until the hottest line wears out.
+        ideal_years: years under perfect leveling (imbalance = 1).
+        leveling_efficiency: years / ideal_years in (0, 1].
+        write_rate_per_s: modeled full-scale line-write rate.
+        overhead_fraction: extra writes added by wear leveling
+            (0 when none).
+    """
+
+    years: float
+    ideal_years: float
+    leveling_efficiency: float
+    write_rate_per_s: float
+    overhead_fraction: float
+
+
+def estimate_lifetime(
+    wear: WearStats,
+    *,
+    cell_endurance: float,
+    device_lines: int,
+    write_rate_per_s: float,
+    overhead_fraction: float = 0.0,
+) -> LifetimeEstimate:
+    """Estimate device lifetime from a measured wear distribution.
+
+    Args:
+        wear: wear statistics of the (traced) run.
+        cell_endurance: writes a cell survives (see
+            :data:`CELL_ENDURANCE`).
+        device_lines: physical lines of the device.
+        write_rate_per_s: full-scale line writes per second (from the
+            performance model).
+        overhead_fraction: additional write overhead of the leveling
+            scheme (e.g. 1/ψ for Start-Gap).
+
+    Returns:
+        A :class:`LifetimeEstimate`.
+    """
+    if cell_endurance <= 0:
+        raise ModelError("cell endurance must be positive")
+    if device_lines <= 0:
+        raise ModelError("device must have lines")
+    if write_rate_per_s < 0 or overhead_fraction < 0:
+        raise ModelError("rates must be non-negative")
+
+    effective_rate = write_rate_per_s * (1.0 + overhead_fraction)
+    if effective_rate == 0:
+        infinite = float("inf")
+        return LifetimeEstimate(
+            years=infinite,
+            ideal_years=infinite,
+            leveling_efficiency=1.0,
+            write_rate_per_s=0.0,
+            overhead_fraction=overhead_fraction,
+        )
+    # Perfect leveling: every line ages at rate effective_rate / lines.
+    ideal_seconds = cell_endurance * device_lines / effective_rate
+    imbalance = max(1.0, wear.imbalance)
+    seconds = ideal_seconds / imbalance
+    return LifetimeEstimate(
+        years=seconds / _SECONDS_PER_YEAR,
+        ideal_years=ideal_seconds / _SECONDS_PER_YEAR,
+        leveling_efficiency=1.0 / imbalance,
+        write_rate_per_s=write_rate_per_s,
+        overhead_fraction=overhead_fraction,
+    )

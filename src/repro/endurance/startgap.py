@@ -1,0 +1,96 @@
+"""Start-Gap wear leveling (Qureshi et al., MICRO 2009 — the paper's
+reference [12]).
+
+Start-Gap adds one spare line to the device and two registers:
+
+- ``gap``: the physical position of the spare (initially the last
+  line);
+- ``start``: a rotation offset (initially 0), incremented each time the
+  gap completes a full sweep of the device.
+
+Every ``gap_write_interval`` (ψ, typically 100) writes, the line just
+above the gap moves into the gap, and the gap moves up one position —
+so over time every logical line slowly migrates through every physical
+position, spreading spatially-concentrated writes across the device at
+an overhead of one extra write per ψ writes.
+
+The address mapping is algebraic (no table)::
+
+    physical = (logical + start) mod N
+    if physical >= gap: physical += 1       # skip the gap
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+#: The ψ recommended by the Start-Gap paper.
+DEFAULT_GAP_WRITE_INTERVAL: int = 100
+
+
+class StartGapRemapper:
+    """Start-Gap logical→physical line remapping.
+
+    Args:
+        device_lines: number of *logical* lines exposed (N); the device
+            physically has N + 1 (one spare: the gap).
+        gap_write_interval: writes between gap movements (ψ).
+    """
+
+    def __init__(
+        self,
+        device_lines: int,
+        gap_write_interval: int = DEFAULT_GAP_WRITE_INTERVAL,
+    ) -> None:
+        if device_lines <= 0:
+            raise SimulationError("device must have at least one line")
+        if gap_write_interval <= 0:
+            raise SimulationError("gap_write_interval must be positive")
+        self.device_lines = device_lines
+        self.gap_write_interval = gap_write_interval
+        self.gap = device_lines  # spare initially at the end
+        self.start = 0
+        self._writes_since_move = 0
+        #: total gap-movement (overhead) writes performed
+        self.overhead_writes = 0
+
+    @property
+    def physical_lines(self) -> int:
+        """Physical lines incl. the spare."""
+        return self.device_lines + 1
+
+    def remap(self, logical_line: int) -> int:
+        """Physical line currently backing ``logical_line``."""
+        if not 0 <= logical_line < self.device_lines:
+            raise SimulationError(
+                f"logical line {logical_line} out of range "
+                f"[0, {self.device_lines})"
+            )
+        physical = (logical_line + self.start) % self.device_lines
+        if physical >= self.gap:
+            physical += 1
+        return physical
+
+    def write_performed(self) -> None:
+        """Account one demand write; move the gap every ψ writes."""
+        self._writes_since_move += 1
+        if self._writes_since_move >= self.gap_write_interval:
+            self._writes_since_move = 0
+            self._move_gap()
+
+    def _move_gap(self) -> None:
+        """Move the gap one position (one overhead line copy)."""
+        self.overhead_writes += 1
+        if self.gap == 0:
+            # The gap has swept the whole device: wrap it to the end
+            # and advance the rotation.
+            self.gap = self.device_lines
+            self.start = (self.start + 1) % self.device_lines
+        else:
+            self.gap -= 1
+
+    def mapping_is_bijective(self) -> bool:
+        """Diagnostic: the N logical lines map to N distinct physical
+        lines, none of them the gap."""
+        seen = {self.remap(line) for line in range(self.device_lines)}
+        return len(seen) == self.device_lines and self.gap not in seen

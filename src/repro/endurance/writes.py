@@ -1,0 +1,117 @@
+"""Per-line write tracking and wear-distribution statistics.
+
+NVM cells wear out with writes; what limits device lifetime is not the
+*total* write volume but the *hottest line* (the first line to exceed
+cell endurance kills the device without remapping). The tracker
+consumes the store requests arriving at an NVM device — exactly the
+writeback stream the cache simulator produces — optionally through a
+wear-leveling remapper, and summarizes the resulting wear distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.trace.events import AccessBatch
+from repro.units import log2_int
+
+
+@dataclass(frozen=True)
+class WearStats:
+    """Summary of a device's per-line wear distribution.
+
+    Attributes:
+        total_writes: total line writes absorbed.
+        lines_written: number of distinct physical lines written.
+        max_writes: writes to the hottest physical line.
+        mean_writes: total / device lines.
+        cov: coefficient of variation of per-line writes over the whole
+            device (0 = perfectly even wear).
+        imbalance: max / mean (1.0 = perfect leveling). This is the
+            factor by which the hottest line shortens lifetime.
+    """
+
+    total_writes: int
+    lines_written: int
+    max_writes: int
+    mean_writes: float
+    cov: float
+    imbalance: float
+
+
+class WriteTracker:
+    """Counts writes per physical line of a simulated NVM device.
+
+    Args:
+        device_lines: number of physical lines the device has.
+        line_size: line size in bytes (power of two).
+        base_address: byte address mapped to logical line 0 (the
+            device's base in the simulated address space); addresses
+            are wrapped modulo the device size, which models the
+            physical address decoding of a real part.
+        remapper: optional wear-leveling remapper with a
+            ``remap(logical_line) -> physical_line`` method and a
+            ``write_performed()`` hook (e.g.
+            :class:`~repro.endurance.startgap.StartGapRemapper`).
+    """
+
+    def __init__(
+        self,
+        device_lines: int,
+        line_size: int = 64,
+        base_address: int = 0,
+        remapper=None,
+    ) -> None:
+        if device_lines <= 0:
+            raise SimulationError("device must have at least one line")
+        self.device_lines = device_lines
+        self.line_size = line_size
+        self._line_bits = log2_int(line_size)
+        self.base_address = base_address
+        self.remapper = remapper
+        # Physical wear counters (remapper may use device_lines + spares).
+        physical = device_lines if remapper is None else remapper.physical_lines
+        self.writes = np.zeros(physical, dtype=np.int64)
+
+    def observe(self, batch: AccessBatch) -> None:
+        """Feed a request batch; only store requests wear the device."""
+        if len(batch) == 0:
+            return
+        mask = batch.is_store != 0
+        if not mask.any():
+            return
+        addrs = batch.addresses[mask]
+        logical = (
+            (addrs - np.uint64(self.base_address)) >> np.uint64(self._line_bits)
+        ).astype(np.int64) % self.device_lines
+        if self.remapper is None:
+            np.add.at(self.writes, logical, 1)
+        else:
+            # Remapping state advances with every write, so the loop is
+            # serial (the remapper is O(1) per write).
+            for line in logical.tolist():
+                self.writes[self.remapper.remap(line)] += 1
+                self.remapper.write_performed()
+
+    def stats(self) -> WearStats:
+        """Current wear-distribution summary."""
+        total = int(self.writes.sum())
+        max_writes = int(self.writes.max()) if total else 0
+        mean = total / len(self.writes) if len(self.writes) else 0.0
+        if mean > 0:
+            cov = float(self.writes.std() / mean)
+            imbalance = max_writes / mean
+        else:
+            cov = 0.0
+            imbalance = 1.0
+        return WearStats(
+            total_writes=total,
+            lines_written=int(np.count_nonzero(self.writes)),
+            max_writes=max_writes,
+            mean_writes=mean,
+            cov=cov,
+            imbalance=imbalance,
+        )

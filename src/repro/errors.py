@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError`, so callers can catch package-level failures with a
+single except clause while still letting programming errors (TypeError,
+IndexError, ...) propagate unchanged.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid cache, design, or experiment configuration.
+
+    Also a ValueError so that generic validation call-sites behave
+    idiomatically.
+    """
+
+
+class TraceError(ReproError):
+    """A problem while recording or manipulating an address stream."""
+
+
+class SimulationError(ReproError):
+    """A problem during cache-hierarchy simulation."""
+
+
+class ModelError(ReproError):
+    """A problem while evaluating the performance or energy models."""

@@ -1,0 +1,137 @@
+"""NVM-as-checkpoint-memory study.
+
+The paper motivates NVM partly through related work on checkpointing
+("the role of NVM as ... fast checkpoint memory", ref. [24]). This
+module quantifies that role with the standard Young/Daly model:
+
+- writing a checkpoint of the footprint F to a target with bandwidth B
+  and write energy e costs ``delta = F/B`` seconds and ``F*8*e`` joules;
+- with node MTBF M, the optimal checkpoint interval is
+  ``tau_opt = sqrt(2 * delta * M)`` (Young's approximation);
+- the expected runtime dilation from checkpointing plus failure rework
+  is ``waste ≈ delta/tau + tau/(2M)``.
+
+Comparing a node-local NVM target against a shared parallel filesystem
+shows the orders-of-magnitude difference in achievable checkpoint
+frequency — the quantitative version of the paper's motivation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.tech.params import MemoryTechnology
+from repro.units import GiB
+
+
+@dataclass(frozen=True)
+class CheckpointTarget:
+    """A device checkpoints can be written to.
+
+    Attributes:
+        name: label.
+        bandwidth_gbs: sustained write bandwidth, GB/s.
+        write_pj_per_bit: write energy density (0 for remote targets
+            whose energy is not attributed to the node).
+    """
+
+    name: str
+    bandwidth_gbs: float
+    write_pj_per_bit: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0:
+            raise ModelError(f"{self.name}: bandwidth must be positive")
+        if self.write_pj_per_bit < 0:
+            raise ModelError(f"{self.name}: write energy must be non-negative")
+
+    @classmethod
+    def from_technology(
+        cls, tech: MemoryTechnology, bandwidth_gbs: float
+    ) -> "CheckpointTarget":
+        """Target built from a Table 1 technology's write energy."""
+        return cls(
+            name=tech.name,
+            bandwidth_gbs=bandwidth_gbs,
+            write_pj_per_bit=tech.write_energy_pj_per_bit,
+        )
+
+
+#: A shared parallel filesystem as seen from one node of a big machine
+#: (aggregate PFS bandwidth divided across nodes; 2014-era planning
+#: number ~0.2 GB/s per node).
+PFS_TARGET = CheckpointTarget(name="PFS", bandwidth_gbs=0.2)
+
+
+@dataclass(frozen=True)
+class CheckpointPlan:
+    """Checkpointing economics for one (footprint, target, MTBF).
+
+    Attributes:
+        target: where checkpoints go.
+        delta_s: seconds per checkpoint.
+        energy_j: joules per checkpoint.
+        tau_opt_s: optimal checkpoint interval (Young).
+        waste_fraction: expected runtime dilation at tau_opt.
+    """
+
+    target: CheckpointTarget
+    delta_s: float
+    energy_j: float
+    tau_opt_s: float
+    waste_fraction: float
+
+
+def checkpoint_cost(
+    footprint_bytes: int, target: CheckpointTarget
+) -> tuple[float, float]:
+    """(seconds, joules) of writing one checkpoint."""
+    if footprint_bytes <= 0:
+        raise ModelError("footprint must be positive")
+    seconds = footprint_bytes / (target.bandwidth_gbs * 1e9)
+    joules = footprint_bytes * 8 * target.write_pj_per_bit * 1e-12
+    return seconds, joules
+
+
+def young_optimal_interval(delta_s: float, mtbf_s: float) -> float:
+    """Young's optimal checkpoint interval sqrt(2 * delta * MTBF)."""
+    if delta_s <= 0 or mtbf_s <= 0:
+        raise ModelError("delta and MTBF must be positive")
+    return math.sqrt(2.0 * delta_s * mtbf_s)
+
+
+def expected_waste(delta_s: float, tau_s: float, mtbf_s: float) -> float:
+    """First-order runtime dilation: checkpoint time + failure rework."""
+    if tau_s <= 0 or mtbf_s <= 0:
+        raise ModelError("tau and MTBF must be positive")
+    return delta_s / tau_s + tau_s / (2.0 * mtbf_s)
+
+
+def plan_checkpointing(
+    footprint_bytes: int,
+    target: CheckpointTarget,
+    mtbf_s: float = 24 * 3600.0,
+) -> CheckpointPlan:
+    """The full Young/Daly plan for one footprint and target."""
+    delta_s, energy_j = checkpoint_cost(footprint_bytes, target)
+    tau = young_optimal_interval(delta_s, mtbf_s)
+    return CheckpointPlan(
+        target=target,
+        delta_s=delta_s,
+        energy_j=energy_j,
+        tau_opt_s=tau,
+        waste_fraction=expected_waste(delta_s, tau, mtbf_s),
+    )
+
+
+def compare_targets(
+    footprint_bytes: int,
+    targets: list[CheckpointTarget],
+    mtbf_s: float = 24 * 3600.0,
+) -> list[CheckpointPlan]:
+    """Plans for several targets, lowest waste first."""
+    plans = [plan_checkpointing(footprint_bytes, t, mtbf_s) for t in targets]
+    plans.sort(key=lambda p: p.waste_fraction)
+    return plans

@@ -1,0 +1,292 @@
+"""Command-line entry point: ``python -m repro.experiments``.
+
+Subcommands:
+
+- ``tables`` — print Tables 1–4.
+- ``figure N`` — regenerate one figure (1–10).
+- ``reproduce-all`` — every table and figure in sequence.
+- ``report [--out FILE]`` — full Markdown reproduction report with the
+  claim scorecard.
+- ``oracle WORKLOAD [--tech PCM]`` — run the NDM placement oracle.
+
+Common options: ``--scale`` (capacity/footprint scale), ``--seed``,
+``--workloads`` (comma-separated subset of the suite).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.designs.configs import DEFAULT_SCALE
+from repro.experiments import figures as figures_mod
+from repro.experiments import heatmap as heatmap_mod
+from repro.experiments import tables as tables_mod
+from repro.experiments.render import ascii_table, render_figure, render_heatmap
+from repro.experiments.runner import Runner
+from repro.workloads.registry import SUITE, get_workload
+
+
+def _parse_workloads(spec: str | None):
+    if not spec:
+        return None
+    workloads = []
+    for name in spec.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        try:
+            workloads.append(get_workload(name))
+        except KeyError:
+            raise SystemExit(
+                f"error: unknown workload {name!r}; choose from {list(SUITE)}"
+            ) from None
+    if not workloads:
+        raise SystemExit("error: --workloads selected nothing")
+    return workloads
+
+
+def _print_tables() -> None:
+    for number, fn in enumerate(
+        (tables_mod.table1, tables_mod.table2, tables_mod.table3, tables_mod.table4),
+        start=1,
+    ):
+        headers, rows = fn()
+        print(f"\nTable {number}")
+        print(ascii_table(headers, rows))
+
+
+def _print_figure(
+    number: int,
+    runner: Runner,
+    workloads,
+    per_workload: bool = False,
+    svg: str | None = None,
+) -> None:
+    if number in (9, 10):
+        fn = heatmap_mod.figure9 if number == 9 else heatmap_mod.figure10
+        hm = fn(runner, workloads)
+        print()
+        print(render_heatmap(hm))
+        if svg:
+            from repro.experiments.plot import heatmap_to_svg
+
+            print(f"wrote {heatmap_to_svg(hm, svg)}")
+        return
+    fn = {
+        1: figures_mod.figure1,
+        2: figures_mod.figure2,
+        3: figures_mod.figure3,
+        4: figures_mod.figure4,
+        5: figures_mod.figure5,
+        6: figures_mod.figure6,
+        7: figures_mod.figure7,
+        8: figures_mod.figure8,
+    }[number]
+    fig = fn(runner, workloads)
+    print()
+    print(render_figure(fig))
+    if svg:
+        from repro.experiments.plot import figure_to_svg
+
+        print(f"wrote {figure_to_svg(fig, svg)}")
+    if per_workload:
+        for label, by_category in fig.per_workload.items():
+            print(f"\n  per-workload detail [{label}]:")
+            for category, values in by_category.items():
+                rendered = ", ".join(
+                    f"{k}={v:.3f}" if isinstance(v, float) else f"{k}={v}"
+                    for k, v in values.items()
+                )
+                print(f"    {category}: {rendered}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI main; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the CLUSTER 2014 "
+        "emerging-memory evaluation.",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=DEFAULT_SCALE,
+        help=f"capacity/footprint scale (default {DEFAULT_SCALE:g})",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    parser.add_argument(
+        "--trace-cache",
+        type=str,
+        default=None,
+        help="directory for persistent trace caching (repeat runs skip "
+        "workload re-execution)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="log tracing/simulation progress",
+    )
+    parser.add_argument(
+        "--workloads",
+        type=str,
+        default=None,
+        help=f"comma-separated subset of {list(SUITE)}",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("tables", help="print Tables 1-4")
+    fig = sub.add_parser("figure", help="regenerate one figure")
+    fig.add_argument("number", type=int, choices=range(1, 11))
+    fig.add_argument("--per-workload", action="store_true",
+                     help="also print each workload's values")
+    fig.add_argument("--svg", type=str, default=None,
+                     help="also write the figure as an SVG chart")
+    sub.add_parser("reproduce-all", help="all tables and figures")
+    report = sub.add_parser("report", help="Markdown reproduction report")
+    report.add_argument("--out", type=str, default=None,
+                        help="write to a file instead of stdout")
+    report.add_argument("--svg-dir", type=str, default=None,
+                        help="also write every figure as SVG into this directory")
+    oracle = sub.add_parser("oracle", help="NDM placement oracle for a workload")
+    oracle.add_argument("workload", type=str, choices=list(SUITE))
+    oracle.add_argument("--tech", type=str, default="PCM",
+                        help="NVM technology (PCM/STTRAM/FeRAM)")
+    heat = sub.add_parser("heatmap", help="figures 9/10 with custom factors")
+    heat.add_argument("metric", choices=["time", "energy"])
+    heat.add_argument("--factors", type=str, default="1,2,5,10,20",
+                      help="comma-separated multipliers")
+    heat.add_argument("--svg", type=str, default=None)
+    sub.add_parser(
+        "validate",
+        help="check the cache engine against closed-form known answers",
+    )
+    sub.add_parser(
+        "characterize",
+        help="print the workload characterization table (reuse CDF, "
+        "memory intensity, page locality)",
+    )
+
+    args = parser.parse_args(argv)
+    if args.verbose:
+        import logging
+
+        logging.basicConfig(level=logging.INFO, format="%(message)s")
+        logging.getLogger("repro").setLevel(logging.INFO)
+    workloads = _parse_workloads(args.workloads)
+
+    if args.command == "tables":
+        _print_tables()
+        return 0
+
+    if args.command == "validate":
+        from repro.experiments.validate import validate_simulator
+
+        checks = validate_simulator()
+        width = max(len(c.name) for c in checks)
+        failed = 0
+        for check in checks:
+            status = "ok  " if check.passed else "FAIL"
+            failed += 0 if check.passed else 1
+            print(f"  [{status}] {check.name:{width}s} "
+                  f"expected {check.expected:.4f} measured {check.measured:.4f} "
+                  f"(tol {check.tolerance:g})")
+        print(f"{len(checks) - failed}/{len(checks)} analytical checks passed")
+        return 1 if failed else 0
+
+    runner = Runner(
+        scale=args.scale, seed=args.seed, trace_cache_dir=args.trace_cache
+    )
+    if args.command == "figure":
+        _print_figure(args.number, runner, workloads,
+                      per_workload=args.per_workload, svg=args.svg)
+        return 0
+
+    if args.command == "report":
+        from repro.experiments.report import generate_report, render_markdown
+
+        report_data = generate_report(runner, workloads)
+        text = render_markdown(report_data, args.scale)
+        if args.out:
+            from pathlib import Path
+
+            Path(args.out).write_text(text)
+            print(f"wrote {args.out} ({len(text.splitlines())} lines)")
+        else:
+            print(text)
+        if args.svg_dir:
+            from pathlib import Path
+
+            from repro.experiments.plot import figure_to_svg, heatmap_to_svg
+
+            directory = Path(args.svg_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            for fig in report_data.figures.values():
+                name = fig.figure.lower().replace(" ", "")
+                print(f"wrote {figure_to_svg(fig, directory / (name + '.svg'))}")
+            for hm in report_data.heatmaps.values():
+                name = hm.figure.lower().replace(" ", "")
+                print(f"wrote {heatmap_to_svg(hm, directory / (name + '.svg'))}")
+        return 0
+
+    if args.command == "characterize":
+        from repro.experiments.characterize import characterize, render_profiles
+
+        suite = workloads or [get_workload(name) for name in SUITE]
+        profiles = [characterize(runner, workload) for workload in suite]
+        print()
+        print(render_profiles(profiles))
+        return 0
+
+    if args.command == "heatmap":
+        try:
+            factors = tuple(
+                float(f) for f in args.factors.split(",") if f.strip()
+            )
+        except ValueError:
+            raise SystemExit(
+                f"error: bad --factors {args.factors!r}; expected e.g. 1,2,5"
+            ) from None
+        if not factors or any(f <= 0 for f in factors):
+            raise SystemExit("error: factors must be positive numbers")
+        fn = heatmap_mod.figure9 if args.metric == "time" else heatmap_mod.figure10
+        hm = fn(runner, workloads, factors=factors)
+        print()
+        print(render_heatmap(hm))
+        if args.svg:
+            from repro.experiments.plot import heatmap_to_svg
+
+            print(f"wrote {heatmap_to_svg(hm, args.svg)}")
+        return 0
+
+    if args.command == "oracle":
+        from repro.tech.params import get_technology
+
+        try:
+            tech = get_technology(args.tech)
+        except KeyError:
+            raise SystemExit(
+                f"error: unknown technology {args.tech!r}"
+            ) from None
+        workload = get_workload(args.workload)
+        placements = runner.ndm_oracle(workload, tech)
+        print(f"NDM oracle: {workload.name}, NVM = {tech.name}")
+        for result in placements:
+            ev = result.evaluation
+            flag = "ok" if result.feasible else "infeasible"
+            print(f"  [{flag:10s}] {result.label}: "
+                  f"time x{ev.time_norm:.3f} energy x{ev.energy_norm:.3f} "
+                  f"EDP x{ev.edp_norm:.3f}")
+        return 0
+
+    # reproduce-all
+    started = time.perf_counter()
+    _print_tables()
+    for number in range(1, 11):
+        _print_figure(number, runner, workloads)
+    print(f"\nreproduced all tables and figures in "
+          f"{time.perf_counter() - started:.1f}s (scale={args.scale:g})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Design-vs-design attribution: where do the differences come from?
+
+The figures say *that* a design wins; this module says *why*: it
+decomposes the runtime (Eq. 2 numerator) and dynamic energy (Eq. 3)
+difference between two designs into per-level contributions, and
+separates the static-energy delta. The quickstart-level question
+"NMM is 14% slower — is that the DRAM-cache hit latency or the NVM
+misses?" gets a quantitative answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.designs.base import MemoryDesign
+from repro.experiments.runner import Runner
+from repro.model.amat import level_time_breakdown_ns
+from repro.model.energy import dynamic_energy_breakdown_pj
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class LevelDelta:
+    """One level's contribution to the difference (B minus A).
+
+    Attributes:
+        level: level name (present in either design; absent levels
+            contribute zero on their side).
+        time_ns: traced access-time contribution delta.
+        energy_pj: traced dynamic-energy contribution delta.
+    """
+
+    level: str
+    time_ns: float
+    energy_pj: float
+
+
+@dataclass
+class Comparison:
+    """Attributed difference between two designs on one workload.
+
+    All "delta" quantities are design B minus design A.
+
+    Attributes:
+        design_a / design_b / workload: labels.
+        levels: per-level deltas, largest |time| first.
+        time_delta_ns: total traced access-time delta (the AMAT
+            numerator — divide by references for AMAT).
+        dynamic_delta_pj: total traced dynamic-energy delta.
+        static_delta_w: static-power delta.
+        time_norm_a / time_norm_b: the two normalized runtimes.
+        energy_norm_a / energy_norm_b: the two normalized energies.
+    """
+
+    design_a: str
+    design_b: str
+    workload: str
+    levels: list[LevelDelta] = field(default_factory=list)
+    time_delta_ns: float = 0.0
+    dynamic_delta_pj: float = 0.0
+    static_delta_w: float = 0.0
+    time_norm_a: float = 0.0
+    time_norm_b: float = 0.0
+    energy_norm_a: float = 0.0
+    energy_norm_b: float = 0.0
+
+    def dominant_time_level(self) -> str:
+        """The level contributing most to the runtime difference."""
+        if not self.levels:
+            return ""
+        return max(self.levels, key=lambda d: abs(d.time_ns)).level
+
+
+def explain_difference(
+    runner: Runner,
+    design_a: MemoryDesign,
+    design_b: MemoryDesign,
+    workload: Workload,
+) -> Comparison:
+    """Attribute the (B - A) difference to hierarchy levels."""
+    stats_a = runner.stats_for(design_a, workload)
+    stats_b = runner.stats_for(design_b, workload)
+    bindings_a = design_a.bindings(workload.info.footprint_bytes)
+    bindings_b = design_b.bindings(workload.info.footprint_bytes)
+    time_a = level_time_breakdown_ns(stats_a, bindings_a)
+    time_b = level_time_breakdown_ns(stats_b, bindings_b)
+    energy_a = dynamic_energy_breakdown_pj(stats_a, bindings_a)
+    energy_b = dynamic_energy_breakdown_pj(stats_b, bindings_b)
+
+    ev_a = runner.evaluate(design_a, workload)
+    ev_b = runner.evaluate(design_b, workload)
+
+    comparison = Comparison(
+        design_a=design_a.name,
+        design_b=design_b.name,
+        workload=workload.name,
+        time_norm_a=ev_a.time_norm,
+        time_norm_b=ev_b.time_norm,
+        energy_norm_a=ev_a.energy_norm,
+        energy_norm_b=ev_b.energy_norm,
+        static_delta_w=(
+            sum(binding.static_w for binding in bindings_b.values())
+            - sum(binding.static_w for binding in bindings_a.values())
+        ),
+    )
+    for level in sorted(set(time_a) | set(time_b)):
+        delta = LevelDelta(
+            level=level,
+            time_ns=time_b.get(level, 0.0) - time_a.get(level, 0.0),
+            energy_pj=energy_b.get(level, 0.0) - energy_a.get(level, 0.0),
+        )
+        comparison.levels.append(delta)
+        comparison.time_delta_ns += delta.time_ns
+        comparison.dynamic_delta_pj += delta.energy_pj
+    comparison.levels.sort(key=lambda d: abs(d.time_ns), reverse=True)
+    return comparison
+
+
+def render_comparison(comparison: Comparison) -> str:
+    """Human-readable attribution table."""
+    lines = [
+        f"{comparison.design_b} vs {comparison.design_a} on "
+        f"{comparison.workload}:",
+        f"  time   x{comparison.time_norm_a:.3f} -> "
+        f"x{comparison.time_norm_b:.3f}",
+        f"  energy x{comparison.energy_norm_a:.3f} -> "
+        f"x{comparison.energy_norm_b:.3f} "
+        f"(static power {comparison.static_delta_w:+.2f} W)",
+        "  per-level deltas (traced):",
+    ]
+    for delta in comparison.levels:
+        lines.append(
+            f"    {delta.level:8s} time {delta.time_ns:+14.0f} ns   "
+            f"dyn {delta.energy_pj:+16.0f} pJ"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,230 @@
+"""Standalone SVG rendering of figures and heat maps.
+
+The environment this reproduction targets has no plotting stack, so
+charts are emitted as self-contained SVG (hand-assembled markup — no
+dependencies). Two chart types cover the paper's needs:
+
+- grouped bar charts for the Figure 1–8 series
+  (:func:`figure_to_svg`);
+- color-mapped grids for the Figure 9–10 heat maps
+  (:func:`heatmap_to_svg`).
+
+``python -m repro.experiments figure 2 --svg fig2.svg`` writes one.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+from repro.errors import ModelError
+from repro.experiments.figures import FigureSeries
+from repro.experiments.heatmap import HeatMap
+
+#: Series colors (colorblind-safe Okabe-Ito subset).
+PALETTE = ["#0072B2", "#E69F00", "#009E73", "#CC79A7", "#56B4E9", "#D55E00"]
+
+_FONT = 'font-family="Helvetica, Arial, sans-serif"'
+
+
+def _svg_document(width: int, height: int, body: list[str]) -> str:
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">\n'
+        + "\n".join(body)
+        + "\n</svg>\n"
+    )
+
+
+def _nice_ticks(vmax: float, n: int = 5) -> list[float]:
+    """Round tick positions covering [0, vmax]."""
+    if vmax <= 0:
+        return [0.0, 1.0]
+    raw = vmax / n
+    magnitude = 10 ** int(f"{raw:e}".split("e")[1])
+    for step in (1, 2, 2.5, 5, 10):
+        if raw <= step * magnitude:
+            tick = step * magnitude
+            break
+    else:  # pragma: no cover - loop always breaks at step=10
+        tick = 10 * magnitude
+    ticks = []
+    value = 0.0
+    while value < vmax + tick / 2:
+        ticks.append(round(value, 10))
+        value += tick
+    return ticks
+
+
+def figure_to_svg(
+    fig: FigureSeries,
+    path: str | Path,
+    *,
+    width: int = 900,
+    height: int = 420,
+) -> Path:
+    """Write a grouped bar chart of a figure's series.
+
+    Returns the path written.
+    """
+    if not fig.series:
+        raise ModelError("cannot plot an empty figure")
+    margin_left, margin_right = 70, 20
+    margin_top, margin_bottom = 56, 64
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+    categories = fig.categories
+    labels = list(fig.series)
+    vmax = max(
+        max(points.values()) for points in fig.series.values()
+    )
+    ticks = _nice_ticks(vmax)
+    vtop = ticks[-1]
+
+    def y_of(value: float) -> float:
+        return margin_top + plot_h * (1.0 - value / vtop)
+
+    body: list[str] = []
+    body.append(
+        f'<text x="{width / 2}" y="22" text-anchor="middle" {_FONT} '
+        f'font-size="15" font-weight="bold">{escape(fig.figure)}: '
+        f"{escape(fig.title)}</text>"
+    )
+    # Axes + gridlines + tick labels.
+    for tick in ticks:
+        y = y_of(tick)
+        body.append(
+            f'<line x1="{margin_left}" y1="{y:.1f}" '
+            f'x2="{width - margin_right}" y2="{y:.1f}" '
+            f'stroke="#ddd" stroke-width="1"/>'
+        )
+        body.append(
+            f'<text x="{margin_left - 6}" y="{y + 4:.1f}" text-anchor="end" '
+            f'{_FONT} font-size="11">{tick:g}</text>'
+        )
+    # Reference line at 1.0 (parity with the baseline).
+    if vtop >= 1.0:
+        y = y_of(1.0)
+        body.append(
+            f'<line x1="{margin_left}" y1="{y:.1f}" '
+            f'x2="{width - margin_right}" y2="{y:.1f}" '
+            f'stroke="#999" stroke-width="1" stroke-dasharray="5,4"/>'
+        )
+    # Bars.
+    group_w = plot_w / len(categories)
+    bar_w = group_w * 0.8 / max(1, len(labels))
+    for ci, category in enumerate(categories):
+        group_x = margin_left + ci * group_w + group_w * 0.1
+        for si, label in enumerate(labels):
+            value = fig.series[label].get(category)
+            if value is None:
+                continue
+            x = group_x + si * bar_w
+            y = y_of(min(value, vtop))
+            body.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+                f'height="{margin_top + plot_h - y:.1f}" '
+                f'fill="{PALETTE[si % len(PALETTE)]}">'
+                f"<title>{escape(label)} {escape(category)}: {value:.3f}</title>"
+                f"</rect>"
+            )
+        body.append(
+            f'<text x="{group_x + group_w * 0.4:.1f}" '
+            f'y="{margin_top + plot_h + 16}" text-anchor="middle" {_FONT} '
+            f'font-size="11">{escape(category)}</text>'
+        )
+    # Legend.
+    legend_x = margin_left
+    legend_y = height - 18
+    for si, label in enumerate(labels):
+        body.append(
+            f'<rect x="{legend_x}" y="{legend_y - 10}" width="12" height="12" '
+            f'fill="{PALETTE[si % len(PALETTE)]}"/>'
+        )
+        body.append(
+            f'<text x="{legend_x + 16}" y="{legend_y}" {_FONT} '
+            f'font-size="12">{escape(label)}</text>'
+        )
+        legend_x += 26 + 8 * len(label)
+    # Axis line.
+    body.append(
+        f'<line x1="{margin_left}" y1="{margin_top}" x2="{margin_left}" '
+        f'y2="{margin_top + plot_h}" stroke="#333" stroke-width="1"/>'
+    )
+    body.append(
+        f'<text x="16" y="{margin_top + plot_h / 2}" {_FONT} font-size="12" '
+        f'transform="rotate(-90 16 {margin_top + plot_h / 2})" '
+        f'text-anchor="middle">{escape(fig.metric)}</text>'
+    )
+    path = Path(path)
+    path.write_text(_svg_document(width, height, body))
+    return path
+
+
+def _heat_color(value: float, vmin: float, vmax: float) -> str:
+    """Blue (low) -> white (mid) -> red (high) diverging map around 1.0."""
+    if vmax <= vmin:
+        t = 0.5
+    else:
+        t = (value - vmin) / (vmax - vmin)
+    t = min(1.0, max(0.0, t))
+    if t < 0.5:
+        # blue -> white
+        s = t * 2
+        r, g, b = int(40 + 215 * s), int(90 + 165 * s), 255
+    else:
+        s = (t - 0.5) * 2
+        r, g, b = 255, int(255 - 165 * s), int(255 - 215 * s)
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def heatmap_to_svg(
+    hm: HeatMap,
+    path: str | Path,
+    *,
+    cell: int = 72,
+) -> Path:
+    """Write a color-grid rendering of a heat map.
+
+    Returns the path written.
+    """
+    if not hm.values:
+        raise ModelError("cannot plot an empty heat map")
+    margin_left, margin_top = 90, 64
+    rows, cols = len(hm.write_factors), len(hm.read_factors)
+    width = margin_left + cols * cell + 30
+    height = margin_top + rows * cell + 50
+    flat = [v for row in hm.values for v in row]
+    vmin, vmax = min(flat), max(flat)
+    body: list[str] = []
+    body.append(
+        f'<text x="{width / 2}" y="22" text-anchor="middle" {_FONT} '
+        f'font-size="14" font-weight="bold">{escape(hm.figure)}: '
+        f"{escape(hm.title)}</text>"
+    )
+    for ri, (write_x, row) in enumerate(zip(hm.write_factors, hm.values)):
+        y = margin_top + ri * cell
+        body.append(
+            f'<text x="{margin_left - 8}" y="{y + cell / 2 + 4}" '
+            f'text-anchor="end" {_FONT} font-size="12">w {write_x:g}x</text>'
+        )
+        for ci, value in enumerate(row):
+            x = margin_left + ci * cell
+            body.append(
+                f'<rect x="{x}" y="{y}" width="{cell}" height="{cell}" '
+                f'fill="{_heat_color(value, vmin, vmax)}" stroke="#fff"/>'
+            )
+            body.append(
+                f'<text x="{x + cell / 2}" y="{y + cell / 2 + 4}" '
+                f'text-anchor="middle" {_FONT} font-size="12">'
+                f"{value:.2f}</text>"
+            )
+    for ci, read_x in enumerate(hm.read_factors):
+        x = margin_left + ci * cell
+        body.append(
+            f'<text x="{x + cell / 2}" y="{margin_top + rows * cell + 18}" '
+            f'text-anchor="middle" {_FONT} font-size="12">r {read_x:g}x</text>'
+        )
+    path = Path(path)
+    path.write_text(_svg_document(width, height, body))
+    return path

@@ -1,0 +1,44 @@
+"""ASCII rendering of tables, figure series, and heat maps."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureSeries
+from repro.experiments.heatmap import HeatMap
+
+
+def ascii_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Render a left-aligned monospace table with a header rule."""
+    columns = [headers] + rows
+    widths = [max(len(str(row[i])) for row in columns) for i in range(len(headers))]
+
+    def fmt(row) -> str:
+        return "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths))
+
+    rule = "  ".join("-" * width for width in widths)
+    return "\n".join([fmt(headers), rule] + [fmt(row) for row in rows])
+
+
+def render_figure(series: FigureSeries, precision: int = 3) -> str:
+    """Render a figure's series as a table: one row per series label."""
+    headers = [series.metric] + series.categories
+    rows = []
+    for label, points in series.series.items():
+        rows.append(
+            [label]
+            + [
+                f"{points[c]:.{precision}f}" if c in points else "-"
+                for c in series.categories
+            ]
+        )
+    title = f"{series.figure}: {series.title}"
+    return title + "\n" + ascii_table(headers, rows)
+
+
+def render_heatmap(heatmap: HeatMap, precision: int = 3) -> str:
+    """Render a heat map as a grid: rows = write factors, cols = read."""
+    headers = ["write\\read"] + [f"{f:g}x" for f in heatmap.read_factors]
+    rows = []
+    for write_x, row in zip(heatmap.write_factors, heatmap.values):
+        rows.append([f"{write_x:g}x"] + [f"{v:.{precision}f}" for v in row])
+    title = f"{heatmap.figure}: {heatmap.title}"
+    return title + "\n" + ascii_table(headers, rows)

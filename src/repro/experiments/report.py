@@ -1,0 +1,226 @@
+"""Markdown report generation.
+
+Produces a self-contained reproduction report — the tables, every
+figure's series, the heat maps, and a scorecard of the paper's shape
+claims — as a single Markdown document. This is what
+``python -m repro.experiments report`` writes; CI can archive it per
+commit to track reproduction drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments import figures as figures_mod
+from repro.experiments import heatmap as heatmap_mod
+from repro.experiments import tables as tables_mod
+from repro.experiments.figures import FigureSeries
+from repro.experiments.heatmap import HeatMap
+from repro.experiments.runner import Runner
+from repro.workloads.base import Workload
+
+
+@dataclass
+class ClaimCheck:
+    """One paper claim verified against the regenerated data.
+
+    Attributes:
+        claim: short statement of the paper's claim.
+        holds: whether the regenerated data satisfies it.
+        detail: the numbers behind the verdict.
+    """
+
+    claim: str
+    holds: bool
+    detail: str
+
+
+@dataclass
+class ReproductionReport:
+    """All regenerated artifacts plus the claim scorecard."""
+
+    figures: dict[str, FigureSeries] = field(default_factory=dict)
+    heatmaps: dict[str, HeatMap] = field(default_factory=dict)
+    claims: list[ClaimCheck] = field(default_factory=list)
+
+
+def _md_table(headers: list[str], rows: list[list[str]]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    lines += ["| " + " | ".join(str(c) for c in row) + " |" for row in rows]
+    return "\n".join(lines)
+
+
+def _figure_md(fig: FigureSeries, precision: int = 3) -> str:
+    headers = [fig.metric] + fig.categories
+    rows = [
+        [label] + [f"{points.get(c, float('nan')):.{precision}f}" for c in fig.categories]
+        for label, points in fig.series.items()
+    ]
+    return f"### {fig.figure}: {fig.title}\n\n" + _md_table(headers, rows)
+
+
+def _heatmap_md(hm: HeatMap, precision: int = 3) -> str:
+    headers = ["write\\read"] + [f"{f:g}x" for f in hm.read_factors]
+    rows = [
+        [f"{wf:g}x"] + [f"{v:.{precision}f}" for v in row]
+        for wf, row in zip(hm.write_factors, hm.values)
+    ]
+    return f"### {hm.figure}: {hm.title}\n\n" + _md_table(headers, rows)
+
+
+def check_claims(report: ReproductionReport) -> list[ClaimCheck]:
+    """Evaluate the paper's key shape claims on regenerated data."""
+    claims: list[ClaimCheck] = []
+
+    fig1 = report.figures.get("Figure 1")
+    if fig1:
+        ok = all(
+            series["N3"] < series["N1"] for series in fig1.series.values()
+        )
+        claims.append(
+            ClaimCheck(
+                claim="NMM: larger DRAM cache reduces runtime (N1 -> N3)",
+                holds=ok,
+                detail=", ".join(
+                    f"{label}: {s['N1']:.3f}->{s['N3']:.3f}"
+                    for label, s in fig1.series.items()
+                ),
+            )
+        )
+    fig2 = report.figures.get("Figure 2")
+    if fig2:
+        bests = {
+            label: min(series, key=series.get)
+            for label, series in fig2.series.items()
+        }
+        ok = all(best not in ("N1", "N2", "N3") for best in bests.values()) and all(
+            min(series.values()) < 1.0 for series in fig2.series.values()
+        )
+        claims.append(
+            ClaimCheck(
+                claim="NMM: sub-4KB pages minimize energy with net savings",
+                holds=ok,
+                detail=str(bests),
+            )
+        )
+    fig4 = report.figures.get("Figure 4")
+    if fig4:
+        ok = all(
+            series["EH6"] > series["EH1"] for series in fig4.series.values()
+        )
+        claims.append(
+            ClaimCheck(
+                claim="4LC: energy grows with page size (EH1 best region)",
+                holds=ok,
+                detail=", ".join(
+                    f"{label}: EH1 {s['EH1']:.3f} vs EH6 {s['EH6']:.3f}"
+                    for label, s in fig4.series.items()
+                ),
+            )
+        )
+    fig6 = report.figures.get("Figure 6")
+    if fig6:
+        ok = any(series["EH1"] < 0.7 for series in fig6.series.values())
+        claims.append(
+            ClaimCheck(
+                claim="4LCNVM: 64B pages reach deep energy savings",
+                holds=ok,
+                detail=", ".join(
+                    f"{label}: {s['EH1']:.3f}" for label, s in fig6.series.items()
+                ),
+            )
+        )
+    fig7 = report.figures.get("Figure 7")
+    if fig7:
+        values = [v for s in fig7.series.values() for v in s.values()]
+        claims.append(
+            ClaimCheck(
+                claim="NDM: every workload pays a runtime overhead",
+                holds=all(v >= 1.0 for v in values),
+                detail=f"range {min(values):.3f}..{max(values):.3f}",
+            )
+        )
+    fig9 = report.heatmaps.get("Figure 9")
+    if fig9:
+        base = fig9.at(fig9.read_factors[0], fig9.write_factors[0])
+        rx5 = next((f for f in fig9.read_factors if f == 5), None)
+        if rx5:
+            delta = fig9.at(5, fig9.write_factors[0]) - base
+            claims.append(
+                ClaimCheck(
+                    claim="Heat map: 5x read latency costs single-digit % runtime",
+                    holds=0.0 < delta < 0.15,
+                    detail=f"delta {delta:+.3f} over base {base:.3f}",
+                )
+            )
+    fig10 = report.heatmaps.get("Figure 10")
+    if fig10:
+        saving_cells = sum(1 for row in fig10.values for v in row if v < 1.0)
+        claims.append(
+            ClaimCheck(
+                claim="Heat map: energy-saving cells despite costlier ops",
+                holds=saving_cells > 0,
+                detail=f"{saving_cells} cells below DRAM parity",
+            )
+        )
+    return claims
+
+
+def generate_report(
+    runner: Runner,
+    workloads: list[Workload] | None = None,
+    heatmap_factors: tuple[float, ...] = (1, 2, 5, 10, 20),
+) -> ReproductionReport:
+    """Regenerate every figure and check the claims."""
+    report = ReproductionReport()
+    for fn in (
+        figures_mod.figure1,
+        figures_mod.figure2,
+        figures_mod.figure3,
+        figures_mod.figure4,
+        figures_mod.figure5,
+        figures_mod.figure6,
+        figures_mod.figure7,
+        figures_mod.figure8,
+    ):
+        fig = fn(runner, workloads)
+        report.figures[fig.figure] = fig
+    for fn in (heatmap_mod.figure9, heatmap_mod.figure10):
+        hm = fn(runner, workloads, factors=heatmap_factors)
+        report.heatmaps[hm.figure] = hm
+    report.claims = check_claims(report)
+    return report
+
+
+def render_markdown(report: ReproductionReport, scale: float) -> str:
+    """The full Markdown document."""
+    parts = [
+        "# Reproduction report",
+        "",
+        f"Generated by `repro` at scale {scale:g}.",
+        "",
+        "## Tables",
+        "",
+    ]
+    for number, fn in enumerate(
+        (tables_mod.table1, tables_mod.table2, tables_mod.table3, tables_mod.table4),
+        start=1,
+    ):
+        headers, rows = fn()
+        parts += [f"### Table {number}", "", _md_table(headers, rows), ""]
+    parts += ["## Figures", ""]
+    for fig in report.figures.values():
+        parts += [_figure_md(fig), ""]
+    for hm in report.heatmaps.values():
+        parts += [_heatmap_md(hm), ""]
+    parts += ["## Claim scorecard", ""]
+    rows = [
+        ["✓" if claim.holds else "✗", claim.claim, claim.detail]
+        for claim in report.claims
+    ]
+    parts.append(_md_table(["holds", "claim", "detail"], rows))
+    parts.append("")
+    return "\n".join(parts)

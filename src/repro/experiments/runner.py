@@ -1,0 +1,357 @@
+"""The experiment runner.
+
+Key observation (also exploited by the paper's online framework): the
+L1/L2/L3 SRAM levels are identical in every design, so their simulation
+— by far the most expensive part, since they see every program
+reference — can run once per workload. The runner:
+
+1. traces each workload once per (scale, seed),
+2. runs the trace through the shared SRAM pyramid once, capturing the
+   post-L3 request stream (L3 fills + writebacks), and
+3. evaluates each design configuration by running only its lower
+   levels (L4 cache and/or memory devices) on that captured stream.
+
+Results are exact: a design's full hierarchy run would produce the same
+statistics, because the upper levels' behaviour does not depend on what
+sits below them (caches are inclusive-of-nothing here — no back
+invalidations, as in the paper's simulator).
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass
+
+from repro.cache.hierarchy import Hierarchy
+from repro.cache.mainmem import MainMemory
+from repro.cache.partition import PartitionedMemory
+from repro.cache.stats import HierarchyStats, LevelStats
+from repro.designs.base import MemoryDesign, ReferenceSystem
+from repro.designs.configs import DEFAULT_SCALE, NDM_DRAM_CAPACITY
+from repro.designs.ndm import NDMDesign
+from repro.designs.reference import ReferenceDesign
+from repro.model.evaluate import (
+    Evaluation,
+    RawEvaluation,
+    evaluate_stats,
+    finalize,
+)
+from repro.partition.oracle import PlacementResult, enumerate_placements
+from repro.partition.profiler import profile_ranges
+from repro.partition.ranges import AddressRange
+from repro.tech.params import MemoryTechnology
+from repro.trace.events import AccessBatch
+from repro.trace.stream import AddressStream
+from repro.trace.tracer import Tracer
+from repro.workloads.base import TraceResult, Workload
+
+#: Package logger; enable progress lines on long runs with
+#: ``logging.getLogger("repro").setLevel(logging.INFO)`` plus a handler.
+logger = logging.getLogger("repro.experiments")
+
+
+class CapturingMemory(MainMemory):
+    """Terminal device that records every arriving request.
+
+    Used to capture the post-L3 request stream during the shared upper
+    -level simulation.
+    """
+
+    def __init__(self, name: str = "CAPTURE") -> None:
+        super().__init__(name)
+        self.captured = AddressStream()
+
+    def process(self, batch: AccessBatch) -> AccessBatch:
+        self.captured.append(batch.addresses, batch.sizes, batch.is_store)
+        return super().process(batch)
+
+
+@dataclass
+class WorkloadTrace:
+    """Everything the runner caches per (workload, scale, seed).
+
+    Attributes:
+        workload: the workload instance.
+        result: the traced run (stream + tracer + algorithm checks).
+        upper_stats: L1/L2/L3 statistics (shared by every design).
+        references: program reference count (Eq. 2 denominator).
+        post_l3: the request stream leaving L3 (fills + writebacks).
+        ref_raw: the reference design's raw evaluation on this trace.
+        traced_footprint_bytes: footprint of the traced (scaled) run.
+    """
+
+    workload: Workload
+    result: TraceResult
+    upper_stats: list[LevelStats]
+    references: int
+    post_l3: AddressStream
+    ref_raw: RawEvaluation
+    traced_footprint_bytes: int
+
+
+#: Default ratio of local (stack/temporary) references to traced data
+#: references. PEBIL instruments *every* memory-referencing instruction,
+#: so the paper's streams include the stack traffic — loop counters,
+#: spilled registers, compiler temporaries — that essentially always
+#: hits L1 and typically outnumbers data-structure references several
+#: times over. Our array-level instrumentation records only the data
+#: structures, so the runner re-injects this traffic analytically: per
+#: traced reference, ``local_factor`` additional L1 load hits are added
+#: to the statistics (they never leave L1, so no simulation is needed).
+#: The value is calibrated against the one quantitative sensitivity the
+#: paper publishes for its execution profiles (Figure 9: a 5x main
+#: memory read-latency increase costs ~5% runtime on the NMM/N6
+#: profile) and puts overall L1 hit rates in the 93–97% range measured
+#: on the real benchmarks.
+DEFAULT_LOCAL_FACTOR: float = 8.0
+
+#: Bits per local reference (an 8-byte access) for L1 dynamic energy.
+_LOCAL_BITS: int = 64
+
+
+class Runner:
+    """Evaluates designs across workloads with shared-prefix caching.
+
+    Args:
+        scale: capacity/footprint scale (DESIGN.md §4).
+        seed: workload input RNG seed.
+        reference: the SRAM pyramid (defaults to Sandy Bridge).
+        local_factor: L1-hitting local references injected per traced
+            data reference (see :data:`DEFAULT_LOCAL_FACTOR`).
+    """
+
+    def __init__(
+        self,
+        scale: float = DEFAULT_SCALE,
+        seed: int = 0,
+        reference: ReferenceSystem | None = None,
+        local_factor: float = DEFAULT_LOCAL_FACTOR,
+        trace_cache_dir: str | None = None,
+    ) -> None:
+        if local_factor < 0:
+            raise ValueError("local_factor must be non-negative")
+        self.scale = scale
+        self.seed = seed
+        self.reference = reference or ReferenceSystem.sandy_bridge()
+        self.local_factor = local_factor
+        #: Optional directory for persistent trace caching across
+        #: processes: traced streams and region maps are saved after the
+        #: first run and reloaded (bit-exact) instead of re-executing
+        #: the workload. Keyed by (workload, scale, seed); the
+        #: algorithm-check dict is not persisted (reloaded runs report
+        #: ``{"cached": True}``).
+        self.trace_cache_dir = trace_cache_dir
+        self._traces: dict[str, WorkloadTrace] = {}
+        self._design_stats: dict[tuple[str, str], HierarchyStats] = {}
+
+    def _cache_name(self, workload: Workload) -> str:
+        return f"{workload.name}-s{self.scale:g}-r{self.seed}".replace("/", "_")
+
+    def _load_cached_trace(self, workload: Workload) -> TraceResult | None:
+        if not self.trace_cache_dir:
+            return None
+        from pathlib import Path
+
+        from repro.trace.io import load_trace
+
+        name = self._cache_name(workload)
+        directory = Path(self.trace_cache_dir)
+        if not (directory / f"{name}.stream.npz").exists():
+            return None
+        stream, regions = load_trace(directory, name)
+        tracer = Tracer()
+        tracer.regions.extend(regions)
+        tracer.stream = stream
+        return TraceResult(stream=stream, tracer=tracer, checks={"cached": True})
+
+    def _store_cached_trace(self, workload: Workload, result: TraceResult) -> None:
+        if not self.trace_cache_dir:
+            return
+        from repro.trace.io import save_trace
+
+        save_trace(
+            result.stream,
+            result.tracer,
+            self.trace_cache_dir,
+            self._cache_name(workload),
+        )
+
+    def _inject_locals(
+        self, upper_stats: list[LevelStats], references: int
+    ) -> tuple[list[LevelStats], int]:
+        """Add the analytic local-reference traffic to L1 and the
+        reference count (applied identically to every design, so it
+        dilutes — but never distorts — the normalized comparisons)."""
+        extra = int(self.local_factor * references)
+        if extra == 0:
+            return upper_stats, references
+        l1 = upper_stats[0]
+        adjusted = LevelStats(
+            name=l1.name,
+            loads=l1.loads + extra,
+            stores=l1.stores,
+            load_bits=l1.load_bits + extra * _LOCAL_BITS,
+            store_bits=l1.store_bits,
+            load_hits=l1.load_hits + extra,
+            load_misses=l1.load_misses,
+            store_hits=l1.store_hits,
+            store_misses=l1.store_misses,
+            writebacks=l1.writebacks,
+            fills=l1.fills,
+        )
+        return [adjusted] + upper_stats[1:], references + extra
+
+    # ------------------------------------------------------------------
+    # Tracing + shared upper-level simulation
+    # ------------------------------------------------------------------
+
+    def prepare(self, workload: Workload) -> WorkloadTrace:
+        """Trace a workload and simulate the shared SRAM prefix (cached)."""
+        key = workload.name
+        if key in self._traces:
+            return self._traces[key]
+        started = time.perf_counter()
+        result = self._load_cached_trace(workload)
+        if result is None:
+            result = workload.trace(scale=self.scale, seed=self.seed)
+            self._store_cached_trace(workload, result)
+            logger.info(
+                "traced %s: %s events in %.1fs",
+                workload.name, f"{len(result.stream):,}",
+                time.perf_counter() - started,
+            )
+        else:
+            logger.info("loaded cached trace for %s", workload.name)
+        upper = self.reference.build_caches(self.scale)
+        capture = CapturingMemory()
+        hierarchy = Hierarchy(upper, capture)
+        hierarchy.run(result.stream)
+        upper_stats, references = self._inject_locals(
+            [cache.stats for cache in upper], hierarchy.references
+        )
+
+        # The reference design's DRAM sees exactly the post-L3 stream.
+        ref_design = ReferenceDesign(scale=self.scale, reference=self.reference)
+        dram = ref_design.memory()
+        for chunk in capture.captured.chunks():
+            dram.process(chunk)
+        ref_stats = HierarchyStats(
+            levels=upper_stats + [dram.stats], references=references
+        )
+        ref_raw = evaluate_stats(
+            ref_design.name,
+            ref_stats,
+            ref_design.bindings(workload.info.footprint_bytes),
+        )
+        trace = WorkloadTrace(
+            workload=workload,
+            result=result,
+            upper_stats=upper_stats,
+            references=references,
+            post_l3=capture.captured,
+            ref_raw=ref_raw,
+            traced_footprint_bytes=result.stream.stats().footprint_bytes,
+        )
+        self._traces[key] = trace
+        self._design_stats[("REF", key)] = ref_stats
+        logger.info(
+            "prepared %s: %s post-L3 requests, AMAT_ref %.2f ns (%.1fs)",
+            workload.name, f"{len(capture.captured):,}",
+            ref_raw.amat_ns, time.perf_counter() - started,
+        )
+        return trace
+
+    # ------------------------------------------------------------------
+    # Design evaluation
+    # ------------------------------------------------------------------
+
+    def stats_for(self, design: MemoryDesign, workload: Workload) -> HierarchyStats:
+        """Full hierarchy statistics for a design on a workload (cached).
+
+        Runs only the design's lower levels on the cached post-L3
+        stream; the shared upper-level stats are prepended.
+        """
+        key = (design.sim_key(), workload.name)
+        if key in self._design_stats:
+            return self._design_stats[key]
+        trace = self.prepare(workload)
+        lower = design.lower_caches()
+        memory = design.memory()
+        for chunk in trace.post_l3.chunks():
+            requests = chunk
+            for cache in lower:
+                requests = cache.process(requests)
+                if len(requests) == 0:
+                    break
+            else:
+                memory.process(requests)
+        lower_stats = [cache.stats for cache in lower]
+        if isinstance(memory, PartitionedMemory):
+            memory_stats = memory.stats_list
+        else:
+            memory_stats = [memory.stats]
+        stats = HierarchyStats(
+            levels=trace.upper_stats + lower_stats + memory_stats,
+            references=trace.references,
+        )
+        self._design_stats[key] = stats
+        logger.debug("simulated %s on %s", design.sim_key(), workload.name)
+        return stats
+
+    def raw_for(self, design: MemoryDesign, workload: Workload) -> RawEvaluation:
+        """Stage-1 model outputs for a design on a workload."""
+        stats = self.stats_for(design, workload)
+        return evaluate_stats(
+            design.name, stats, design.bindings(workload.info.footprint_bytes)
+        )
+
+    def evaluate(self, design: MemoryDesign, workload: Workload) -> Evaluation:
+        """Final normalized evaluation of a design on a workload."""
+        trace = self.prepare(workload)
+        raw = self.raw_for(design, workload)
+        return finalize(raw, trace.ref_raw, workload.info.meta())
+
+    # ------------------------------------------------------------------
+    # NDM oracle
+    # ------------------------------------------------------------------
+
+    def ndm_oracle(
+        self,
+        workload: Workload,
+        nvm_tech: MemoryTechnology,
+        *,
+        coverage: float = 0.95,
+        max_ranges_per_placement: int = 1,
+        objective: str = "edp",
+    ) -> list[PlacementResult]:
+        """Run the paper's NDM placement oracle for one workload.
+
+        Profiles the traced run's hot address ranges, then enumerates
+        single-range-to-NVM placements (plus the all-candidates
+        placement), evaluating each with the full model.
+        """
+        trace = self.prepare(workload)
+        candidates = profile_ranges(
+            trace.result.stream, trace.result.tracer, coverage=coverage
+        )
+
+        def evaluate_placement(ranges: list[AddressRange]) -> Evaluation:
+            design = NDMDesign(
+                nvm_tech,
+                ranges,
+                scale=self.scale,
+                reference=self.reference,
+                name=f"NDM-{nvm_tech.name}-{workload.name}-"
+                + "-".join(r.label or hex(r.start) for r in ranges),
+            )
+            return self.evaluate(design, workload)
+
+        return enumerate_placements(
+            candidates,
+            evaluate_placement,
+            footprint_bytes=trace.traced_footprint_bytes,
+            dram_capacity_bytes=max(1, int(NDM_DRAM_CAPACITY * self.scale)),
+            max_ranges_per_placement=max_ranges_per_placement,
+            objective=objective,
+        )

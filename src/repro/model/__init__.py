@@ -1,0 +1,50 @@
+"""Performance and energy models (the paper's Equations 1–4).
+
+- :mod:`repro.model.bindings` — binds each hierarchy level to the
+  scalar parameters of its technology (delays, energies/bit, static W).
+- :mod:`repro.model.amat` — Eq. (2): average memory access time.
+- :mod:`repro.model.runtime` — Eq. (1): runtime scaling by AMAT ratio.
+- :mod:`repro.model.energy` — Eq. (3)/(4): dynamic and static energy.
+- :mod:`repro.model.edp` — energy-delay product.
+- :mod:`repro.model.evaluate` — joins everything into per-design
+  :class:`~repro.model.evaluate.Evaluation` records with normalization
+  against the reference system.
+"""
+
+from repro.model.bindings import LevelBinding
+from repro.model.amat import amat_ns, level_time_breakdown_ns
+from repro.model.runtime import scaled_runtime_s, full_run_references
+from repro.model.energy import (
+    dynamic_energy_pj,
+    dynamic_energy_breakdown_pj,
+    static_energy_j,
+    total_static_power_w,
+)
+from repro.model.edp import energy_delay_product
+from repro.model.evaluate import Evaluation, RawEvaluation, WorkloadMeta, evaluate_stats, finalize
+from repro.model.bandwidth import (
+    BandwidthReport,
+    amat_with_bandwidth_ns,
+    bandwidth_demand,
+)
+
+__all__ = [
+    "BandwidthReport",
+    "amat_with_bandwidth_ns",
+    "bandwidth_demand",
+    "LevelBinding",
+    "amat_ns",
+    "level_time_breakdown_ns",
+    "scaled_runtime_s",
+    "full_run_references",
+    "dynamic_energy_pj",
+    "dynamic_energy_breakdown_pj",
+    "static_energy_j",
+    "total_static_power_w",
+    "energy_delay_product",
+    "WorkloadMeta",
+    "RawEvaluation",
+    "Evaluation",
+    "evaluate_stats",
+    "finalize",
+]

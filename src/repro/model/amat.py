@@ -1,0 +1,59 @@
+"""Average memory access time — the paper's Equation (2).
+
+::
+
+    AMAT = Σ_i ( LoadTime_i · Loads_i + StoreTime_i · Stores_i )
+           ─────────────────────────────────────────────────────
+                        total number of references
+
+where ``Loads_i`` / ``Stores_i`` are the loads and stores *arriving at*
+level i (every reference pays L1; L1 misses additionally pay L2; and so
+on), and the denominator is the program's reference count.
+"""
+
+from __future__ import annotations
+
+from repro.cache.stats import HierarchyStats
+from repro.errors import ModelError
+from repro.model.bindings import LevelBinding
+
+
+def _binding_for(level_name: str, bindings: dict[str, LevelBinding]) -> LevelBinding:
+    try:
+        return bindings[level_name]
+    except KeyError:
+        raise ModelError(
+            f"no technology binding for hierarchy level {level_name!r}; "
+            f"bound levels: {sorted(bindings)}"
+        ) from None
+
+
+def level_time_breakdown_ns(
+    stats: HierarchyStats,
+    bindings: dict[str, LevelBinding],
+) -> dict[str, float]:
+    """Total access time spent at each level, in nanoseconds.
+
+    The numerator of Eq. (2), split per level — useful for attributing
+    where a design's time goes.
+    """
+    breakdown: dict[str, float] = {}
+    for level in stats.levels:
+        binding = _binding_for(level.name, bindings)
+        breakdown[level.name] = (
+            binding.read_ns * level.loads + binding.write_ns * level.stores
+        )
+    return breakdown
+
+
+def amat_ns(stats: HierarchyStats, bindings: dict[str, LevelBinding]) -> float:
+    """Eq. (2): average memory access time in nanoseconds.
+
+    Raises:
+        ModelError: if the run saw no references, or a level has no
+            binding.
+    """
+    if stats.references <= 0:
+        raise ModelError("cannot compute AMAT of a run with zero references")
+    total_ns = sum(level_time_breakdown_ns(stats, bindings).values())
+    return total_ns / stats.references

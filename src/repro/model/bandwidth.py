@@ -1,0 +1,128 @@
+"""Bandwidth-aware timing extension (the paper's "improving the
+modeling" future work).
+
+Equation (2) charges every access a flat device latency, which is
+accurate while queues are empty but optimistic for bandwidth-saturated
+levels (page fills move kilobytes per access). This extension adds a
+transfer term per request::
+
+    access_time = latency + bytes / bandwidth
+
+and a saturation diagnostic: the *demanded* bandwidth of a level
+(bytes moved / modeled runtime) against its peak. It deliberately stays
+an additive serial model — no queuing theory — so results remain
+directly comparable with the paper's Eq. (2) (set bandwidths to None or
+infinity to recover it exactly).
+
+Representative peak bandwidths ship in :data:`DEFAULT_BANDWIDTHS`
+(2014-era parts: DDR3-1600 channel, HMC gen2 links, on-die eDRAM ring,
+first-generation PCM/STT-RAM/FeRAM arrays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.stats import HierarchyStats
+from repro.errors import ModelError
+from repro.model.bindings import LevelBinding
+
+#: Peak bandwidths in GB/s for the technologies, by level-binding name
+#: conventions used in the designs. None = not bandwidth-limited.
+DEFAULT_BANDWIDTHS: dict[str, float] = {
+    "L1": 100.0,
+    "L2": 60.0,
+    "L3": 40.0,
+    "L4": 80.0,  # eDRAM/HMC-class
+    "DRAM": 12.8,  # one DDR3-1600 channel
+    "DRAM$": 12.8,
+    "NVM": 2.0,  # first-generation PCM-class array
+    "DRAMpart": 12.8,
+    "NVMpart": 2.0,
+}
+
+_NS_PER_BYTE_PER_GBS = 1.0  # 1 GB/s == 1 B/ns
+
+
+@dataclass(frozen=True)
+class BandwidthReport:
+    """Per-level bandwidth demand diagnostic.
+
+    Attributes:
+        level: level name.
+        demanded_gbs: bytes moved / runtime.
+        peak_gbs: configured peak (None = unconstrained).
+        utilization: demanded / peak (0.0 when unconstrained).
+    """
+
+    level: str
+    demanded_gbs: float
+    peak_gbs: float | None
+    utilization: float
+
+
+def amat_with_bandwidth_ns(
+    stats: HierarchyStats,
+    bindings: dict[str, LevelBinding],
+    bandwidths: dict[str, float] | None = None,
+) -> float:
+    """Eq. (2) plus per-request transfer time.
+
+    Args:
+        stats: hierarchy run statistics.
+        bindings: level latency/energy bindings.
+        bandwidths: level name -> peak GB/s (missing/None levels are
+            treated as unconstrained). Defaults to
+            :data:`DEFAULT_BANDWIDTHS`.
+
+    Returns:
+        AMAT in nanoseconds.
+    """
+    if stats.references <= 0:
+        raise ModelError("cannot compute AMAT of a run with zero references")
+    peaks = DEFAULT_BANDWIDTHS if bandwidths is None else bandwidths
+    total_ns = 0.0
+    for level in stats.levels:
+        try:
+            binding = bindings[level.name]
+        except KeyError:
+            raise ModelError(
+                f"no technology binding for hierarchy level {level.name!r}"
+            ) from None
+        total_ns += binding.read_ns * level.loads + binding.write_ns * level.stores
+        peak = peaks.get(level.name)
+        if peak:
+            if peak <= 0:
+                raise ModelError(f"{level.name}: bandwidth must be positive")
+            bytes_moved = (level.load_bits + level.store_bits) / 8.0
+            total_ns += bytes_moved / (peak * _NS_PER_BYTE_PER_GBS)
+    return total_ns / stats.references
+
+
+def bandwidth_demand(
+    stats: HierarchyStats,
+    runtime_s: float,
+    bandwidths: dict[str, float] | None = None,
+) -> list[BandwidthReport]:
+    """Per-level demanded bandwidth over a modeled runtime.
+
+    Flags the levels whose traffic would saturate their peak — the
+    situations where the paper's flat-latency model is optimistic.
+    """
+    if runtime_s <= 0:
+        raise ModelError("runtime must be positive")
+    peaks = DEFAULT_BANDWIDTHS if bandwidths is None else bandwidths
+    reports = []
+    for level in stats.levels:
+        bytes_moved = (level.load_bits + level.store_bits) / 8.0
+        demanded = bytes_moved / runtime_s / 1e9  # GB/s
+        peak = peaks.get(level.name)
+        reports.append(
+            BandwidthReport(
+                level=level.name,
+                demanded_gbs=demanded,
+                peak_gbs=peak,
+                utilization=demanded / peak if peak else 0.0,
+            )
+        )
+    return reports

@@ -1,0 +1,63 @@
+"""Binding hierarchy levels to technology parameters.
+
+A :class:`LevelBinding` holds the five scalars the models need for one
+*instance* of a level: read/write access time, read/write energy per
+bit, and absolute static power (density × the instance's capacity).
+Designs produce a ``dict[level_name, LevelBinding]`` covering every
+level of their hierarchy plus the terminal memory device(s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.tech.params import MemoryTechnology
+
+
+@dataclass(frozen=True)
+class LevelBinding:
+    """Technology scalars bound to one hierarchy level instance.
+
+    Attributes:
+        name: hierarchy level name this binding applies to.
+        read_ns / write_ns: per-access latency.
+        read_pj_per_bit / write_pj_per_bit: dynamic energy densities.
+        static_w: absolute static power of this level instance
+            (already multiplied by the instance's capacity).
+    """
+
+    name: str
+    read_ns: float
+    write_ns: float
+    read_pj_per_bit: float
+    write_pj_per_bit: float
+    static_w: float
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "read_ns",
+            "write_ns",
+            "read_pj_per_bit",
+            "write_pj_per_bit",
+            "static_w",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ConfigError(f"{self.name}: {field_name} must be non-negative")
+
+    @classmethod
+    def from_technology(
+        cls,
+        name: str,
+        tech: MemoryTechnology,
+        capacity_bytes: int,
+    ) -> "LevelBinding":
+        """Bind a Table 1 technology at a given instance capacity."""
+        return cls(
+            name=name,
+            read_ns=tech.read_delay_ns,
+            write_ns=tech.write_delay_ns,
+            read_pj_per_bit=tech.read_energy_pj_per_bit,
+            write_pj_per_bit=tech.write_energy_pj_per_bit,
+            static_w=tech.static_power_w(capacity_bytes),
+        )

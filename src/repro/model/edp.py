@@ -1,0 +1,22 @@
+"""Energy-delay product.
+
+The paper compares designs that trade runtime against energy using
+EDP = (dynamic + static energy) × runtime: "two configurations would be
+equivalent in terms of EDP if one is faster but uses a proportionally
+higher amount of energy."
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+
+
+def energy_delay_product(energy_j: float, time_s: float) -> float:
+    """EDP in joule-seconds.
+
+    Raises:
+        ModelError: on negative inputs.
+    """
+    if energy_j < 0 or time_s < 0:
+        raise ModelError("energy and time must be non-negative")
+    return energy_j * time_s

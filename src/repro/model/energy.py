@@ -1,0 +1,63 @@
+"""Energy models — the paper's Equations (3) and (4).
+
+Dynamic energy (Eq. 3) charges every load/store at every level its
+technology's per-bit energy times the bits it moved::
+
+    E_dyn = Σ_i ( E_load_i · Loads_i + E_store_i · Stores_i )
+
+with our per-bit formulation ``E_load_i · Loads_i`` becomes
+``read_pj_per_bit_i × load_bits_i`` (the simulator tracks the exact bit
+volumes, so page-size effects — "less bits will be accessed" — fall out
+naturally).
+
+Static energy (Eq. 4) is time × the summed static power of every level
+(SRAM leakage, DRAM/eDRAM background + refresh; zero for NVM)::
+
+    E_static = T · Σ_i P_static_i
+"""
+
+from __future__ import annotations
+
+from repro.cache.stats import HierarchyStats
+from repro.errors import ModelError
+from repro.model.bindings import LevelBinding
+
+
+def dynamic_energy_breakdown_pj(
+    stats: HierarchyStats,
+    bindings: dict[str, LevelBinding],
+) -> dict[str, float]:
+    """Eq. (3) numerator split per level, in picojoules (traced run)."""
+    breakdown: dict[str, float] = {}
+    for level in stats.levels:
+        try:
+            binding = bindings[level.name]
+        except KeyError:
+            raise ModelError(
+                f"no technology binding for hierarchy level {level.name!r}"
+            ) from None
+        breakdown[level.name] = (
+            binding.read_pj_per_bit * level.load_bits
+            + binding.write_pj_per_bit * level.store_bits
+        )
+    return breakdown
+
+
+def dynamic_energy_pj(
+    stats: HierarchyStats,
+    bindings: dict[str, LevelBinding],
+) -> float:
+    """Eq. (3): total dynamic energy of the traced run, picojoules."""
+    return sum(dynamic_energy_breakdown_pj(stats, bindings).values())
+
+
+def total_static_power_w(bindings: dict[str, LevelBinding]) -> float:
+    """Σ P_static over all bound levels, watts."""
+    return sum(b.static_w for b in bindings.values())
+
+
+def static_energy_j(duration_s: float, bindings: dict[str, LevelBinding]) -> float:
+    """Eq. (4): static energy over the run, joules."""
+    if duration_s < 0:
+        raise ModelError("duration must be non-negative")
+    return duration_s * total_static_power_w(bindings)

@@ -1,0 +1,183 @@
+"""End-to-end evaluation of a design on a workload.
+
+The pipeline is two-stage, mirroring the paper's methodology:
+
+1. :func:`evaluate_stats` reduces a hierarchy run to a
+   :class:`RawEvaluation` — AMAT, traced dynamic energy, static power.
+   These depend only on the design and the traced stream.
+2. :func:`finalize` joins a raw evaluation with the *reference system's*
+   raw evaluation of the same stream and the workload's Table 4
+   metadata, producing absolute runtime (Eq. 1), full-run dynamic
+   energy, static energy (Eq. 4), total energy, and EDP — plus the
+   normalized ratios the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.stats import HierarchyStats
+from repro.errors import ModelError
+from repro.model.amat import amat_ns
+from repro.model.bindings import LevelBinding
+from repro.model.edp import energy_delay_product
+from repro.model.energy import (
+    dynamic_energy_pj,
+    total_static_power_w,
+)
+from repro.model.runtime import full_run_references, scaled_runtime_s
+from repro.units import J_PER_PJ
+
+
+@dataclass(frozen=True)
+class WorkloadMeta:
+    """Workload metadata consumed by the models (the paper's Table 4).
+
+    Attributes:
+        name: workload name.
+        footprint_bytes: full-size memory footprint per core (sizes the
+            baseline DRAM and the NVM main memory for static power).
+        t_ref_s: measured wall-clock time on the reference system.
+    """
+
+    name: str
+    footprint_bytes: int
+    t_ref_s: float
+
+    def __post_init__(self) -> None:
+        if self.footprint_bytes <= 0:
+            raise ModelError(f"{self.name}: footprint must be positive")
+        if self.t_ref_s <= 0:
+            raise ModelError(f"{self.name}: reference time must be positive")
+
+
+@dataclass(frozen=True)
+class RawEvaluation:
+    """Stream-dependent model outputs for one (design, workload) pair.
+
+    Attributes:
+        design_name: label of the evaluated design/configuration.
+        stats: the hierarchy run statistics.
+        amat_ns: Eq. (2) result.
+        dynamic_pj_traced: Eq. (3) over the *traced* run only.
+        static_power_w: Σ static power of the design's levels.
+    """
+
+    design_name: str
+    stats: HierarchyStats
+    amat_ns: float
+    dynamic_pj_traced: float
+    static_power_w: float
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """Final absolute + normalized results for one design on one workload.
+
+    Attributes:
+        design_name / workload: labels.
+        time_s: Eq. (1) estimated runtime.
+        dynamic_j: full-run dynamic energy (traced energy upscaled by
+            the full-run:traced reference-count ratio).
+        static_j: Eq. (4).
+        energy_j: dynamic + static.
+        edp_js: energy × time.
+        amat_ns: the design's AMAT.
+        time_norm / energy_norm / dynamic_norm / static_norm / edp_norm:
+            ratios against the reference system (1.0 = parity; the
+            quantities the paper's Figures 1–8 plot).
+    """
+
+    design_name: str
+    workload: str
+    time_s: float
+    dynamic_j: float
+    static_j: float
+    energy_j: float
+    edp_js: float
+    amat_ns: float
+    time_norm: float
+    energy_norm: float
+    dynamic_norm: float
+    static_norm: float
+    edp_norm: float
+
+    @property
+    def time_overhead_pct(self) -> float:
+        """Runtime overhead vs reference, percent (negative = faster)."""
+        return (self.time_norm - 1.0) * 100.0
+
+    @property
+    def energy_saving_pct(self) -> float:
+        """Energy saving vs reference, percent (negative = overhead)."""
+        return (1.0 - self.energy_norm) * 100.0
+
+
+def evaluate_stats(
+    design_name: str,
+    stats: HierarchyStats,
+    bindings: dict[str, LevelBinding],
+) -> RawEvaluation:
+    """Stage 1: reduce a hierarchy run to model quantities."""
+    return RawEvaluation(
+        design_name=design_name,
+        stats=stats,
+        amat_ns=amat_ns(stats, bindings),
+        dynamic_pj_traced=dynamic_energy_pj(stats, bindings),
+        static_power_w=total_static_power_w(bindings),
+    )
+
+
+def finalize(
+    raw: RawEvaluation,
+    ref: RawEvaluation,
+    meta: WorkloadMeta,
+) -> Evaluation:
+    """Stage 2: absolute runtime/energy and normalization vs reference.
+
+    Args:
+        raw: the design's raw evaluation.
+        ref: the *reference system's* raw evaluation of the same traced
+            stream (pass the same object twice to evaluate the reference
+            itself).
+        meta: workload Table 4 metadata.
+    """
+    if raw.stats.references != ref.stats.references:
+        raise ModelError(
+            "design and reference were evaluated on different streams: "
+            f"{raw.stats.references} vs {ref.stats.references} references"
+        )
+    time_s = scaled_runtime_s(meta.t_ref_s, raw.amat_ns, ref.amat_ns)
+    n_full = full_run_references(meta.t_ref_s, ref.amat_ns)
+    upscale = n_full / raw.stats.references
+    dynamic_j = raw.dynamic_pj_traced * upscale * J_PER_PJ
+    static_j = time_s * raw.static_power_w
+    energy_j = dynamic_j + static_j
+
+    # Reference absolute quantities (for normalization).
+    ref_time_s = meta.t_ref_s
+    ref_dynamic_j = ref.dynamic_pj_traced * upscale * J_PER_PJ
+    ref_static_j = ref_time_s * ref.static_power_w
+    ref_energy_j = ref_dynamic_j + ref_static_j
+
+    def ratio(x: float, y: float) -> float:
+        return x / y if y > 0 else float("inf") if x > 0 else 1.0
+
+    return Evaluation(
+        design_name=raw.design_name,
+        workload=meta.name,
+        time_s=time_s,
+        dynamic_j=dynamic_j,
+        static_j=static_j,
+        energy_j=energy_j,
+        edp_js=energy_delay_product(energy_j, time_s),
+        amat_ns=raw.amat_ns,
+        time_norm=ratio(time_s, ref_time_s),
+        energy_norm=ratio(energy_j, ref_energy_j),
+        dynamic_norm=ratio(dynamic_j, ref_dynamic_j),
+        static_norm=ratio(static_j, ref_static_j),
+        edp_norm=ratio(
+            energy_delay_product(energy_j, time_s),
+            energy_delay_product(ref_energy_j, ref_time_s),
+        ),
+    )

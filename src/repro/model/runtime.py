@@ -1,0 +1,40 @@
+"""Runtime scaling — the paper's Equation (1).
+
+::
+
+    T_design = T_ref · AMAT_design / AMAT_ref
+
+The model treats the workloads as memory-bound (the paper selects
+data-intensive problem sizes for exactly this reason), so wall-clock
+time scales with the average memory access time.
+
+A corollary used by the energy model: if the full reference run takes
+``T_ref`` at ``AMAT_ref`` per reference, the full run issues
+
+    N_full = T_ref / AMAT_ref
+
+references. Dividing by the traced reference count gives the factor by
+which traced dynamic energy must be scaled to a full-run estimate,
+keeping dynamic and static energy commensurable.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.units import S_PER_NS
+
+
+def scaled_runtime_s(t_ref_s: float, amat_design_ns: float, amat_ref_ns: float) -> float:
+    """Eq. (1): the design's estimated wall-clock runtime in seconds."""
+    if t_ref_s < 0:
+        raise ModelError("reference runtime must be non-negative")
+    if amat_ref_ns <= 0:
+        raise ModelError("reference AMAT must be positive")
+    return t_ref_s * (amat_design_ns / amat_ref_ns)
+
+
+def full_run_references(t_ref_s: float, amat_ref_ns: float) -> float:
+    """Number of references the full (untraced) reference run issues."""
+    if amat_ref_ns <= 0:
+        raise ModelError("reference AMAT must be positive")
+    return t_ref_s / (amat_ref_ns * S_PER_NS)

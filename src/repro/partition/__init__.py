@@ -1,0 +1,37 @@
+"""NDM address-space partitioning (the paper's oracle methodology).
+
+"the data placement is determined by identifying, in the application, a
+contiguous range of addresses that accounts for the bulk of the memory
+references. We have identified address ranges referenced by different
+basic blocks, and then merged ranges close to each other. ... we placed
+an address range to NVM at a time, and the rest to DRAM."
+
+- :mod:`repro.partition.ranges` — address-range algebra.
+- :mod:`repro.partition.profiler` — hot-range identification from a
+  traced run (regions play the role of the paper's per-basic-block
+  ranges) with close-range merging.
+- :mod:`repro.partition.oracle` — enumerates single-range-to-NVM
+  placements, models each, and returns them ranked (the oracle).
+"""
+
+from repro.partition.ranges import AddressRange, merge_close_ranges, total_span
+from repro.partition.profiler import RangeProfile, profile_ranges
+from repro.partition.oracle import PlacementResult, enumerate_placements
+from repro.partition.dynamic import (
+    DynamicPlan,
+    PhasePlacement,
+    plan_dynamic_partition,
+)
+
+__all__ = [
+    "AddressRange",
+    "merge_close_ranges",
+    "total_span",
+    "RangeProfile",
+    "profile_ranges",
+    "PlacementResult",
+    "enumerate_placements",
+    "DynamicPlan",
+    "PhasePlacement",
+    "plan_dynamic_partition",
+]

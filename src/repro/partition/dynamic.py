@@ -1,0 +1,237 @@
+"""Phase-aware dynamic partitioning — the paper's stated future work.
+
+"Further investigation should explore dynamic partitioning, that may
+change between computation phases, and take access patterns into
+account." (Section VI.)
+
+This module implements that investigation over the same substrate:
+
+1. the post-L3 memory request stream is split into equal *phases*;
+2. each phase is profiled per candidate range (loads, stores, bits);
+3. per phase, a greedy knapsack places the ranges with the highest
+   traffic density (accesses per byte) into the DRAM partition until
+   its capacity is exhausted — "frequently accessed and updated objects
+   are stored in DRAM, while the rest are stored in NVM";
+4. ranges that switch device between phases pay a migration cost (a
+   full read from the old device + write to the new one);
+5. the dynamic plan's memory-subsystem time/energy is compared against
+   the best *static* plan chosen by the same greedy rule over the whole
+   stream.
+
+The evaluation is analytic over the phase profiles (the routing of a
+terminal partition does not change hit rates upstream, so no
+re-simulation is needed — the same property the NDM oracle exploits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.partition.profiler import RangeProfile, _count_range_traffic
+from repro.partition.ranges import AddressRange
+from repro.tech.params import MemoryTechnology
+from repro.trace.filters import split_windows
+from repro.trace.stream import AddressStream
+
+
+@dataclass(frozen=True)
+class PhasePlacement:
+    """Placement decision for one phase.
+
+    Attributes:
+        phase: phase index.
+        dram_ranges: ranges resident in DRAM during the phase.
+        nvm_ranges: ranges resident in NVM.
+        time_ns: modeled memory access time of the phase's traffic.
+        energy_pj: modeled dynamic energy of the phase's traffic.
+        migrated_bytes: bytes moved to realize this placement from the
+            previous phase's.
+    """
+
+    phase: int
+    dram_ranges: tuple[AddressRange, ...]
+    nvm_ranges: tuple[AddressRange, ...]
+    time_ns: float
+    energy_pj: float
+    migrated_bytes: int
+
+
+@dataclass
+class DynamicPlan:
+    """Result of a dynamic-partitioning analysis.
+
+    Attributes:
+        phases: per-phase placements (with migration accounting).
+        static_time_ns / static_energy_pj: the best static placement's
+            totals over the same stream, for comparison.
+        dynamic_time_ns / dynamic_energy_pj: the dynamic plan's totals,
+            including migration costs.
+    """
+
+    phases: list[PhasePlacement] = field(default_factory=list)
+    static_time_ns: float = 0.0
+    static_energy_pj: float = 0.0
+    dynamic_time_ns: float = 0.0
+    dynamic_energy_pj: float = 0.0
+
+    @property
+    def time_gain(self) -> float:
+        """static/dynamic time ratio (>1 = dynamic wins)."""
+        return (
+            self.static_time_ns / self.dynamic_time_ns
+            if self.dynamic_time_ns
+            else 1.0
+        )
+
+    @property
+    def energy_gain(self) -> float:
+        """static/dynamic energy ratio (>1 = dynamic wins)."""
+        return (
+            self.static_energy_pj / self.dynamic_energy_pj
+            if self.dynamic_energy_pj
+            else 1.0
+        )
+
+
+def _traffic_cost(
+    profile: RangeProfile, tech: MemoryTechnology
+) -> tuple[float, float]:
+    """(time_ns, energy_pj) of serving a profile from one technology."""
+    time_ns = (
+        profile.loads * tech.read_delay_ns + profile.stores * tech.write_delay_ns
+    )
+    energy_pj = (
+        profile.load_bytes * 8 * tech.read_energy_pj_per_bit
+        + profile.store_bytes * 8 * tech.write_energy_pj_per_bit
+    )
+    return time_ns, energy_pj
+
+
+def _greedy_placement(
+    profiles: list[RangeProfile], dram_capacity: int
+) -> tuple[tuple[AddressRange, ...], tuple[AddressRange, ...]]:
+    """Greedy knapsack: hottest-per-byte ranges into DRAM first."""
+    order = sorted(
+        profiles,
+        key=lambda p: p.references / max(1, p.range.size),
+        reverse=True,
+    )
+    dram: list[AddressRange] = []
+    nvm: list[AddressRange] = []
+    used = 0
+    for profile in order:
+        if used + profile.range.size <= dram_capacity:
+            dram.append(profile.range)
+            used += profile.range.size
+        else:
+            nvm.append(profile.range)
+    return tuple(dram), tuple(nvm)
+
+
+def _placement_cost(
+    profiles: list[RangeProfile],
+    dram_ranges: tuple[AddressRange, ...],
+    dram_tech: MemoryTechnology,
+    nvm_tech: MemoryTechnology,
+) -> tuple[float, float]:
+    dram_set = set(dram_ranges)
+    time_ns = energy_pj = 0.0
+    for profile in profiles:
+        tech = dram_tech if profile.range in dram_set else nvm_tech
+        t, e = _traffic_cost(profile, tech)
+        time_ns += t
+        energy_pj += e
+    return time_ns, energy_pj
+
+
+def _migration_cost(
+    moved: list[AddressRange],
+    src: MemoryTechnology,
+    dst: MemoryTechnology,
+    line_size: int,
+) -> tuple[float, float, int]:
+    """Cost of copying ranges: read every line from src, write to dst."""
+    time_ns = energy_pj = 0.0
+    total_bytes = 0
+    for r in moved:
+        lines = (r.size + line_size - 1) // line_size
+        total_bytes += r.size
+        time_ns += lines * (src.read_delay_ns + dst.write_delay_ns)
+        energy_pj += r.size * 8 * (
+            src.read_energy_pj_per_bit + dst.write_energy_pj_per_bit
+        )
+    return time_ns, energy_pj, total_bytes
+
+
+def plan_dynamic_partition(
+    memory_stream: AddressStream,
+    candidates: list[AddressRange],
+    *,
+    dram_tech: MemoryTechnology,
+    nvm_tech: MemoryTechnology,
+    dram_capacity: int,
+    n_phases: int = 4,
+    line_size: int = 64,
+) -> DynamicPlan:
+    """Build and evaluate a phase-aware placement plan.
+
+    Args:
+        memory_stream: requests reaching main memory (post-L3 stream).
+        candidates: placement-unit ranges (e.g. from
+            :func:`repro.partition.profiler.profile_ranges`).
+        dram_tech / nvm_tech: the partition technologies.
+        dram_capacity: DRAM partition capacity in bytes (same address
+            scale as the stream).
+        n_phases: number of equal phases.
+        line_size: migration copy granularity.
+
+    Returns:
+        The :class:`DynamicPlan` with the static baseline included.
+    """
+    if not candidates:
+        raise ConfigError("dynamic partitioning needs candidate ranges")
+    if n_phases <= 0:
+        raise ConfigError("n_phases must be positive")
+
+    # Static baseline: greedy over the whole stream.
+    whole_profiles = _count_range_traffic(memory_stream, candidates)
+    static_dram, _ = _greedy_placement(whole_profiles, dram_capacity)
+    static_time, static_energy = _placement_cost(
+        whole_profiles, static_dram, dram_tech, nvm_tech
+    )
+
+    plan = DynamicPlan(
+        static_time_ns=static_time, static_energy_pj=static_energy
+    )
+
+    previous_dram: set[AddressRange] = set(static_dram)
+    total_time = total_energy = 0.0
+    for phase, window in enumerate(split_windows(memory_stream, n_phases)):
+        profiles = _count_range_traffic(window, candidates)
+        dram_ranges, nvm_ranges = _greedy_placement(profiles, dram_capacity)
+        time_ns, energy_pj = _placement_cost(
+            profiles, dram_ranges, dram_tech, nvm_tech
+        )
+        # Migration: ranges entering DRAM copy NVM->DRAM and vice versa.
+        entering = [r for r in dram_ranges if r not in previous_dram]
+        leaving = [r for r in previous_dram if r not in set(dram_ranges)]
+        t_in, e_in, b_in = _migration_cost(entering, nvm_tech, dram_tech, line_size)
+        t_out, e_out, b_out = _migration_cost(leaving, dram_tech, nvm_tech, line_size)
+        plan.phases.append(
+            PhasePlacement(
+                phase=phase,
+                dram_ranges=dram_ranges,
+                nvm_ranges=nvm_ranges,
+                time_ns=time_ns + t_in + t_out,
+                energy_pj=energy_pj + e_in + e_out,
+                migrated_bytes=b_in + b_out,
+            )
+        )
+        total_time += time_ns + t_in + t_out
+        total_energy += energy_pj + e_in + e_out
+        previous_dram = set(dram_ranges)
+
+    plan.dynamic_time_ns = total_time
+    plan.dynamic_energy_pj = total_energy
+    return plan

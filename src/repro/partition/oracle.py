@@ -1,0 +1,115 @@
+"""The NDM placement oracle.
+
+The paper evaluates the NDM design under an oracle that statically
+partitions the address space: "we placed an address range to NVM at a
+time, and the rest to DRAM. Among the permutations tested..." — i.e.
+single-range placements are enumerated and each is evaluated with the
+full performance/energy model.
+
+:func:`enumerate_placements` reproduces that procedure. It is agnostic
+of the evaluation machinery: the caller supplies an ``evaluate``
+callable (the experiment runner wires it to the shared post-L3 stream
+and the model), and the oracle handles enumeration, capacity
+feasibility, and ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, Sequence
+
+from repro.errors import ConfigError
+from repro.model.evaluate import Evaluation
+from repro.partition.profiler import RangeProfile
+from repro.partition.ranges import AddressRange, total_span
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """One evaluated placement of ranges into NVM.
+
+    Attributes:
+        nvm_ranges: the ranges placed in NVM (empty = all-DRAM).
+        evaluation: model results for the placement.
+        dram_bytes_required: footprint bytes left to the DRAM partition.
+        feasible: True iff the DRAM partition can hold the non-NVM data.
+    """
+
+    nvm_ranges: tuple[AddressRange, ...]
+    evaluation: Evaluation
+    dram_bytes_required: int
+    feasible: bool
+
+    @property
+    def label(self) -> str:
+        """Human-readable placement description."""
+        if not self.nvm_ranges:
+            return "all-DRAM"
+        return "NVM<-{" + ", ".join(r.label or hex(r.start) for r in self.nvm_ranges) + "}"
+
+
+def enumerate_placements(
+    candidates: Sequence[RangeProfile],
+    evaluate: Callable[[list[AddressRange]], Evaluation],
+    *,
+    footprint_bytes: int,
+    dram_capacity_bytes: int,
+    max_ranges_per_placement: int = 1,
+    include_all_nvm: bool = True,
+    objective: str = "edp",
+) -> list[PlacementResult]:
+    """Enumerate and rank placements of candidate ranges into NVM.
+
+    Args:
+        candidates: profiled candidate ranges (hottest first, from
+            :func:`repro.partition.profiler.profile_ranges`).
+        evaluate: maps a list of NVM ranges to a model
+            :class:`~repro.model.evaluate.Evaluation`.
+        footprint_bytes: the traced run's footprint — used with the
+            range sizes to compute the DRAM-partition requirement.
+        dram_capacity_bytes: DRAM partition capacity (same address
+            scale as the trace).
+        max_ranges_per_placement: enumerate subsets of up to this many
+            ranges (1 reproduces the paper's one-range-at-a-time
+            procedure).
+        include_all_nvm: also evaluate placing *all* candidates in NVM
+            (the capacity-maximizing extreme).
+        objective: "edp", "time", or "energy" — ranking key among
+            feasible placements (infeasible ones sort last).
+
+    Returns:
+        Placements sorted best-first by the objective.
+    """
+    if objective not in ("edp", "time", "energy"):
+        raise ConfigError(f"unknown objective {objective!r}")
+    if max_ranges_per_placement < 1:
+        raise ConfigError("max_ranges_per_placement must be >= 1")
+
+    placements: list[tuple[AddressRange, ...]] = []
+    ranges = [c.range for c in candidates]
+    for k in range(1, min(max_ranges_per_placement, len(ranges)) + 1):
+        placements.extend(tuple(combo) for combo in combinations(ranges, k))
+    if include_all_nvm and len(ranges) > max_ranges_per_placement:
+        placements.append(tuple(ranges))
+
+    results: list[PlacementResult] = []
+    for placement in placements:
+        nvm_bytes = total_span(list(placement))
+        dram_required = max(0, footprint_bytes - nvm_bytes)
+        results.append(
+            PlacementResult(
+                nvm_ranges=placement,
+                evaluation=evaluate(list(placement)),
+                dram_bytes_required=dram_required,
+                feasible=dram_required <= dram_capacity_bytes,
+            )
+        )
+
+    key = {
+        "edp": lambda r: r.evaluation.edp_js,
+        "time": lambda r: r.evaluation.time_s,
+        "energy": lambda r: r.evaluation.energy_j,
+    }[objective]
+    results.sort(key=lambda r: (not r.feasible, key(r)))
+    return results

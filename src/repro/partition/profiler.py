@@ -1,0 +1,148 @@
+"""Hot address-range identification from a traced run.
+
+Maps the paper's methodology onto our instrumentation: each traced
+region (one logical data structure) plays the role of a "range
+referenced by different basic blocks". The profiler measures each
+region's share of the memory references, keeps the ranges that together
+account for the bulk of them, and merges ranges that are close in the
+address space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.partition.ranges import AddressRange, merge_close_ranges
+from repro.trace.stream import AddressStream
+from repro.trace.tracer import REGION_ALIGN, Tracer
+
+#: Minimum gap the bump allocator leaves between regions (one guard page).
+REGION_GUARD_GAP: int = REGION_ALIGN
+
+
+@dataclass(frozen=True)
+class RangeProfile:
+    """Reference traffic attributed to one candidate range.
+
+    Attributes:
+        range: the address range.
+        loads / stores: accesses that fell inside the range.
+        load_bytes / store_bytes: byte volumes of those accesses.
+    """
+
+    range: AddressRange
+    loads: int
+    stores: int
+    load_bytes: int
+    store_bytes: int
+
+    @property
+    def references(self) -> int:
+        """Total accesses inside the range."""
+        return self.loads + self.stores
+
+    @property
+    def store_fraction(self) -> float:
+        """Store share of the range's accesses (write-hotness)."""
+        return self.stores / self.references if self.references else 0.0
+
+
+def _count_range_traffic(
+    stream: AddressStream, ranges: list[AddressRange]
+) -> list[RangeProfile]:
+    """One pass over the stream accumulating per-range counters."""
+    n = len(ranges)
+    loads = np.zeros(n, dtype=np.int64)
+    stores = np.zeros(n, dtype=np.int64)
+    load_bytes = np.zeros(n, dtype=np.int64)
+    store_bytes = np.zeros(n, dtype=np.int64)
+    starts = np.array([r.start for r in ranges], dtype=np.uint64)
+    ends = np.array([r.end for r in ranges], dtype=np.uint64)
+    for chunk in stream.chunks():
+        addr = chunk.addresses
+        is_store = chunk.is_store != 0
+        sizes = chunk.sizes.astype(np.int64)
+        for i in range(n):
+            mask = (addr >= starts[i]) & (addr < ends[i])
+            if not mask.any():
+                continue
+            sm = mask & is_store
+            lm = mask & ~is_store
+            loads[i] += int(np.count_nonzero(lm))
+            stores[i] += int(np.count_nonzero(sm))
+            load_bytes[i] += int(sizes[lm].sum())
+            store_bytes[i] += int(sizes[sm].sum())
+    return [
+        RangeProfile(
+            range=ranges[i],
+            loads=int(loads[i]),
+            stores=int(stores[i]),
+            load_bytes=int(load_bytes[i]),
+            store_bytes=int(store_bytes[i]),
+        )
+        for i in range(n)
+    ]
+
+
+def profile_ranges(
+    stream: AddressStream,
+    tracer: Tracer,
+    *,
+    coverage: float = 0.95,
+    merge_gap: int = REGION_GUARD_GAP - 1,
+    max_ranges: int = 8,
+) -> list[RangeProfile]:
+    """Identify the candidate placement ranges of a traced run.
+
+    Args:
+        stream: the traced address stream.
+        tracer: the tracer that ran the workload (provides the region
+            map — the paper's per-basic-block address ranges).
+        coverage: keep the fewest hottest regions covering at least this
+            fraction of all references before merging.
+        merge_gap: merge surviving ranges closer than this many bytes
+            ("merged ranges close to each other"). The default is just
+            below the allocator's guard-page gap, so each logical data
+            structure stays its own placement candidate; pass a larger
+            gap to coalesce structures allocated together.
+        max_ranges: hard cap on the number of candidate ranges (the
+            paper typically found 2–3 per workload).
+
+    Returns:
+        Profiles of the merged candidate ranges, hottest first.
+    """
+    if not 0 < coverage <= 1:
+        raise ConfigError("coverage must be in (0, 1]")
+    if max_ranges < 1:
+        raise ConfigError("max_ranges must be at least 1")
+    if not tracer.regions:
+        return []
+    region_ranges = [
+        AddressRange(region.base, region.end, region.name)
+        for region in tracer.regions
+    ]
+    profiles = _count_range_traffic(stream, region_ranges)
+    total = sum(p.references for p in profiles)
+    if total == 0:
+        return []
+    # Keep the hottest regions until the coverage target is met.
+    profiles.sort(key=lambda p: p.references, reverse=True)
+    kept: list[RangeProfile] = []
+    covered = 0
+    for profile in profiles:
+        if covered >= coverage * total and kept:
+            break
+        if profile.references == 0:
+            break
+        kept.append(profile)
+        covered += profile.references
+    # Merge close ranges, then re-profile the merged ranges so their
+    # traffic counters include everything the merged span covers.
+    merged = merge_close_ranges([p.range for p in kept], merge_gap)
+    merged = merged[:max_ranges]
+    result = _count_range_traffic(stream, merged)
+    result.sort(key=lambda p: p.references, reverse=True)
+    return result

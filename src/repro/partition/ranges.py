@@ -1,0 +1,89 @@
+"""Address-range algebra for partitioned memory placement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class AddressRange:
+    """A half-open byte-address interval ``[start, end)``.
+
+    Attributes:
+        start: first byte address.
+        end: one past the last byte address.
+        label: human-readable provenance (e.g. region names merged into
+            this range).
+    """
+
+    start: int
+    end: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ConfigError(f"empty address range [{self.start}, {self.end})")
+
+    @property
+    def size(self) -> int:
+        """Range size in bytes."""
+        return self.end - self.start
+
+    def contains(self, address: int) -> bool:
+        """True iff ``address`` is inside the range."""
+        return self.start <= address < self.end
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        """True iff the two ranges share any address."""
+        return self.start < other.end and other.start < self.end
+
+    def gap_to(self, other: "AddressRange") -> int:
+        """Bytes between the two ranges (0 if adjacent or overlapping)."""
+        if self.overlaps(other):
+            return 0
+        if self.end <= other.start:
+            return other.start - self.end
+        return self.start - other.end
+
+    def merge(self, other: "AddressRange") -> "AddressRange":
+        """Smallest range covering both (labels joined with '+')."""
+        label = "+".join(part for part in (self.label, other.label) if part)
+        return AddressRange(
+            min(self.start, other.start), max(self.end, other.end), label
+        )
+
+
+def merge_close_ranges(
+    ranges: list[AddressRange], max_gap: int
+) -> list[AddressRange]:
+    """Merge ranges whose gap is at most ``max_gap`` bytes.
+
+    This is the paper's "merged ranges close to each other" step: data
+    structures allocated back-to-back behave as one placement unit.
+
+    Args:
+        ranges: input ranges in any order.
+        max_gap: maximum gap (bytes) across which to merge.
+
+    Returns:
+        Non-overlapping ranges sorted by start address.
+    """
+    if max_gap < 0:
+        raise ConfigError("max_gap must be non-negative")
+    if not ranges:
+        return []
+    ordered = sorted(ranges, key=lambda r: r.start)
+    merged = [ordered[0]]
+    for current in ordered[1:]:
+        if merged[-1].gap_to(current) <= max_gap:
+            merged[-1] = merged[-1].merge(current)
+        else:
+            merged.append(current)
+    return merged
+
+
+def total_span(ranges: list[AddressRange]) -> int:
+    """Total bytes covered by a list of non-overlapping ranges."""
+    return sum(r.size for r in ranges)

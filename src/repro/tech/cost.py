@@ -1,0 +1,159 @@
+"""Memory-system cost modeling (the paper's deferred TCO factor).
+
+"We have not factored in the cost (e.g. total cost of ownership)" —
+Section VI. This module adds a first-order version:
+
+- capital cost: $/GB per technology (2014-era street/projected prices;
+  NVM's density advantage is its entire value proposition);
+- operating cost: energy drawn over a service life at a $/kWh rate;
+- per-design totals from the design's level capacities and the model's
+  energy estimate.
+
+Prices are config data, not physics — override ``PRICE_PER_GB`` entries
+to study other price points (e.g. projected PCM cost crossover).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ModelError
+from repro.units import GiB
+
+if TYPE_CHECKING:  # avoid a tech <-> model import cycle at runtime
+    from repro.model.evaluate import Evaluation
+
+#: 2014-era planning prices, $ per GB. DRAM/NAND were market prices;
+#: PCM/STT-RAM/FeRAM are the contemporaneous projections used in
+#: cost studies (PCM between NAND and DRAM; STT-RAM/FeRAM at low
+#: volume far above DRAM); eDRAM/HMC carry an integration premium.
+PRICE_PER_GB: dict[str, float] = {
+    "DRAM": 8.0,
+    "PCM": 4.0,
+    "STTRAM": 40.0,
+    "FeRAM": 60.0,
+    "eDRAM": 80.0,
+    "HMC": 30.0,
+}
+
+#: Default electricity price, $ per kWh (US industrial, ~2014).
+DOLLARS_PER_KWH: float = 0.10
+
+_J_PER_KWH: float = 3.6e6
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Capital + energy cost of one design running one workload mix.
+
+    Attributes:
+        capital_dollars: memory purchase cost of the design.
+        energy_dollars: electricity for the modeled runs over the
+            amortization window.
+        total_dollars: capital + energy.
+        cost_performance: total dollars × normalized runtime (lower is
+            better; an EDP-like blended figure of merit).
+    """
+
+    capital_dollars: float
+    energy_dollars: float
+    total_dollars: float
+    cost_performance: float
+
+
+def memory_capital_cost(capacities_gb: dict[str, float]) -> float:
+    """Capital cost of a set of memory devices.
+
+    Args:
+        capacities_gb: technology name -> capacity in GB.
+
+    Raises:
+        ModelError: for unknown technologies (so typos never price at
+            zero silently).
+    """
+    total = 0.0
+    for name, capacity_gb in capacities_gb.items():
+        if capacity_gb < 0:
+            raise ModelError(f"negative capacity for {name}")
+        key = _price_key(name)
+        total += PRICE_PER_GB[key] * capacity_gb
+    return total
+
+
+def _price_key(name: str) -> str:
+    for key in PRICE_PER_GB:
+        if key.lower() == name.lower():
+            return key
+    raise ModelError(
+        f"no price for technology {name!r}; known: {sorted(PRICE_PER_GB)}"
+    )
+
+
+def estimate_cost(
+    evaluation: Evaluation,
+    capacities_gb: dict[str, float],
+    *,
+    runs_amortized: float = 1e6,
+    dollars_per_kwh: float = DOLLARS_PER_KWH,
+) -> CostEstimate:
+    """Blend a design's capital cost with its modeled energy cost.
+
+    Args:
+        evaluation: the model's absolute energy/runtime for one run.
+        capacities_gb: the design's device capacities by technology.
+        runs_amortized: number of workload runs to amortize the capital
+            cost over (a service-life proxy).
+        dollars_per_kwh: electricity price.
+    """
+    if runs_amortized <= 0:
+        raise ModelError("runs_amortized must be positive")
+    capital = memory_capital_cost(capacities_gb)
+    energy_dollars = (
+        evaluation.energy_j * runs_amortized / _J_PER_KWH * dollars_per_kwh
+    )
+    total = capital + energy_dollars
+    return CostEstimate(
+        capital_dollars=capital,
+        energy_dollars=energy_dollars,
+        total_dollars=total,
+        cost_performance=total * evaluation.time_norm,
+    )
+
+
+def design_capacities_gb(design, footprint_bytes: int) -> dict[str, float]:
+    """Device capacities (GB) of a design instance, for costing.
+
+    Uses the same full-size capacities the static-power model charges:
+    footprint-sized main memories, configured cache/partition sizes.
+    """
+    from repro.designs.fourlc import FourLCDesign
+    from repro.designs.fourlcnvm import FourLCNVMDesign
+    from repro.designs.ndm import NDMDesign
+    from repro.designs.nmm import NMMDesign
+    from repro.designs.reference import ReferenceDesign
+
+    footprint_gb = footprint_bytes / GiB
+    if isinstance(design, ReferenceDesign):
+        return {"DRAM": footprint_gb}
+    if isinstance(design, FourLCDesign):
+        return {
+            design.cache_tech.name: design.config.capacity / GiB,
+            "DRAM": footprint_gb,
+        }
+    if isinstance(design, NMMDesign):
+        return {
+            "DRAM": design.config.dram_capacity / GiB,
+            design.nvm_tech.name: footprint_gb,
+        }
+    if isinstance(design, FourLCNVMDesign):
+        return {
+            design.cache_tech.name: design.config.capacity / GiB,
+            design.nvm_tech.name: footprint_gb,
+        }
+    if isinstance(design, NDMDesign):
+        return {
+            "DRAM": design.dram_capacity / GiB,
+            design.nvm_tech.name: footprint_gb,
+        }
+    raise ModelError(f"no costing rule for design type {type(design).__name__}")

@@ -1,0 +1,173 @@
+"""Technology parameters — the paper's Table 1.
+
+Read/write delays and per-bit access energies are the published values
+(CACTI for DRAM/eDRAM, an HMC prototype, ITRS 2013 for PCM/STT-RAM,
+ISSCC FeRAM literature). The static/refresh power column of Table 1 is
+referenced by the text but its values are not legible in the published
+copy, so static power densities are derived in
+:mod:`repro.tech.dram_power` (DRAM-family refresh/background) and set to
+zero for the non-volatile technologies, as the paper states ("we assume
+that the NVM memory technologies do not have any static power").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MemoryTechnology:
+    """Characterization of one memory technology.
+
+    Attributes:
+        name: technology label as used in the paper.
+        read_delay_ns: latency of a read access, nanoseconds.
+        write_delay_ns: latency of a write access, nanoseconds.
+        read_energy_pj_per_bit: dynamic energy per bit read.
+        write_energy_pj_per_bit: dynamic energy per bit written.
+        static_mw_per_mb: static (background + refresh) power density.
+            Zero for non-volatile technologies per the paper.
+        volatile: True for DRAM-family technologies needing refresh.
+    """
+
+    name: str
+    read_delay_ns: float
+    write_delay_ns: float
+    read_energy_pj_per_bit: float
+    write_energy_pj_per_bit: float
+    static_mw_per_mb: float
+    volatile: bool
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "read_delay_ns",
+            "write_delay_ns",
+            "read_energy_pj_per_bit",
+            "write_energy_pj_per_bit",
+            "static_mw_per_mb",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ConfigError(f"{self.name}: {field_name} must be non-negative")
+
+    @property
+    def write_read_latency_ratio(self) -> float:
+        """Write/read latency asymmetry (1.0 = symmetric)."""
+        return self.write_delay_ns / self.read_delay_ns if self.read_delay_ns else 1.0
+
+    @property
+    def write_read_energy_ratio(self) -> float:
+        """Write/read energy asymmetry (1.0 = symmetric)."""
+        if not self.read_energy_pj_per_bit:
+            return 1.0
+        return self.write_energy_pj_per_bit / self.read_energy_pj_per_bit
+
+    def static_power_w(self, capacity_bytes: int) -> float:
+        """Static power of a device of the given capacity, watts."""
+        return self.static_mw_per_mb * (capacity_bytes / (1024 * 1024)) / 1000.0
+
+    def with_static_density(self, static_mw_per_mb: float) -> "MemoryTechnology":
+        """Copy with a different static power density."""
+        return replace(self, static_mw_per_mb=static_mw_per_mb)
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — Characteristics of different memory technologies
+# (delays in ns, energies in pJ/bit, verbatim from the paper)
+# ---------------------------------------------------------------------------
+
+# Static densities: see repro.tech.dram_power for the derivations of the
+# DRAM-family values (Micron power-calculator methodology).
+_DRAM_STATIC_MW_PER_MB = 1.0  # ~1 W/GB background + refresh (DDR3 RDIMM)
+_EDRAM_STATIC_MW_PER_MB = 1.0  # on-die eDRAM: short retention, dense refresh
+_HMC_STATIC_MW_PER_MB = 1.0  # stacked DRAM: refresh + always-on logic base
+
+DRAM = MemoryTechnology(
+    name="DRAM",
+    read_delay_ns=10.0,
+    write_delay_ns=10.0,
+    read_energy_pj_per_bit=10.0,
+    write_energy_pj_per_bit=10.0,
+    static_mw_per_mb=_DRAM_STATIC_MW_PER_MB,
+    volatile=True,
+)
+
+PCM = MemoryTechnology(
+    name="PCM",
+    read_delay_ns=21.0,
+    write_delay_ns=100.0,
+    read_energy_pj_per_bit=12.4,
+    write_energy_pj_per_bit=210.3,
+    static_mw_per_mb=0.0,
+    volatile=False,
+)
+
+STTRAM = MemoryTechnology(
+    name="STTRAM",
+    read_delay_ns=35.0,
+    write_delay_ns=35.0,
+    read_energy_pj_per_bit=58.5,
+    write_energy_pj_per_bit=67.7,
+    static_mw_per_mb=0.0,
+    volatile=False,
+)
+
+FERAM = MemoryTechnology(
+    name="FeRAM",
+    read_delay_ns=40.0,
+    write_delay_ns=65.0,
+    read_energy_pj_per_bit=12.4,
+    write_energy_pj_per_bit=210.0,
+    static_mw_per_mb=0.0,
+    volatile=False,
+)
+
+EDRAM = MemoryTechnology(
+    name="eDRAM",
+    read_delay_ns=4.4,
+    write_delay_ns=4.4,
+    read_energy_pj_per_bit=3.11,
+    write_energy_pj_per_bit=3.09,
+    static_mw_per_mb=_EDRAM_STATIC_MW_PER_MB,
+    volatile=True,
+)
+
+HMC = MemoryTechnology(
+    name="HMC",
+    read_delay_ns=0.18,
+    write_delay_ns=0.18,
+    read_energy_pj_per_bit=0.48,
+    write_energy_pj_per_bit=10.48,
+    static_mw_per_mb=_HMC_STATIC_MW_PER_MB,
+    volatile=True,
+)
+
+#: All Table 1 technologies, keyed by lower-case name.
+TECHNOLOGIES: dict[str, MemoryTechnology] = {
+    tech.name.lower(): tech for tech in (DRAM, PCM, STTRAM, FERAM, EDRAM, HMC)
+}
+
+
+def get_technology(name: str) -> MemoryTechnology:
+    """Look up a technology by (case-insensitive) name.
+
+    Raises:
+        KeyError: for unknown technologies, listing the known ones.
+    """
+    key = name.lower()
+    if key not in TECHNOLOGIES:
+        raise KeyError(
+            f"unknown technology {name!r}; known: {sorted(TECHNOLOGIES)}"
+        )
+    return TECHNOLOGIES[key]
+
+
+def nvm_technologies() -> list[MemoryTechnology]:
+    """The non-volatile main-memory candidates evaluated by the paper."""
+    return [PCM, STTRAM, FERAM]
+
+
+def volatile_cache_technologies() -> list[MemoryTechnology]:
+    """The volatile fourth-level-cache candidates."""
+    return [EDRAM, HMC]

@@ -1,0 +1,62 @@
+"""Hypothetical technologies by parameter scaling.
+
+Figures 9 and 10 of the paper generalize the study: instead of one
+named technology, main-memory read/write latency and energy are swept
+as multiples of DRAM's, producing heat maps of runtime and energy.
+:func:`scaled_technology` builds those hypothetical technology points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import ConfigError
+from repro.tech.params import MemoryTechnology
+
+
+def scaled_technology(
+    base: MemoryTechnology,
+    *,
+    read_latency_x: float = 1.0,
+    write_latency_x: float = 1.0,
+    read_energy_x: float = 1.0,
+    write_energy_x: float = 1.0,
+    static_x: float = 1.0,
+    name: str | None = None,
+) -> MemoryTechnology:
+    """A copy of ``base`` with parameters multiplied by the given factors.
+
+    Args:
+        base: technology to scale (the heat maps scale DRAM).
+        read_latency_x / write_latency_x: latency multipliers.
+        read_energy_x / write_energy_x: per-bit energy multipliers.
+        static_x: static power density multiplier (the heat maps model
+            NVM, so they pass 0 to zero out refresh).
+        name: optional label; defaults to an annotated base name.
+
+    Returns:
+        The scaled :class:`~repro.tech.params.MemoryTechnology`.
+    """
+    for label, factor in (
+        ("read_latency_x", read_latency_x),
+        ("write_latency_x", write_latency_x),
+        ("read_energy_x", read_energy_x),
+        ("write_energy_x", write_energy_x),
+        ("static_x", static_x),
+    ):
+        if factor < 0:
+            raise ConfigError(f"{label} must be non-negative, got {factor}")
+    label = name or (
+        f"{base.name}[rl×{read_latency_x:g},wl×{write_latency_x:g},"
+        f"re×{read_energy_x:g},we×{write_energy_x:g}]"
+    )
+    return replace(
+        base,
+        name=label,
+        read_delay_ns=base.read_delay_ns * read_latency_x,
+        write_delay_ns=base.write_delay_ns * write_latency_x,
+        read_energy_pj_per_bit=base.read_energy_pj_per_bit * read_energy_x,
+        write_energy_pj_per_bit=base.write_energy_pj_per_bit * write_energy_x,
+        static_mw_per_mb=base.static_mw_per_mb * static_x,
+        volatile=base.volatile if static_x > 0 else False,
+    )

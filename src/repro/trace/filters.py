@@ -1,0 +1,146 @@
+"""Stream transforms: windowing, sampling, region filtering.
+
+Utilities over :class:`~repro.trace.stream.AddressStream` used by the
+phase-aware partitioning study and generally handy when slicing traces.
+All transforms preserve event order and are deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.stream import AddressStream
+
+
+def split_windows(stream: AddressStream, n_windows: int) -> list[AddressStream]:
+    """Split a stream into ``n_windows`` equal consecutive windows.
+
+    The last window absorbs the remainder. Empty windows are returned
+    as empty streams (a stream shorter than ``n_windows`` yields some).
+    """
+    if n_windows <= 0:
+        raise TraceError("n_windows must be positive")
+    total = len(stream)
+    window_len = max(1, total // n_windows)
+    # Window i covers global event indices [i*len, (i+1)*len), with the
+    # final window extended to the end of the stream.
+    bounds = [i * window_len for i in range(n_windows)] + [total]
+    windows = [AddressStream() for _ in range(n_windows)]
+    position = 0
+    for chunk in stream.chunks():
+        chunk_start, chunk_end = position, position + len(chunk)
+        for i in range(n_windows):
+            lo = max(bounds[i], chunk_start)
+            hi = min(bounds[i + 1], chunk_end)
+            if lo < hi:
+                sub = chunk.slice(lo - chunk_start, hi - chunk_start)
+                windows[i].append(sub.addresses, sub.sizes, sub.is_store)
+        position = chunk_end
+    return windows
+
+
+def sample_stream(stream: AddressStream, keep_every: int) -> AddressStream:
+    """Keep every ``keep_every``-th event (systematic sampling).
+
+    Useful to bound the cost of expensive analyses (reuse distance) on
+    long traces; cache simulation should consume full streams.
+    """
+    if keep_every <= 0:
+        raise TraceError("keep_every must be positive")
+    out = AddressStream()
+    offset = 0
+    for chunk in stream.chunks():
+        idx = np.arange((-offset) % keep_every, len(chunk), keep_every)
+        if len(idx):
+            out.append(
+                chunk.addresses[idx], chunk.sizes[idx], chunk.is_store[idx]
+            )
+        offset = (offset + len(chunk)) % keep_every
+    return out
+
+
+def filter_range(
+    stream: AddressStream, start: int, end: int, invert: bool = False
+) -> AddressStream:
+    """Keep only accesses inside (or, inverted, outside) ``[start, end)``."""
+    if end <= start:
+        raise TraceError("empty filter range")
+    out = AddressStream()
+    for chunk in stream.chunks():
+        mask = (chunk.addresses >= np.uint64(start)) & (
+            chunk.addresses < np.uint64(end)
+        )
+        if invert:
+            mask = ~mask
+        if mask.any():
+            out.append(
+                chunk.addresses[mask], chunk.sizes[mask], chunk.is_store[mask]
+            )
+    return out
+
+
+def loads_only(stream: AddressStream) -> AddressStream:
+    """Strip stores from a stream."""
+    return _filter_kind(stream, 0)
+
+
+def stores_only(stream: AddressStream) -> AddressStream:
+    """Strip loads from a stream."""
+    return _filter_kind(stream, 1)
+
+
+def interleave_streams(
+    streams: list[AddressStream], granule: int = 256
+) -> AddressStream:
+    """Round-robin interleave several streams (multiprogrammed mix).
+
+    Models the reference stream a shared cache level sees when several
+    cores run different programs: ``granule`` consecutive events from
+    each stream in turn, until all are exhausted. Callers interleaving
+    workloads should ensure their address spaces are disjoint (each
+    Tracer allocates from the same base) — offset the streams first if
+    they are not.
+    """
+    if not streams:
+        raise TraceError("interleave needs at least one stream")
+    if granule <= 0:
+        raise TraceError("granule must be positive")
+    out = AddressStream()
+    batches = [s.as_batch() for s in streams]
+    positions = [0] * len(streams)
+    remaining = sum(len(b) for b in batches)
+    while remaining:
+        for i, batch in enumerate(batches):
+            lo = positions[i]
+            if lo >= len(batch):
+                continue
+            hi = min(lo + granule, len(batch))
+            sub = batch.slice(lo, hi)
+            out.append(sub.addresses, sub.sizes, sub.is_store)
+            positions[i] = hi
+            remaining -= hi - lo
+    return out
+
+
+def offset_stream(stream: AddressStream, offset: int) -> AddressStream:
+    """Shift every address by ``offset`` bytes (disjoint mixes)."""
+    if offset < 0:
+        raise TraceError("offset must be non-negative")
+    out = AddressStream()
+    for chunk in stream.chunks():
+        out.append(
+            chunk.addresses + np.uint64(offset), chunk.sizes, chunk.is_store
+        )
+    return out
+
+
+def _filter_kind(stream: AddressStream, kind: int) -> AddressStream:
+    out = AddressStream()
+    for chunk in stream.chunks():
+        mask = chunk.is_store == kind
+        if mask.any():
+            out.append(
+                chunk.addresses[mask], chunk.sizes[mask], chunk.is_store[mask]
+            )
+    return out

@@ -1,0 +1,104 @@
+"""Stream and region-map serialization.
+
+Traces are expensive to produce (the workload actually runs), so the
+runner can persist them: streams as compressed ``.npz`` (struct-of-
+arrays, loads back bit-exact) and the tracer's region map as JSON next
+to it. A saved pair is enough to re-run every design evaluation and
+the NDM oracle without re-executing the workload.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.stream import AddressStream
+from repro.trace.tracer import Region, Tracer
+
+#: Format marker stored in every stream file.
+_FORMAT_VERSION = 1
+
+
+def save_stream(stream: AddressStream, path: str | Path) -> None:
+    """Write a stream to ``path`` (.npz, compressed)."""
+    batch = stream.as_batch()
+    np.savez_compressed(
+        Path(path),
+        version=np.int64(_FORMAT_VERSION),
+        addresses=batch.addresses,
+        sizes=batch.sizes,
+        is_store=batch.is_store,
+    )
+
+
+def load_stream(path: str | Path) -> AddressStream:
+    """Read a stream written by :func:`save_stream`.
+
+    Raises:
+        TraceError: for missing files or unknown formats.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"no stream file at {path}")
+    with np.load(path) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise TraceError(
+                f"unsupported stream format version {version} in {path}"
+            )
+        return AddressStream.from_arrays(
+            data["addresses"], data["sizes"], data["is_store"]
+        )
+
+
+def save_regions(tracer: Tracer, path: str | Path) -> None:
+    """Write a tracer's region map to ``path`` (JSON)."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "regions": [
+            {"name": r.name, "base": r.base, "size": r.size}
+            for r in tracer.regions
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_regions(path: str | Path) -> list[Region]:
+    """Read a region map written by :func:`save_regions`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"no region file at {path}")
+    payload = json.loads(path.read_text())
+    if payload.get("version") != _FORMAT_VERSION:
+        raise TraceError(f"unsupported region format in {path}")
+    return [
+        Region(name=entry["name"], base=entry["base"], size=entry["size"])
+        for entry in payload["regions"]
+    ]
+
+
+def save_trace(stream: AddressStream, tracer: Tracer, directory: str | Path,
+               name: str) -> tuple[Path, Path]:
+    """Persist a (stream, regions) pair under ``directory/name.*``.
+
+    Returns the two paths written.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stream_path = directory / f"{name}.stream.npz"
+    regions_path = directory / f"{name}.regions.json"
+    save_stream(stream, stream_path)
+    save_regions(tracer, regions_path)
+    return stream_path, regions_path
+
+
+def load_trace(directory: str | Path, name: str) -> tuple[AddressStream, list[Region]]:
+    """Load a pair written by :func:`save_trace`."""
+    directory = Path(directory)
+    return (
+        load_stream(directory / f"{name}.stream.npz"),
+        load_regions(directory / f"{name}.regions.json"),
+    )

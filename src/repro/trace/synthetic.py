@@ -1,0 +1,162 @@
+"""Synthetic address-stream generators.
+
+These produce streams with controlled locality signatures. They are used
+by the test suite (known-answer cache behaviour), by the generalization
+heat-map harness, and as lightweight stand-ins when exploring the design
+space without running a full workload kernel.
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.stream import AddressStream
+
+
+def _rng(seed: int | None) -> np.random.Generator:
+    return np.random.default_rng(0 if seed is None else seed)
+
+
+def sequential_stream(
+    n_events: int,
+    *,
+    base: int = 0x1000_0000,
+    access_size: int = 8,
+    store_fraction: float = 0.0,
+    seed: int | None = None,
+) -> AddressStream:
+    """A unit-stride sweep: address ``base + i * access_size``.
+
+    Maximal spatial locality; every cache with line size > access_size
+    hits on all but one access per line.
+    """
+    return strided_stream(
+        n_events,
+        stride=access_size,
+        base=base,
+        access_size=access_size,
+        store_fraction=store_fraction,
+        seed=seed,
+    )
+
+
+def strided_stream(
+    n_events: int,
+    *,
+    stride: int,
+    base: int = 0x1000_0000,
+    access_size: int = 8,
+    store_fraction: float = 0.0,
+    seed: int | None = None,
+) -> AddressStream:
+    """A fixed-stride sweep: address ``base + i * stride``.
+
+    With stride >= line size, every access misses a cold cache: the
+    classic worst case for spatial locality.
+    """
+    if n_events < 0:
+        raise TraceError("n_events must be non-negative")
+    if stride <= 0:
+        raise TraceError("stride must be positive")
+    idx = np.arange(n_events, dtype=np.uint64)
+    addrs = np.uint64(base) + idx * np.uint64(stride)
+    kinds = _kinds(n_events, store_fraction, seed)
+    return AddressStream.from_arrays(addrs, access_size, kinds)
+
+
+def random_stream(
+    n_events: int,
+    *,
+    footprint_bytes: int,
+    base: int = 0x1000_0000,
+    access_size: int = 8,
+    store_fraction: float = 0.0,
+    seed: int | None = None,
+) -> AddressStream:
+    """Uniform random accesses over a footprint of the given size.
+
+    Temporal locality is entirely determined by the footprint:capacity
+    ratio — the canonical capacity-stress pattern.
+    """
+    if footprint_bytes < access_size:
+        raise TraceError("footprint must be at least one access in size")
+    rng = _rng(seed)
+    slots = footprint_bytes // access_size
+    idx = rng.integers(0, slots, size=n_events, dtype=np.uint64)
+    addrs = np.uint64(base) + idx * np.uint64(access_size)
+    kinds = _kinds(n_events, store_fraction, seed)
+    return AddressStream.from_arrays(addrs, access_size, kinds)
+
+
+def zipf_stream(
+    n_events: int,
+    *,
+    footprint_bytes: int,
+    alpha: float = 1.2,
+    base: int = 0x1000_0000,
+    access_size: int = 8,
+    store_fraction: float = 0.0,
+    seed: int | None = None,
+) -> AddressStream:
+    """Zipf-skewed accesses: a hot subset is touched far more often.
+
+    Models the skewed reuse of data-intensive workloads (graph
+    frontiers, hash-table hot buckets).
+    """
+    if alpha <= 1.0:
+        raise TraceError("zipf alpha must be > 1.0")
+    rng = _rng(seed)
+    slots = max(1, footprint_bytes // access_size)
+    raw = rng.zipf(alpha, size=n_events)
+    idx = np.minimum(raw, slots).astype(np.uint64) - np.uint64(1)
+    # Scatter ranks over the footprint so the hot set is not one dense
+    # prefix (which line granularity would otherwise compact for free).
+    perm_seed = _rng(seed).integers(0, 2**31)
+    scatter = np.random.default_rng(int(perm_seed)).permutation(slots).astype(np.uint64)
+    addrs = np.uint64(base) + scatter[idx.astype(np.int64)] * np.uint64(access_size)
+    kinds = _kinds(n_events, store_fraction, seed)
+    return AddressStream.from_arrays(addrs, access_size, kinds)
+
+
+def pointer_chase_stream(
+    n_events: int,
+    *,
+    footprint_bytes: int,
+    base: int = 0x1000_0000,
+    node_size: int = 64,
+    seed: int | None = None,
+) -> AddressStream:
+    """A random-cycle pointer chase: each access depends on the last.
+
+    All loads; the permutation cycle covers the whole footprint, so with
+    footprint > capacity every access misses (latency-bound worst case).
+    """
+    rng = _rng(seed)
+    nodes = max(2, footprint_bytes // node_size)
+    perm = rng.permutation(nodes)
+    # next_node[perm[i]] = perm[i+1] builds one big cycle.
+    next_node = np.empty(nodes, dtype=np.int64)
+    next_node[perm[:-1]] = perm[1:]
+    next_node[perm[-1]] = perm[0]
+    path = np.empty(n_events, dtype=np.uint64)
+    node = int(perm[0])
+    for i in range(n_events):
+        path[i] = node
+        node = int(next_node[node])
+    addrs = np.uint64(base) + path * np.uint64(node_size)
+    return AddressStream.from_arrays(addrs, 8, 0)
+
+
+def _kinds(n: int, store_fraction: float, seed: int | None) -> np.ndarray:
+    """Deterministic store-flag vector with the requested store mix."""
+    if not 0.0 <= store_fraction <= 1.0:
+        raise TraceError("store_fraction must be within [0, 1]")
+    if store_fraction == 0.0:
+        return np.zeros(n, dtype=np.uint8)
+    if store_fraction == 1.0:
+        return np.ones(n, dtype=np.uint8)
+    rng = _rng(seed)
+    return (rng.random(n) < store_fraction).astype(np.uint8)

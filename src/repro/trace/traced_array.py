@@ -1,0 +1,184 @@
+"""Instrumented arrays: every load/store is recorded with its address.
+
+:class:`TracedArray` wraps a NumPy array allocated inside a tracer's
+simulated address space. Element reads and writes through ``[]`` are
+recorded as load/store events at exact byte addresses, in the order a
+loop nest would touch them (C order of the selection). This is the
+workload-facing instrumentation API — the analog of PEBIL's automatic
+instrumentation of memory-referencing instructions.
+
+Workload kernels read with ``a[idx]`` and write with ``a[idx] = v``;
+both accept the full NumPy indexing language (scalars, slices, fancy
+index arrays, boolean masks, multi-dimensional tuples) and the recorded
+addresses are always correct because indices are resolved through a
+flat index map rather than re-deriving stride arithmetic per case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.tracer import Region, Tracer
+
+
+class TracedArray:
+    """An ndarray whose element accesses are recorded by a tracer.
+
+    Construct via :meth:`allocate` or :meth:`from_data` (or the
+    :meth:`repro.trace.tracer.Tracer.array` convenience).
+
+    Attributes:
+        data: the underlying ndarray (access it directly for *untraced*
+            reads/writes, e.g. result verification).
+        region: the simulated address-space region backing the array.
+        tracer: the owning tracer.
+    """
+
+    __slots__ = ("data", "region", "tracer", "_index_map")
+
+    def __init__(self, data: np.ndarray, region: Region, tracer: Tracer) -> None:
+        if data.nbytes > region.size:
+            raise TraceError(
+                f"array of {data.nbytes} bytes does not fit region "
+                f"{region.name!r} of {region.size} bytes"
+            )
+        if not data.flags.c_contiguous:
+            raise TraceError("TracedArray requires a C-contiguous array")
+        self.data = data
+        self.region = region
+        self.tracer = tracer
+        self._index_map: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def allocate(
+        cls,
+        tracer: Tracer,
+        name: str,
+        shape,
+        dtype=np.float64,
+        fill=None,
+    ) -> "TracedArray":
+        """Allocate a region and a zero/fill-initialized array in it."""
+        data = np.zeros(shape, dtype=dtype)
+        if fill is not None:
+            data[...] = fill
+        region = tracer.allocate(name, data.nbytes)
+        return cls(data, region, tracer)
+
+    @classmethod
+    def from_data(cls, tracer: Tracer, name: str, data: np.ndarray) -> "TracedArray":
+        """Wrap a copy of an existing array (contiguous, decoupled from
+        the caller's buffer)."""
+        data = np.array(data, order="C", copy=True)
+        region = tracer.allocate(name, data.nbytes)
+        return cls(data, region, tracer)
+
+    # ------------------------------------------------------------------
+    # ndarray-ish surface
+    # ------------------------------------------------------------------
+
+    @property
+    def shape(self):
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def dtype(self):
+        """dtype of the underlying array."""
+        return self.data.dtype
+
+    @property
+    def size(self) -> int:
+        """Element count of the underlying array."""
+        return self.data.size
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per element."""
+        return self.data.itemsize
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TracedArray({self.region.name!r}, shape={self.data.shape}, "
+            f"dtype={self.data.dtype}, base=0x{self.region.base:x})"
+        )
+
+    # ------------------------------------------------------------------
+    # Address resolution
+    # ------------------------------------------------------------------
+
+    def _flat_indices(self, key) -> np.ndarray:
+        """Flat element indices selected by ``key``, in C order.
+
+        Uses a cached index map so every NumPy indexing form resolves to
+        exact flat offsets without reimplementing indexing semantics.
+        """
+        if self._index_map is None:
+            self._index_map = np.arange(self.data.size, dtype=np.int64).reshape(
+                self.data.shape
+            )
+        selected = self._index_map[key]
+        return np.atleast_1d(np.asarray(selected)).ravel()
+
+    def addresses_of(self, key) -> np.ndarray:
+        """Byte addresses of the elements selected by ``key``."""
+        flat = self._flat_indices(key)
+        return (
+            np.uint64(self.region.base)
+            + flat.astype(np.uint64) * np.uint64(self.data.itemsize)
+        )
+
+    # ------------------------------------------------------------------
+    # Traced access
+    # ------------------------------------------------------------------
+
+    def __getitem__(self, key):
+        """Traced load: records one load per selected element."""
+        if self.tracer.enabled:
+            self.tracer.record_loads(self.addresses_of(key), self.data.itemsize)
+        return self.data[key]
+
+    def __setitem__(self, key, value) -> None:
+        """Traced store: records one store per selected element."""
+        if self.tracer.enabled:
+            self.tracer.record_stores(self.addresses_of(key), self.data.itemsize)
+        self.data[key] = value
+
+    def load(self, key):
+        """Alias of ``self[key]`` for call sites where the traced nature
+        should be visually explicit."""
+        return self[key]
+
+    def store(self, key, value) -> None:
+        """Alias of ``self[key] = value``."""
+        self[key] = value
+
+    def accumulate(self, key, value) -> None:
+        """Traced read-modify-write: ``self[key] += value``.
+
+        Records a load followed by a store per element, which is what
+        the corresponding machine code performs.
+        """
+        if self.tracer.enabled:
+            addrs = self.addresses_of(key)
+            self.tracer.record_loads(addrs, self.data.itemsize)
+            self.tracer.record_stores(addrs, self.data.itemsize)
+        self.data[key] += value
+
+    def touch_all(self, is_store: bool = False) -> None:
+        """Record a sequential sweep over the whole array (one access per
+        element) without moving any data. Useful for modeling phases
+        like result write-out."""
+        if not self.tracer.enabled:
+            return
+        flat = np.arange(self.data.size, dtype=np.uint64)
+        addrs = np.uint64(self.region.base) + flat * np.uint64(self.data.itemsize)
+        self.tracer.record(addrs, self.data.itemsize, int(is_store))

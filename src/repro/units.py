@@ -1,0 +1,96 @@
+"""Unit helpers and conversions used throughout the package.
+
+The simulator mixes several unit systems (bytes/KiB/MiB for capacities,
+nanoseconds for device delays, picojoules-per-bit for access energies,
+milliwatts for static power, seconds/joules for whole-application
+results). Centralizing the constants keeps the model code legible and
+prevents silent unit mistakes.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Capacities (binary prefixes, as used by the paper's tables)
+# ---------------------------------------------------------------------------
+
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+NS_PER_S: float = 1e9
+S_PER_NS: float = 1e-9
+
+# ---------------------------------------------------------------------------
+# Energy
+# ---------------------------------------------------------------------------
+
+PJ_PER_J: float = 1e12
+J_PER_PJ: float = 1e-12
+
+# ---------------------------------------------------------------------------
+# Power
+# ---------------------------------------------------------------------------
+
+MW_PER_W: float = 1e3
+W_PER_MW: float = 1e-3
+
+BITS_PER_BYTE: int = 8
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True iff ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Exact integer log2 of a power of two.
+
+    Raises:
+        ValueError: if ``value`` is not a positive power of two.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"{value!r} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def format_bytes(n: int | float) -> str:
+    """Human-readable capacity string (binary prefixes): 64 -> '64B',
+    16 * MiB -> '16MB' (the paper uses MB to mean MiB)."""
+    n = int(n)
+    if n >= GiB and n % GiB == 0:
+        return f"{n // GiB}GB"
+    if n >= MiB and n % MiB == 0:
+        return f"{n // MiB}MB"
+    if n >= KiB and n % KiB == 0:
+        return f"{n // KiB}KB"
+    return f"{n}B"
+
+
+def parse_bytes(text: str) -> int:
+    """Parse a capacity string like '64B', '512KB', '16MB', '4GB'.
+
+    Binary prefixes are assumed (matching the paper's usage).
+
+    Raises:
+        ValueError: if the string is not a recognized capacity.
+    """
+    s = text.strip().upper()
+    multipliers = {"GB": GiB, "MB": MiB, "KB": KiB, "B": 1}
+    for suffix, mult in multipliers.items():
+        if s.endswith(suffix):
+            number = s[: -len(suffix)].strip()
+            if not number:
+                break
+            try:
+                value = float(number)
+            except ValueError:
+                break
+            result = value * mult
+            if result != int(result) or result <= 0:
+                raise ValueError(f"capacity must be a positive whole number of bytes: {text!r}")
+            return int(result)
+    raise ValueError(f"unrecognized capacity string: {text!r}")

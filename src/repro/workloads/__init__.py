@@ -1,0 +1,41 @@
+"""HPC and data-intensive workload kernels (the paper's Table 4).
+
+Every workload is a real, tested implementation of its benchmark's core
+algorithm, instrumented with :class:`~repro.trace.TracedArray` so its
+execution emits the address stream the simulator consumes:
+
+- NPB: :mod:`~repro.workloads.cg` (conjugate gradient),
+  :mod:`~repro.workloads.bt` (block tridiagonal),
+  :mod:`~repro.workloads.sp` (scalar pentadiagonal),
+  :mod:`~repro.workloads.lu` (SSOR).
+- CORAL: :mod:`~repro.workloads.amg` (algebraic multigrid),
+  :mod:`~repro.workloads.graph500` (Kronecker BFS),
+  :mod:`~repro.workloads.hashing` (integer hashing).
+- Applications: :mod:`~repro.workloads.velvet` (de Bruijn assembly).
+
+Workloads are scale-aware: ``trace(scale)`` shrinks the problem so the
+traced footprint is ``scale`` × the Table 4 footprint, matching the
+capacity scaling of the hierarchy configs (DESIGN.md §4).
+"""
+
+from repro.workloads.base import TraceResult, Workload, WorkloadInfo
+from repro.workloads.registry import (
+    SUITE,
+    get_workload,
+    workload_names,
+)
+from repro.workloads.mixes import MixedWorkload
+from repro.workloads.npb_classes import at_npb_class
+from repro.workloads.synthetic import SyntheticWorkload
+
+__all__ = [
+    "Workload",
+    "WorkloadInfo",
+    "TraceResult",
+    "SUITE",
+    "get_workload",
+    "workload_names",
+    "MixedWorkload",
+    "SyntheticWorkload",
+    "at_npb_class",
+]

@@ -1,0 +1,74 @@
+"""NPB problem-class scaling.
+
+The NAS Parallel Benchmarks define problem classes (S, W, A–E) whose
+sizes grow roughly 16× per letter from A upward. The paper runs class D
+(class C for LU); this module lets any NPB workload be instantiated at
+a different class, scaling both the footprint and the reference runtime
+consistently (the workloads are memory-bound, so runtime tracks the
+footprint to first order).
+
+Usage::
+
+    from repro.workloads.cg import CGWorkload
+    from repro.workloads.npb_classes import at_npb_class
+
+    cg_class_b = at_npb_class(CGWorkload(), "B")
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import replace
+
+from repro.errors import ConfigError
+from repro.workloads.base import Workload
+
+#: Footprint factors relative to class D (the published NPB growth is
+#: ~16x per class from A to D; S and W are small validation sizes).
+CLASS_FACTORS: dict[str, float] = {
+    "S": 1.0 / 65536,
+    "W": 1.0 / 16384,
+    "A": 1.0 / 4096,
+    "B": 1.0 / 256,
+    "C": 1.0 / 16,
+    "D": 1.0,
+    "E": 16.0,
+}
+
+
+def class_factor(from_class: str, to_class: str) -> float:
+    """Footprint ratio between two NPB classes.
+
+    Raises:
+        ConfigError: for unknown class letters.
+    """
+    for letter in (from_class, to_class):
+        if letter not in CLASS_FACTORS:
+            raise ConfigError(
+                f"unknown NPB class {letter!r}; known: {sorted(CLASS_FACTORS)}"
+            )
+    return CLASS_FACTORS[to_class] / CLASS_FACTORS[from_class]
+
+
+def at_npb_class(workload: Workload, npb_class: str) -> Workload:
+    """A copy of an NPB workload re-sized to another class.
+
+    The footprint and reference runtime scale by the class factor; the
+    inputs string is rewritten. Only meaningful for the NPB workloads
+    (whose ``inputs`` is a class designation), but harmless elsewhere.
+    """
+    current = workload.info.inputs.split(":")[-1].strip() or "D"
+    if current not in CLASS_FACTORS:
+        raise ConfigError(
+            f"{workload.name}: cannot parse NPB class from inputs "
+            f"{workload.info.inputs!r}"
+        )
+    factor = class_factor(current, npb_class)
+    clone = copy.copy(workload)
+    clone.info = replace(
+        workload.info,
+        footprint_gb=workload.info.footprint_gb * factor,
+        t_ref_s=workload.info.t_ref_s * factor,
+        inputs=f"Class: {npb_class}",
+    )
+    return clone

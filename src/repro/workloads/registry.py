@@ -1,0 +1,48 @@
+"""Workload suite registry (Table 4).
+
+``SUITE`` maps workload names to factory callables so experiment code
+can enumerate the benchmark set without importing every module
+explicitly; :func:`get_workload` builds a fresh instance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads.amg import AMGWorkload
+from repro.workloads.base import Workload
+from repro.workloads.bt import BTWorkload
+from repro.workloads.cg import CGWorkload
+from repro.workloads.graph500 import Graph500Workload
+from repro.workloads.hashing import HashingWorkload
+from repro.workloads.lu import LUWorkload
+from repro.workloads.sp import SPWorkload
+from repro.workloads.velvet import VelvetWorkload
+
+#: All workloads of the evaluation, keyed by Table 4 name.
+SUITE: dict[str, Callable[[], Workload]] = {
+    "BT": BTWorkload,
+    "SP": SPWorkload,
+    "LU": LUWorkload,
+    "CG": CGWorkload,
+    "AMG2013": AMGWorkload,
+    "Graph500": Graph500Workload,
+    "Hashing": HashingWorkload,
+    "Velvet": VelvetWorkload,
+}
+
+
+def workload_names() -> list[str]:
+    """Names of the full suite, in Table 4 order."""
+    return list(SUITE)
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate a workload by name.
+
+    Raises:
+        KeyError: for unknown names, listing the suite.
+    """
+    if name not in SUITE:
+        raise KeyError(f"unknown workload {name!r}; suite: {list(SUITE)}")
+    return SUITE[name]()

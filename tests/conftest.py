@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite.
+
+Tests run at tiny scales (``TINY_SCALE``) so the whole suite stays
+fast; the benchmarks exercise the default experiment scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.mainmem import MainMemory
+from repro.cache.setassoc import SetAssociativeCache
+from repro.designs.base import ReferenceSystem
+from repro.experiments.runner import Runner
+from repro.trace.stream import AddressStream
+from repro.units import KiB
+
+#: Footprint/capacity scale used throughout the tests.
+TINY_SCALE = 1.0 / 4096
+
+
+@pytest.fixture
+def tiny_scale() -> float:
+    """Scale factor for fast tests."""
+    return TINY_SCALE
+
+
+@pytest.fixture
+def runner() -> Runner:
+    """An experiment runner at test scale."""
+    return Runner(scale=TINY_SCALE, seed=7)
+
+
+@pytest.fixture
+def small_cache() -> SetAssociativeCache:
+    """A 4 KiB, 4-way, 64 B-line LRU cache (16 sets)."""
+    return SetAssociativeCache(CacheConfig("T", 4 * KiB, 4, 64))
+
+
+@pytest.fixture
+def memory() -> MainMemory:
+    """A fresh terminal memory."""
+    return MainMemory("MEM")
+
+
+@pytest.fixture
+def reference_system() -> ReferenceSystem:
+    """The Sandy Bridge reference pyramid."""
+    return ReferenceSystem.sandy_bridge()
+
+
+def make_stream(addresses, sizes=8, is_store=0) -> AddressStream:
+    """Helper: build a stream from plain lists."""
+    return AddressStream.from_arrays(
+        np.asarray(addresses, dtype=np.uint64), sizes, is_store
+    )

@@ -1,0 +1,73 @@
+"""API surface tests: exports resolve, errors hierarchy, version."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_error_hierarchy(self):
+        from repro.errors import (
+            ConfigError,
+            ModelError,
+            ReproError,
+            SimulationError,
+            TraceError,
+        )
+
+        for exc in (ConfigError, TraceError, SimulationError, ModelError):
+            assert issubclass(exc, ReproError)
+        assert issubclass(ConfigError, ValueError)
+
+    def test_catching_base_catches_all(self):
+        from repro.errors import ConfigError, ReproError
+
+        with pytest.raises(ReproError):
+            raise ConfigError("x")
+
+
+PACKAGES = [
+    "repro.trace",
+    "repro.cache",
+    "repro.tech",
+    "repro.model",
+    "repro.designs",
+    "repro.partition",
+    "repro.endurance",
+    "repro.workloads",
+    "repro.experiments",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_exports_resolve(self, package):
+        module = importlib.import_module(package)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{package}.{name} missing"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_package_docstring(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__ and len(module.__doc__) > 40
+
+    def test_every_module_has_docstring(self):
+        import pathlib
+
+        src = pathlib.Path(repro.__file__).parent
+        missing = []
+        for path in src.rglob("*.py"):
+            rel = path.relative_to(src)
+            if rel.name == "__main__.py":
+                continue  # importing would execute the CLI
+            module = "repro." + str(rel.with_suffix("")).replace("/", ".")
+            module = module.removesuffix(".__init__")
+            mod = importlib.import_module(module)
+            if not mod.__doc__:
+                missing.append(module)
+        assert not missing, f"modules without docstrings: {missing}"

@@ -1,0 +1,164 @@
+"""Hierarchy chaining tests."""
+
+import numpy as np
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.hierarchy import Hierarchy, to_block_requests
+from repro.cache.mainmem import MainMemory
+from repro.cache.partition import PartitionedMemory, RoutingRule
+from repro.cache.setassoc import SetAssociativeCache
+from repro.errors import ConfigError
+from repro.trace.events import AccessBatch
+from repro.trace.stream import AddressStream
+from repro.units import KiB
+
+
+def two_level():
+    l1 = SetAssociativeCache(CacheConfig("L1", 1 * KiB, 2, 64))
+    l2 = SetAssociativeCache(CacheConfig("L2", 4 * KiB, 4, 64))
+    mem = MainMemory("MEM")
+    return Hierarchy([l1, l2], mem), l1, l2, mem
+
+
+class TestToBlockRequests:
+    def test_caps_sizes(self):
+        out = to_block_requests(AccessBatch.from_lists([0], [256], [0]), 64)
+        assert max(out.sizes) <= 64
+
+    def test_splits_spanning_access(self):
+        out = to_block_requests(AccessBatch.from_lists([60], [8], [1]), 64)
+        assert len(out) == 2
+        assert (out.addresses >> np.uint64(6)).tolist() == [0, 1]
+        assert out.is_store.tolist() == [1, 1]
+
+    def test_fast_path_no_spans(self):
+        raw = AccessBatch.from_lists([0, 8], [8, 8], [0, 1])
+        out = to_block_requests(raw, 64)
+        assert out.addresses.tolist() == [0, 8]
+
+
+class TestHierarchy:
+    def test_requires_a_cache(self):
+        with pytest.raises(ConfigError):
+            Hierarchy([], MainMemory())
+
+    def test_block_size_must_not_shrink(self):
+        big = SetAssociativeCache(CacheConfig("A", 4 * KiB, 4, 128))
+        small = SetAssociativeCache(CacheConfig("B", 4 * KiB, 4, 64))
+        with pytest.raises(ConfigError):
+            Hierarchy([big, small], MainMemory())
+
+    def test_filtering_down_the_chain(self):
+        h, l1, l2, mem = two_level()
+        stream = AddressStream.from_arrays(range(0, 8 * KiB, 8), 8, 0)
+        stats = h.run(stream)
+        # Every level sees fewer requests than the one above.
+        assert stats.levels[0].accesses > stats.levels[1].accesses
+        assert stats.levels[1].accesses >= stats.levels[2].accesses
+
+    def test_references_counted(self):
+        h, *_ = two_level()
+        stream = AddressStream.from_arrays(range(0, 800, 8), 8, 0)
+        stats = h.run(stream)
+        assert stats.references == 100
+        assert h.references == 100
+
+    def test_l2_sees_l1_misses(self):
+        h, l1, l2, mem = two_level()
+        stream = AddressStream.from_arrays(range(0, 8 * KiB, 64), 8, 0)
+        h.run(stream)
+        assert l2.stats.loads == l1.stats.load_misses
+
+    def test_memory_sees_l2_misses_plus_writebacks(self):
+        h, l1, l2, mem = two_level()
+        stream = AddressStream.from_arrays(
+            list(range(0, 16 * KiB, 8)) * 2, 8, 1
+        )
+        h.run(stream)
+        assert mem.stats.loads == l2.stats.fills
+        assert mem.stats.stores == l2.stats.writebacks
+
+    def test_drain_pushes_dirty_data_to_memory(self):
+        h, l1, l2, mem = two_level()
+        stream = AddressStream.from_arrays([0, 64, 128], 8, 1)
+        h.run(stream, drain=True)
+        assert mem.stats.stores == 3
+
+    def test_drain_without_flag_keeps_dirty_in_cache(self):
+        h, l1, l2, mem = two_level()
+        h.run(AddressStream.from_arrays([0], 8, 1))
+        assert mem.stats.stores == 0
+
+    def test_reset(self):
+        h, l1, l2, mem = two_level()
+        h.run(AddressStream.from_arrays([0], 8, 0))
+        h.reset()
+        assert h.references == 0
+        assert mem.stats.accesses == 0
+
+    def test_stats_level_names(self):
+        h, *_ = two_level()
+        assert h.level_names == ["L1", "L2", "MEM"]
+
+    def test_partitioned_memory_terminal(self):
+        l1 = SetAssociativeCache(CacheConfig("L1", 1 * KiB, 2, 64))
+        pm = PartitionedMemory(
+            [MainMemory("D"), MainMemory("N")],
+            [RoutingRule(0, 4096, 1)],
+        )
+        h = Hierarchy([l1], pm)
+        stream = AddressStream.from_arrays([0, 8192], 8, 0)
+        stats = h.run(stream)
+        assert stats.level("N").loads == 1
+        assert stats.level("D").loads == 1
+        assert h.level_names == ["L1", "D", "N"]
+
+    def test_page_cache_below_line_cache(self):
+        l1 = SetAssociativeCache(CacheConfig("L1", 1 * KiB, 2, 64))
+        l4 = SetAssociativeCache(
+            CacheConfig("L4", 16 * KiB, 4, 1024, sector_size=64)
+        )
+        mem = MainMemory("MEM")
+        h = Hierarchy([l1, l4], mem)
+        stream = AddressStream.from_arrays(range(0, 4 * KiB, 8), 8, 0)
+        h.run(stream)
+        # L4 fills fetch whole pages from memory.
+        assert mem.stats.load_bits == mem.stats.loads * 1024 * 8
+        assert mem.stats.loads == 4  # 4 KiB / 1 KiB pages
+
+
+class TestDrainSectored:
+    def test_drain_writes_back_dirty_sectors_only(self):
+        l1 = SetAssociativeCache(CacheConfig("L1", 1 * KiB, 2, 64))
+        l4 = SetAssociativeCache(
+            CacheConfig("L4", 16 * KiB, 4, 1024, sector_size=64)
+        )
+        mem = MainMemory("MEM")
+        h = Hierarchy([l1, l4], mem)
+        # Dirty exactly two 64 B lines.
+        stream = AddressStream.from_arrays([0, 4096], 8, 1)
+        h.run(stream, drain=True)
+        assert mem.stats.stores == 2
+        assert mem.stats.store_bits == 2 * 64 * 8
+
+    def test_drain_idempotent(self):
+        l1 = SetAssociativeCache(CacheConfig("L1", 1 * KiB, 2, 64))
+        mem = MainMemory("MEM")
+        h = Hierarchy([l1], mem)
+        h.run(AddressStream.from_arrays([0], 8, 1))
+        h.drain()
+        stores = mem.stats.stores
+        h.drain()
+        assert mem.stats.stores == stores
+
+    def test_drain_propagates_through_intermediate_levels(self):
+        """L1's flushed dirty lines may hit (and dirty) L2 rather than
+        reaching memory directly; a second-level drain moves them on."""
+        l1 = SetAssociativeCache(CacheConfig("L1", 1 * KiB, 2, 64))
+        l2 = SetAssociativeCache(CacheConfig("L2", 4 * KiB, 4, 64))
+        mem = MainMemory("MEM")
+        h = Hierarchy([l1, l2], mem)
+        h.run(AddressStream.from_arrays([0, 64, 128], 8, 1), drain=True)
+        # All three dirty lines must have reached memory by end of drain.
+        assert mem.stats.stores == 3

@@ -1,0 +1,113 @@
+"""MainMemory and PartitionedMemory tests."""
+
+import pytest
+
+from repro.cache.mainmem import MainMemory
+from repro.cache.partition import PartitionedMemory, RoutingRule
+from repro.errors import ConfigError
+from repro.trace.events import AccessBatch
+
+
+def batch(addresses, sizes=64, kinds=0):
+    n = len(addresses)
+    return AccessBatch.from_lists(
+        addresses,
+        [sizes] * n if isinstance(sizes, int) else sizes,
+        [kinds] * n if isinstance(kinds, int) else kinds,
+    )
+
+
+class TestMainMemory:
+    def test_counts_loads_and_stores(self, memory):
+        memory.process(batch([0, 64, 128], kinds=[0, 1, 0]))
+        assert memory.stats.loads == 2
+        assert memory.stats.stores == 1
+
+    def test_bits(self, memory):
+        memory.process(batch([0, 64], sizes=[64, 4096], kinds=[0, 1]))
+        assert memory.stats.load_bits == 64 * 8
+        assert memory.stats.store_bits == 4096 * 8
+
+    def test_everything_hits(self, memory):
+        memory.process(batch([0, 64]))
+        assert memory.stats.hit_rate == 1.0
+
+    def test_returns_empty_downstream(self, memory):
+        assert len(memory.process(batch([0]))) == 0
+
+    def test_reset(self, memory):
+        memory.process(batch([0]))
+        memory.reset()
+        assert memory.stats.accesses == 0
+
+
+class TestRoutingRule:
+    def test_empty_range_rejected(self):
+        with pytest.raises(ConfigError):
+            RoutingRule(10, 10, 0)
+
+    def test_negative_device_rejected(self):
+        with pytest.raises(ConfigError):
+            RoutingRule(0, 10, -1)
+
+
+class TestPartitionedMemory:
+    def make(self):
+        dram = MainMemory("DRAMpart")
+        nvm = MainMemory("NVMpart")
+        pm = PartitionedMemory(
+            [dram, nvm], [RoutingRule(1000, 2000, 1)], default_device=0
+        )
+        return pm, dram, nvm
+
+    def test_routing_by_range(self):
+        pm, dram, nvm = self.make()
+        pm.process(batch([0, 1000, 1999, 2000, 500]))
+        assert dram.stats.loads == 3
+        assert nvm.stats.loads == 2
+
+    def test_first_match_wins(self):
+        a, b = MainMemory("A"), MainMemory("B")
+        pm = PartitionedMemory(
+            [a, b],
+            [RoutingRule(0, 100, 1), RoutingRule(0, 1000, 0)],
+            default_device=0,
+        )
+        pm.process(batch([50]))
+        assert b.stats.loads == 1
+
+    def test_kind_preserved_across_routing(self):
+        pm, dram, nvm = self.make()
+        pm.process(batch([1500, 500], kinds=[1, 0]))
+        assert nvm.stats.stores == 1
+        assert dram.stats.loads == 1
+
+    def test_no_devices_rejected(self):
+        with pytest.raises(ConfigError):
+            PartitionedMemory([], [])
+
+    def test_bad_default_rejected(self):
+        with pytest.raises(ConfigError):
+            PartitionedMemory([MainMemory("A")], [], default_device=5)
+
+    def test_rule_to_missing_device_rejected(self):
+        with pytest.raises(ConfigError):
+            PartitionedMemory([MainMemory("A")], [RoutingRule(0, 10, 3)])
+
+    def test_stats_list_order(self):
+        pm, dram, nvm = self.make()
+        assert [s.name for s in pm.stats_list] == ["DRAMpart", "NVMpart"]
+
+    def test_reset(self):
+        pm, dram, nvm = self.make()
+        pm.process(batch([1500]))
+        pm.reset()
+        assert nvm.stats.accesses == 0
+
+    def test_empty_batch(self):
+        pm, _, _ = self.make()
+        assert len(pm.process(AccessBatch.empty())) == 0
+
+    def test_name(self):
+        pm, _, _ = self.make()
+        assert pm.name == "DRAMpart+NVMpart"

@@ -1,0 +1,99 @@
+"""Replacement policy engine tests."""
+
+import pytest
+
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.errors import ConfigError
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        lru = LRUPolicy(1, 2)
+        lru.insert(0, 1)
+        lru.insert(0, 2)
+        lru.lookup(0, 1)  # touch 1 -> 2 becomes LRU
+        victim = lru.insert(0, 3)
+        assert victim == 2
+
+    def test_hit_returns_true_miss_false(self):
+        lru = LRUPolicy(2, 2)
+        lru.insert(0, 10)
+        assert lru.lookup(0, 10)
+        assert not lru.lookup(0, 11)
+
+    def test_no_eviction_while_ways_free(self):
+        lru = LRUPolicy(1, 4)
+        assert lru.insert(0, 1) is None
+        assert lru.insert(0, 2) is None
+
+    def test_sets_are_independent(self):
+        lru = LRUPolicy(2, 1)
+        lru.insert(0, 1)
+        lru.insert(1, 2)
+        assert lru.lookup(0, 1) and lru.lookup(1, 2)
+
+    def test_contents(self):
+        lru = LRUPolicy(1, 2)
+        lru.insert(0, 1)
+        lru.insert(0, 2)
+        assert set(lru.contents(0)) == {1, 2}
+
+
+class TestFIFO:
+    def test_hit_does_not_refresh(self):
+        fifo = FIFOPolicy(1, 2)
+        fifo.insert(0, 1)
+        fifo.insert(0, 2)
+        fifo.lookup(0, 1)  # unlike LRU, does not protect 1
+        victim = fifo.insert(0, 3)
+        assert victim == 1
+
+    def test_lookup(self):
+        fifo = FIFOPolicy(1, 2)
+        fifo.insert(0, 5)
+        assert fifo.lookup(0, 5)
+        assert not fifo.lookup(0, 6)
+
+
+class TestRandom:
+    def test_deterministic_given_seed(self):
+        a = RandomPolicy(1, 2, seed=42)
+        b = RandomPolicy(1, 2, seed=42)
+        for policy in (a, b):
+            policy.insert(0, 1)
+            policy.insert(0, 2)
+        assert a.insert(0, 3) == b.insert(0, 3)
+
+    def test_victim_is_resident(self):
+        policy = RandomPolicy(1, 4)
+        for block in range(4):
+            policy.insert(0, block)
+        victim = policy.insert(0, 99)
+        assert victim in range(4)
+        assert 99 in policy.contents(0)
+
+
+class TestFactory:
+    def test_all_names(self):
+        assert isinstance(make_policy("lru", 2, 2), LRUPolicy)
+        assert isinstance(make_policy("fifo", 2, 2), FIFOPolicy)
+        assert isinstance(make_policy("random", 2, 2), RandomPolicy)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            make_policy("mru", 2, 2)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            LRUPolicy(0, 2)
+
+    def test_reset_clears(self):
+        policy = LRUPolicy(1, 2)
+        policy.insert(0, 1)
+        policy.reset()
+        assert not policy.lookup(0, 1)

@@ -1,0 +1,214 @@
+"""Set-associative cache engine tests: known-answer behaviours."""
+
+import numpy as np
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.setassoc import SetAssociativeCache, check_request_sizes
+from repro.errors import SimulationError
+from repro.trace.events import AccessBatch
+from repro.units import KiB
+
+
+def batch(addresses, sizes=8, kinds=0):
+    return AccessBatch.from_lists(
+        list(addresses),
+        [sizes] * len(addresses) if np.isscalar(sizes) else sizes,
+        [kinds] * len(addresses) if np.isscalar(kinds) else kinds,
+    )
+
+
+class TestHitMissAccounting:
+    def test_cold_miss_then_hit(self, small_cache):
+        small_cache.process(batch([0]))
+        small_cache.process(batch([8]))  # same line
+        stats = small_cache.stats
+        assert stats.load_misses == 1
+        assert stats.load_hits == 1
+
+    def test_sequential_8byte_accesses_one_miss_per_line(self, small_cache):
+        small_cache.process(batch(range(0, 1024, 8)))
+        stats = small_cache.stats
+        assert stats.load_misses == 1024 // 64
+        assert stats.load_hits == 128 - 16
+
+    def test_run_collapse_counts_match_naive(self):
+        """Processing one event at a time must equal batch processing."""
+        rng = np.random.default_rng(3)
+        addrs = rng.integers(0, 8 * KiB, size=500, dtype=np.uint64)
+        kinds = rng.integers(0, 2, size=500)
+        one = SetAssociativeCache(CacheConfig("A", 4 * KiB, 4, 64))
+        for a, k in zip(addrs, kinds):
+            one.process(batch([int(a)], kinds=int(k)))
+        many = SetAssociativeCache(CacheConfig("A", 4 * KiB, 4, 64))
+        many.process(AccessBatch.from_lists(addrs, 8, kinds))
+        assert one.stats.as_dict() == many.stats.as_dict()
+
+    def test_store_miss_attributed_to_store(self, small_cache):
+        small_cache.process(batch([0], kinds=1))
+        assert small_cache.stats.store_misses == 1
+        assert small_cache.stats.load_misses == 0
+
+    def test_capacity_eviction(self):
+        # Direct-mapped 2-line cache: two conflicting lines thrash.
+        cache = SetAssociativeCache(CacheConfig("DM", 128, 1, 64))
+        cache.process(batch([0, 128, 0, 128]))  # both map to set 0
+        assert cache.stats.load_misses == 4
+
+    def test_associativity_prevents_thrash(self):
+        cache = SetAssociativeCache(CacheConfig("A2", 256, 2, 64))
+        cache.process(batch([0, 128, 0, 128]))  # set 0, 2 ways
+        assert cache.stats.load_misses == 2
+        assert cache.stats.load_hits == 2
+
+    def test_lru_order_within_set(self):
+        cache = SetAssociativeCache(CacheConfig("A2", 256, 2, 64))
+        cache.process(batch([0, 128, 256]))  # 256 evicts LRU line 0
+        cache.process(batch([128]))  # still resident
+        assert cache.stats.load_hits == 1
+        cache.process(batch([0]))  # was evicted
+        assert cache.stats.load_misses == 4
+
+
+class TestWritebackPropagation:
+    def test_clean_eviction_no_writeback(self):
+        cache = SetAssociativeCache(CacheConfig("DM", 128, 1, 64))
+        out = cache.process(batch([0, 128]))  # 128 evicts clean line 0
+        assert out.is_store.tolist() == [0, 0]  # two fills only
+
+    def test_dirty_eviction_emits_writeback(self):
+        cache = SetAssociativeCache(CacheConfig("DM", 128, 1, 64))
+        out1 = cache.process(batch([0], kinds=1))  # dirty fill
+        assert out1.is_store.tolist() == [0]
+        out2 = cache.process(batch([128]))  # evicts dirty line 0
+        assert out2.addresses.tolist() == [128, 0]
+        assert out2.is_store.tolist() == [0, 1]
+        assert cache.stats.writebacks == 1
+
+    def test_fill_sizes_are_block_size(self, small_cache):
+        out = small_cache.process(batch([0]))
+        assert out.sizes.tolist() == [64]
+
+    def test_store_to_resident_line_marks_dirty(self):
+        cache = SetAssociativeCache(CacheConfig("DM", 128, 1, 64))
+        cache.process(batch([0]))  # clean fill
+        cache.process(batch([0], kinds=1))  # store hit -> dirty
+        out = cache.process(batch([128]))
+        assert 1 in out.is_store.tolist()
+
+    def test_writeback_cleared_after_eviction(self):
+        cache = SetAssociativeCache(CacheConfig("DM", 128, 1, 64))
+        cache.process(batch([0], kinds=1))
+        cache.process(batch([128]))  # writes back line 0
+        out = cache.process(batch([0, 128]))  # refill 0 (clean), evict, refill
+        # Line 0 is clean now: its eviction must not write back again.
+        assert out.is_store.tolist() == [0, 0]
+
+
+class TestFlushDirty:
+    def test_flush_emits_all_dirty(self, small_cache):
+        small_cache.process(batch([0, 64, 128], kinds=1))
+        flushed = small_cache.flush_dirty()
+        assert sorted(flushed.addresses.tolist()) == [0, 64, 128]
+        assert all(flushed.is_store)
+
+    def test_flush_idempotent(self, small_cache):
+        small_cache.process(batch([0], kinds=1))
+        small_cache.flush_dirty()
+        assert len(small_cache.flush_dirty()) == 0
+
+    def test_flush_empty(self, small_cache):
+        assert len(small_cache.flush_dirty()) == 0
+
+
+class TestSectoredCache:
+    def cache(self):
+        # 4 KiB, direct-mapped, 1 KiB pages, 64 B sectors.
+        return SetAssociativeCache(
+            CacheConfig("P", 4 * KiB, 1, 1024, sector_size=64)
+        )
+
+    def test_fill_is_full_page(self):
+        cache = self.cache()
+        out = cache.process(batch([0]))
+        assert out.sizes.tolist() == [1024]
+
+    def test_writeback_only_dirty_sectors(self):
+        cache = self.cache()
+        cache.process(batch([0, 64], kinds=[1, 1]))  # two dirty sectors
+        cache.process(batch([128]))  # clean sector, same page: hit
+        out = cache.process(batch([4096]))  # evicts page 0
+        writebacks = out.slice(1, len(out))
+        assert sorted(writebacks.addresses.tolist()) == [0, 64]
+        assert writebacks.sizes.tolist() == [64, 64]
+        assert cache.stats.writebacks == 2
+
+    def test_hits_at_page_granularity(self):
+        cache = self.cache()
+        cache.process(batch([0]))
+        cache.process(batch([512]))  # other sector, same page
+        assert cache.stats.load_hits == 1
+
+    def test_sectored_flush(self):
+        cache = self.cache()
+        cache.process(batch([0, 960], kinds=1))
+        flushed = cache.flush_dirty()
+        assert sorted(flushed.addresses.tolist()) == [0, 960]
+        assert flushed.sizes.tolist() == [64, 64]
+
+    def test_is_dirty_per_sector(self):
+        cache = self.cache()
+        cache.process(batch([64], kinds=1))
+        assert cache.is_dirty(64)
+        assert not cache.is_dirty(0)  # same page, clean sector
+
+
+class TestPolicyVariants:
+    def test_fifo_cache_runs(self):
+        cache = SetAssociativeCache(CacheConfig("F", 256, 2, 64, policy="fifo"))
+        cache.process(batch([0, 128, 0, 256, 0]))
+        # FIFO: access to 0 does not refresh; 256 evicts 0.
+        assert cache.stats.load_misses == 4
+
+    def test_random_cache_total_conservation(self):
+        cache = SetAssociativeCache(
+            CacheConfig("R", 4 * KiB, 4, 64, policy="random")
+        )
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 64 * KiB, 2000, dtype=np.uint64)
+        cache.process(AccessBatch.from_lists(addrs, 8, 0))
+        stats = cache.stats
+        assert stats.load_hits + stats.load_misses == stats.loads == 2000
+
+
+class TestHelpers:
+    def test_contains(self, small_cache):
+        small_cache.process(batch([0]))
+        assert small_cache.contains(8)
+        assert not small_cache.contains(4096)
+
+    def test_resident_blocks(self, small_cache):
+        small_cache.process(batch([0, 64, 128]))
+        assert small_cache.resident_blocks() == 3
+
+    def test_reset(self, small_cache):
+        small_cache.process(batch([0], kinds=1))
+        small_cache.reset()
+        assert small_cache.stats.accesses == 0
+        assert small_cache.resident_blocks() == 0
+        assert len(small_cache.flush_dirty()) == 0
+
+    def test_empty_batch(self, small_cache):
+        out = small_cache.process(AccessBatch.empty())
+        assert len(out) == 0
+
+    def test_check_request_sizes(self):
+        good = batch([0], sizes=64)
+        check_request_sizes(good, 64, "X")
+        with pytest.raises(SimulationError):
+            check_request_sizes(batch([0], sizes=128), 64, "X")
+
+    def test_stats_bits_counted(self, small_cache):
+        small_cache.process(batch([0, 8], sizes=8, kinds=[0, 1]))
+        assert small_cache.stats.load_bits == 64
+        assert small_cache.stats.store_bits == 64

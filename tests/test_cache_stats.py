@@ -1,0 +1,74 @@
+"""LevelStats / HierarchyStats tests."""
+
+import pytest
+
+from repro.cache.stats import HierarchyStats, LevelStats
+
+
+class TestLevelStats:
+    def test_defaults_zero(self):
+        stats = LevelStats(name="X")
+        assert stats.accesses == 0
+        assert stats.hit_rate == 0.0
+        assert stats.miss_rate == 0.0
+
+    def test_rates(self):
+        stats = LevelStats(
+            name="X", loads=8, stores=2, load_hits=6, load_misses=2,
+            store_hits=1, store_misses=1,
+        )
+        assert stats.hits == 7
+        assert stats.misses == 3
+        assert stats.hit_rate == pytest.approx(0.7)
+        assert stats.miss_rate == pytest.approx(0.3)
+
+    def test_merge(self):
+        a = LevelStats(name="X", loads=1, load_hits=1)
+        b = LevelStats(name="X", loads=2, load_misses=2, writebacks=1)
+        merged = a.merge(b)
+        assert merged.loads == 3
+        assert merged.load_hits == 1
+        assert merged.writebacks == 1
+
+    def test_merge_name_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LevelStats(name="A").merge(LevelStats(name="B"))
+
+    def test_as_dict_roundtrip(self):
+        stats = LevelStats(name="X", loads=5, store_bits=320)
+        data = stats.as_dict()
+        assert data["name"] == "X"
+        assert data["loads"] == 5
+        assert data["store_bits"] == 320
+
+
+class TestHierarchyStats:
+    def make(self):
+        return HierarchyStats(
+            levels=[LevelStats(name="L1", loads=10), LevelStats(name="MEM", loads=2)],
+            references=10,
+        )
+
+    def test_level_lookup(self):
+        stats = self.make()
+        assert stats.level("MEM").loads == 2
+        with pytest.raises(KeyError):
+            stats.level("L9")
+
+    def test_level_names(self):
+        assert self.make().level_names == ["L1", "MEM"]
+
+    def test_merge(self):
+        merged = self.make().merge(self.make())
+        assert merged.references == 20
+        assert merged.level("L1").loads == 20
+
+    def test_merge_shape_mismatch_rejected(self):
+        other = HierarchyStats(levels=[LevelStats(name="L1")], references=1)
+        with pytest.raises(ValueError):
+            self.make().merge(other)
+
+    def test_as_dict(self):
+        data = self.make().as_dict()
+        assert data["references"] == 10
+        assert len(data["levels"]) == 2

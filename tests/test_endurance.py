@@ -1,0 +1,175 @@
+"""Endurance subsystem tests: write tracking, Start-Gap, lifetime."""
+
+import numpy as np
+import pytest
+
+from repro.endurance.lifetime import CELL_ENDURANCE, estimate_lifetime
+from repro.endurance.startgap import StartGapRemapper
+from repro.endurance.writes import WriteTracker
+from repro.errors import ModelError, SimulationError
+from repro.trace.events import AccessBatch
+
+
+def store_batch(line_numbers, line=64):
+    addrs = np.array(line_numbers, dtype=np.uint64) * np.uint64(line)
+    return AccessBatch.from_lists(addrs, line, 1)
+
+
+class TestWriteTracker:
+    def test_counts_stores_only(self):
+        tracker = WriteTracker(device_lines=16)
+        mixed = AccessBatch.from_lists([0, 64, 128], 64, [1, 0, 1])
+        tracker.observe(mixed)
+        assert tracker.stats().total_writes == 2
+
+    def test_per_line_attribution(self):
+        tracker = WriteTracker(device_lines=16)
+        tracker.observe(store_batch([3, 3, 3, 5]))
+        assert tracker.writes[3] == 3
+        assert tracker.writes[5] == 1
+
+    def test_base_address_and_wrap(self):
+        tracker = WriteTracker(device_lines=4, base_address=1024)
+        tracker.observe(store_batch([16, 21]))  # lines 16, 21 rel. base 16
+        # (16-16)%4 = 0, (21-16)%4 = 1
+        assert tracker.writes[0] == 1 and tracker.writes[1] == 1
+
+    def test_stats_imbalance(self):
+        tracker = WriteTracker(device_lines=4)
+        tracker.observe(store_batch([0] * 8))
+        stats = tracker.stats()
+        assert stats.max_writes == 8
+        assert stats.mean_writes == 2.0
+        assert stats.imbalance == 4.0
+
+    def test_empty_device_rejected(self):
+        with pytest.raises(SimulationError):
+            WriteTracker(device_lines=0)
+
+    def test_empty_stats(self):
+        stats = WriteTracker(device_lines=8).stats()
+        assert stats.total_writes == 0
+        assert stats.imbalance == 1.0
+
+
+class TestStartGap:
+    def test_initial_mapping_identity(self):
+        sg = StartGapRemapper(8)
+        assert [sg.remap(i) for i in range(8)] == list(range(8))
+
+    def test_mapping_always_bijective(self):
+        sg = StartGapRemapper(8, gap_write_interval=1)
+        for _ in range(100):
+            assert sg.mapping_is_bijective()
+            sg.write_performed()
+
+    def test_gap_moves_every_psi_writes(self):
+        sg = StartGapRemapper(8, gap_write_interval=10)
+        for _ in range(9):
+            sg.write_performed()
+        assert sg.gap == 8  # not yet
+        sg.write_performed()
+        assert sg.gap == 7
+
+    def test_start_advances_after_full_sweep(self):
+        sg = StartGapRemapper(4, gap_write_interval=1)
+        for _ in range(4):
+            sg.write_performed()  # gap 4 -> 3 -> 2 -> 1 -> 0
+        assert sg.gap == 0 and sg.start == 0
+        sg.write_performed()  # wrap: gap back to 4, start -> 1
+        assert sg.gap == 4 and sg.start == 1
+
+    def test_overhead_writes_counted(self):
+        sg = StartGapRemapper(8, gap_write_interval=5)
+        for _ in range(25):
+            sg.write_performed()
+        assert sg.overhead_writes == 5
+
+    def test_out_of_range_rejected(self):
+        sg = StartGapRemapper(8)
+        with pytest.raises(SimulationError):
+            sg.remap(8)
+
+    def test_invalid_params(self):
+        with pytest.raises(SimulationError):
+            StartGapRemapper(0)
+        with pytest.raises(SimulationError):
+            StartGapRemapper(8, gap_write_interval=0)
+
+    def test_levels_hot_line(self):
+        """Start-Gap must spread a single-line hot spot over many
+        physical lines."""
+        n = 32
+        no_level = WriteTracker(device_lines=n)
+        leveled = WriteTracker(
+            device_lines=n,
+            remapper=StartGapRemapper(n, gap_write_interval=4),
+        )
+        hot = store_batch([7] * 2000)
+        no_level.observe(hot)
+        leveled.observe(hot)
+        assert no_level.stats().imbalance == n  # all writes on one line
+        assert leveled.stats().imbalance < n / 2
+        assert leveled.stats().lines_written >= n // 2
+
+
+class TestLifetime:
+    def wear(self, imbalance):
+        from repro.endurance.writes import WearStats
+
+        return WearStats(
+            total_writes=1000, lines_written=10, max_writes=int(100 * imbalance),
+            mean_writes=100.0, cov=0.0, imbalance=imbalance,
+        )
+
+    def test_perfect_leveling_matches_ideal(self):
+        est = estimate_lifetime(
+            self.wear(1.0), cell_endurance=1e8, device_lines=1000,
+            write_rate_per_s=1e6,
+        )
+        assert est.years == pytest.approx(est.ideal_years)
+        assert est.leveling_efficiency == 1.0
+
+    def test_imbalance_divides_lifetime(self):
+        even = estimate_lifetime(
+            self.wear(1.0), cell_endurance=1e8, device_lines=1000,
+            write_rate_per_s=1e6,
+        )
+        skewed = estimate_lifetime(
+            self.wear(50.0), cell_endurance=1e8, device_lines=1000,
+            write_rate_per_s=1e6,
+        )
+        assert skewed.years == pytest.approx(even.years / 50.0)
+
+    def test_overhead_shortens_lifetime(self):
+        base = estimate_lifetime(
+            self.wear(1.0), cell_endurance=1e8, device_lines=1000,
+            write_rate_per_s=1e6,
+        )
+        with_overhead = estimate_lifetime(
+            self.wear(1.0), cell_endurance=1e8, device_lines=1000,
+            write_rate_per_s=1e6, overhead_fraction=0.01,
+        )
+        assert with_overhead.years < base.years
+
+    def test_zero_write_rate_infinite(self):
+        est = estimate_lifetime(
+            self.wear(1.0), cell_endurance=1e8, device_lines=10,
+            write_rate_per_s=0.0,
+        )
+        assert est.years == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            estimate_lifetime(
+                self.wear(1.0), cell_endurance=0, device_lines=10,
+                write_rate_per_s=1.0,
+            )
+        with pytest.raises(ModelError):
+            estimate_lifetime(
+                self.wear(1.0), cell_endurance=1e8, device_lines=0,
+                write_rate_per_s=1.0,
+            )
+
+    def test_endurance_table(self):
+        assert CELL_ENDURANCE["PCM"] < CELL_ENDURANCE["STTRAM"]

@@ -1,0 +1,62 @@
+"""Smoke tests: the examples must run end-to-end.
+
+Marked slow (each drives a full traced evaluation at 1/1024 scale);
+run explicitly with ``pytest -m slow tests/test_examples_smoke.py``.
+A fast syntax/import check runs unconditionally.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+class TestExamplesCompile:
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    def test_expected_examples_present(self):
+        names = {p.stem for p in EXAMPLES}
+        assert {
+            "quickstart",
+            "capacity_sweep",
+            "partitioned_memory",
+            "custom_technology",
+            "custom_workload",
+            "endurance_study",
+        } <= names
+
+
+@pytest.mark.slow
+class TestExamplesRun:
+    def run_example(self, name, *args):
+        path = next(p for p in EXAMPLES if p.stem == name)
+        return subprocess.run(
+            [sys.executable, str(path), *args],
+            capture_output=True,
+            text=True,
+            timeout=900,
+        )
+
+    def test_quickstart(self):
+        result = self.run_example("quickstart")
+        assert result.returncode == 0, result.stderr
+        assert "runtime" in result.stdout
+        assert "EDP" in result.stdout
+
+    def test_partitioned_memory(self):
+        result = self.run_example("partitioned_memory", "CG")
+        assert result.returncode == 0, result.stderr
+        assert "oracle placements" in result.stdout
+
+    def test_custom_workload(self):
+        result = self.run_example("custom_workload")
+        assert result.returncode == 0, result.stderr
+        assert "Jacobi2D" in result.stdout

@@ -1,0 +1,68 @@
+"""Calibration-procedure tests."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.experiments.calibrate import (
+    CalibrationResult,
+    anchor_delta,
+    calibrate_local_factor,
+)
+from repro.experiments.runner import Runner
+from repro.workloads.registry import get_workload
+
+SCALE = 1.0 / 8192
+
+
+@pytest.fixture(scope="module")
+def zero_runner():
+    return Runner(scale=SCALE, seed=1, local_factor=0.0)
+
+
+@pytest.fixture(scope="module")
+def small_suite():
+    return [get_workload("CG"), get_workload("Hashing")]
+
+
+class TestAnchorDelta:
+    def test_positive(self, zero_runner, small_suite):
+        delta = anchor_delta(zero_runner, small_suite, lam=0.0)
+        assert delta > 0  # 5x read latency must cost something
+
+    def test_monotone_decreasing_in_lambda(self, zero_runner, small_suite):
+        deltas = [
+            anchor_delta(zero_runner, small_suite, lam)
+            for lam in (0.0, 4.0, 16.0)
+        ]
+        assert deltas[0] > deltas[1] > deltas[2]
+
+    def test_requires_zero_local_factor(self, small_suite):
+        runner = Runner(scale=SCALE, seed=1, local_factor=8.0)
+        with pytest.raises(ModelError):
+            anchor_delta(runner, small_suite, lam=0.0)
+
+
+class TestBisection:
+    def test_hits_target_within_tolerance(self):
+        result = calibrate_local_factor(
+            scale=SCALE,
+            seed=1,
+            workload_names=["CG", "Hashing"],
+            target_delta=0.05,
+            tolerance=0.005,
+        )
+        assert isinstance(result, CalibrationResult)
+        assert abs(result.achieved_delta - 0.05) <= 0.005 or (
+            result.local_factor == 0.0
+        )
+
+    def test_large_target_needs_no_dilution(self):
+        """An impossible (too large) target clamps at lambda = 0."""
+        result = calibrate_local_factor(
+            scale=SCALE,
+            seed=1,
+            workload_names=["CG"],
+            target_delta=10.0,
+        )
+        assert result.local_factor == 0.0
+        assert result.iterations == 0

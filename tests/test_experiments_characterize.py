@@ -1,0 +1,56 @@
+"""Workload characterization tests."""
+
+import pytest
+
+from repro.experiments.characterize import (
+    CDF_CAPACITIES,
+    characterize,
+    render_profiles,
+)
+from repro.experiments.runner import Runner
+from repro.workloads.registry import get_workload
+
+SCALE = 1.0 / 8192
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(scale=SCALE, seed=9)
+
+
+class TestCharacterize:
+    def test_profile_fields(self, runner):
+        profile = characterize(runner, get_workload("CG"))
+        assert profile.name == "CG"
+        assert profile.events > 1000
+        assert profile.footprint_mb > 0
+        assert 0.0 < profile.store_fraction < 1.0
+        assert 0.0 <= profile.page_hit_rate <= 1.0
+        assert profile.memory_intensity > 0
+
+    def test_reuse_cdf_monotone_in_capacity(self, runner):
+        profile = characterize(runner, get_workload("CG"))
+        values = [profile.reuse_cdf[label] for label in CDF_CAPACITIES]
+        assert values == sorted(values)
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_streaming_vs_random_signatures_differ(self, runner):
+        """Hashing (random table probes) must be far more
+        memory-intense per reference than BT (stencil sweeps), and no
+        better in page-level locality."""
+        bt = characterize(runner, get_workload("BT"))
+        hashing = characterize(runner, get_workload("Hashing"))
+        assert hashing.memory_intensity > 2 * bt.memory_intensity
+        # (page_hit_rate also separates them, but only at scales where
+        # the profiling cache is meaningfully smaller than the table —
+        # see the realistic-scale run in docs/workloads.md.)
+
+    def test_render(self, runner):
+        profiles = [
+            characterize(runner, get_workload(name))
+            for name in ("CG", "BT")
+        ]
+        text = render_profiles(profiles)
+        assert "CG" in text and "BT" in text
+        assert "pg-hit" in text
+        assert len(text.splitlines()) == 4

@@ -1,0 +1,97 @@
+"""Checkpoint-study tests (Young/Daly model)."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelError
+from repro.experiments.checkpoint import (
+    PFS_TARGET,
+    CheckpointTarget,
+    checkpoint_cost,
+    compare_targets,
+    expected_waste,
+    plan_checkpointing,
+    young_optimal_interval,
+)
+from repro.tech.params import PCM, STTRAM
+from repro.units import GiB
+
+
+class TestCheckpointCost:
+    def test_time_is_footprint_over_bandwidth(self):
+        target = CheckpointTarget("X", bandwidth_gbs=2.0)
+        seconds, _ = checkpoint_cost(4 * 10**9, target)
+        assert seconds == pytest.approx(2.0)
+
+    def test_energy_from_write_density(self):
+        target = CheckpointTarget("X", bandwidth_gbs=1.0, write_pj_per_bit=100.0)
+        _, joules = checkpoint_cost(10**9, target)
+        assert joules == pytest.approx(10**9 * 8 * 100e-12)
+
+    def test_pfs_has_no_node_energy(self):
+        _, joules = checkpoint_cost(1 * GiB, PFS_TARGET)
+        assert joules == 0.0
+
+    def test_from_technology(self):
+        target = CheckpointTarget.from_technology(PCM, bandwidth_gbs=2.0)
+        assert target.write_pj_per_bit == PCM.write_energy_pj_per_bit
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            CheckpointTarget("X", bandwidth_gbs=0.0)
+        with pytest.raises(ModelError):
+            checkpoint_cost(0, PFS_TARGET)
+
+
+class TestYoungDaly:
+    def test_optimal_interval_formula(self):
+        assert young_optimal_interval(10.0, 86400.0) == pytest.approx(
+            math.sqrt(2 * 10.0 * 86400.0)
+        )
+
+    def test_waste_minimized_at_tau_opt(self):
+        delta, mtbf = 30.0, 86400.0
+        tau_opt = young_optimal_interval(delta, mtbf)
+        optimal = expected_waste(delta, tau_opt, mtbf)
+        for factor in (0.5, 0.8, 1.25, 2.0):
+            assert expected_waste(delta, tau_opt * factor, mtbf) >= optimal
+
+    def test_faster_target_less_waste(self):
+        footprint = 4 * GiB
+        fast = plan_checkpointing(
+            footprint, CheckpointTarget("NVM", bandwidth_gbs=2.0)
+        )
+        slow = plan_checkpointing(footprint, PFS_TARGET)
+        assert fast.waste_fraction < slow.waste_fraction
+        assert fast.tau_opt_s < slow.tau_opt_s  # can checkpoint more often
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            young_optimal_interval(0.0, 1.0)
+        with pytest.raises(ModelError):
+            expected_waste(1.0, 0.0, 1.0)
+
+
+class TestCompareTargets:
+    def test_sorted_by_waste(self):
+        targets = [
+            PFS_TARGET,
+            CheckpointTarget.from_technology(PCM, 2.0),
+            CheckpointTarget.from_technology(STTRAM, 4.0),
+        ]
+        plans = compare_targets(4 * GiB, targets)
+        wastes = [p.waste_fraction for p in plans]
+        assert wastes == sorted(wastes)
+        # Node-local NVM beats the shared PFS — the paper's motivation.
+        assert plans[0].target.name != "PFS"
+
+    def test_nvm_checkpointing_order_of_magnitude(self):
+        """4 GB to a 2 GB/s PCM: 2 s checkpoints; to a 0.2 GB/s PFS
+        share: 20 s — an order of magnitude, matching the motivation
+        for memory-speed checkpointing."""
+        pcm_plan = plan_checkpointing(
+            4 * 10**9, CheckpointTarget.from_technology(PCM, 2.0)
+        )
+        pfs_plan = plan_checkpointing(4 * 10**9, PFS_TARGET)
+        assert pfs_plan.delta_s / pcm_plan.delta_s == pytest.approx(10.0)

@@ -1,0 +1,85 @@
+"""Design-comparison attribution tests."""
+
+import pytest
+
+from repro.designs.configs import N_CONFIGS
+from repro.designs.nmm import NMMDesign
+from repro.designs.reference import ReferenceDesign
+from repro.experiments.compare import explain_difference, render_comparison
+from repro.experiments.runner import Runner
+from repro.tech.params import PCM, STTRAM
+from repro.workloads.registry import get_workload
+
+SCALE = 1.0 / 8192
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(scale=SCALE, seed=6)
+
+
+@pytest.fixture(scope="module")
+def cg():
+    return get_workload("CG")
+
+
+class TestExplainDifference:
+    def test_identical_designs_zero_delta(self, runner, cg):
+        a = NMMDesign(PCM, N_CONFIGS["N6"], scale=SCALE,
+                      reference=runner.reference)
+        b = NMMDesign(PCM, N_CONFIGS["N6"], scale=SCALE,
+                      reference=runner.reference)
+        comparison = explain_difference(runner, a, b, cg)
+        assert comparison.time_delta_ns == 0.0
+        assert comparison.dynamic_delta_pj == 0.0
+        assert comparison.static_delta_w == 0.0
+
+    def test_nvm_vs_reference_attributed_to_new_levels(self, runner, cg):
+        ref = ReferenceDesign(scale=SCALE, reference=runner.reference)
+        nmm = NMMDesign(PCM, N_CONFIGS["N6"], scale=SCALE,
+                        reference=runner.reference)
+        comparison = explain_difference(runner, ref, nmm, cg)
+        levels = {d.level: d for d in comparison.levels}
+        # The new levels appear with positive time contributions...
+        assert levels["DRAM$"].time_ns > 0
+        assert levels["NVM"].time_ns > 0
+        # ...and the removed DRAM main memory with a negative one.
+        assert levels["DRAM"].time_ns < 0
+        # SRAM levels are identical between the two designs.
+        for name in ("L1", "L2", "L3"):
+            assert levels[name].time_ns == 0.0
+
+    def test_static_delta_sign(self, runner, cg):
+        """NMM swaps footprint-sized DRAM for a small cache: static
+        power must drop."""
+        ref = ReferenceDesign(scale=SCALE, reference=runner.reference)
+        nmm = NMMDesign(PCM, N_CONFIGS["N6"], scale=SCALE,
+                        reference=runner.reference)
+        comparison = explain_difference(runner, ref, nmm, cg)
+        assert comparison.static_delta_w < 0
+
+    def test_tech_swap_attributed_to_memory_level(self, runner, cg):
+        pcm = NMMDesign(PCM, N_CONFIGS["N6"], scale=SCALE,
+                        reference=runner.reference)
+        stt = NMMDesign(STTRAM, N_CONFIGS["N6"], scale=SCALE,
+                        reference=runner.reference)
+        comparison = explain_difference(runner, pcm, stt, cg)
+        nonzero = [d.level for d in comparison.levels if d.time_ns != 0]
+        assert nonzero == ["NVM"]  # only the NVM binding changed
+
+    def test_dominant_level(self, runner, cg):
+        ref = ReferenceDesign(scale=SCALE, reference=runner.reference)
+        nmm = NMMDesign(PCM, N_CONFIGS["N6"], scale=SCALE,
+                        reference=runner.reference)
+        comparison = explain_difference(runner, ref, nmm, cg)
+        assert comparison.dominant_time_level() in ("DRAM", "DRAM$", "NVM")
+
+
+class TestRender:
+    def test_render_contains_labels_and_levels(self, runner, cg):
+        ref = ReferenceDesign(scale=SCALE, reference=runner.reference)
+        nmm = NMMDesign(PCM, N_CONFIGS["N6"], scale=SCALE,
+                        reference=runner.reference)
+        text = render_comparison(explain_difference(runner, ref, nmm, cg))
+        assert "NMM-PCM-N6 vs REF" in text
+        assert "NVM" in text and "per-level" in text

@@ -1,0 +1,204 @@
+"""Figure/table/render/CLI machinery tests (small scale, subset suite)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    FigureSeries,
+    figure1,
+    figure3,
+    figure7,
+)
+from repro.experiments.heatmap import figure9, figure10
+from repro.experiments.render import ascii_table, render_figure, render_heatmap
+from repro.experiments.runner import Runner
+from repro.experiments.tables import table1, table2, table3, table4
+from repro.tech.params import EDRAM, PCM
+from repro.workloads.registry import get_workload
+
+SCALE = 1.0 / 8192
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(scale=SCALE, seed=5)
+
+
+@pytest.fixture(scope="module")
+def mini_suite():
+    return [get_workload("CG"), get_workload("Hashing")]
+
+
+class TestTables:
+    def test_table1_rows(self):
+        headers, rows = table1()
+        assert len(rows) == 6
+        names = [r[0] for r in rows]
+        assert names == ["RAM", "PCM", "STTRAM", "FeRAM", "eDRAM", "HMC"]
+        pcm = rows[1]
+        assert pcm[1:5] == ["21", "100", "12.4", "210.3"]
+
+    def test_table2_rows(self):
+        headers, rows = table2()
+        assert len(rows) == 8
+        assert rows[0] == ["EH1", "16", "64"]
+
+    def test_table3_rows(self):
+        headers, rows = table3()
+        assert len(rows) == 9
+        assert rows[5] == ["N6", "512", "512B"]
+
+    def test_table4_rows(self):
+        headers, rows = table4()
+        assert len(rows) == 8
+        suites = {r[0] for r in rows}
+        assert suites == {"NPB", "CORAL", "Application"}
+
+
+class TestFigureMachinery:
+    def test_figure1_structure(self, runner, mini_suite):
+        fig = figure1(runner, workloads=mini_suite, nvm_techs=[PCM])
+        assert fig.metric == "time_norm"
+        assert list(fig.series) == ["PCM"]
+        assert list(fig.series["PCM"]) == [f"N{i}" for i in range(1, 10)]
+        for value in fig.series["PCM"].values():
+            assert 0.3 < value < 5.0
+
+    def test_figure_average_matches_per_workload(self, runner, mini_suite):
+        fig = figure1(runner, workloads=mini_suite, nvm_techs=[PCM])
+        for config, avg in fig.series["PCM"].items():
+            detail = fig.per_workload["PCM"][config]
+            assert avg == pytest.approx(sum(detail.values()) / len(detail))
+
+    def test_figure3_structure(self, runner, mini_suite):
+        fig = figure3(runner, workloads=mini_suite, cache_techs=[EDRAM])
+        assert list(fig.series["eDRAM"]) == [f"EH{i}" for i in range(1, 9)]
+
+    def test_figure7_per_workload_categories(self, runner, mini_suite):
+        fig = figure7(runner, workloads=mini_suite, nvm_techs=[PCM])
+        assert fig.categories == ["CG", "Hashing"]
+        assert set(fig.series["PCM"]) == {"CG", "Hashing"}
+
+    def test_best_helper(self):
+        fig = FigureSeries(
+            figure="F", title="t", metric="m", categories=["a", "b"],
+            series={"s": {"a": 2.0, "b": 1.0}},
+        )
+        assert fig.best() == ("s", "b", 1.0)
+
+    def test_best_empty_raises(self):
+        fig = FigureSeries(figure="F", title="t", metric="m", categories=[])
+        with pytest.raises(ValueError):
+            fig.best()
+
+
+class TestHeatmaps:
+    def test_figure9_grid(self, runner, mini_suite):
+        hm = figure9(runner, workloads=mini_suite, factors=(1, 5))
+        assert hm.read_factors == [1, 5]
+        assert len(hm.values) == 2 and len(hm.values[0]) == 2
+
+    def test_read_latency_hurts_more_than_write(self, runner, mini_suite):
+        """Paper: 'read operations dominate' — scaling read latency
+        costs more runtime than scaling write latency (for read-mostly
+        workloads like CG)."""
+        hm = figure9(runner, workloads=[get_workload("CG")], factors=(1, 5))
+        assert hm.at(read_x=5, write_x=1) > hm.at(read_x=1, write_x=5)
+
+    def test_monotone_in_latency(self, runner, mini_suite):
+        hm = figure9(runner, workloads=mini_suite, factors=(1, 5, 20))
+        base = hm.at(1, 1)
+        assert hm.at(5, 5) >= base
+        assert hm.at(20, 20) >= hm.at(5, 5)
+
+    def test_figure10_energy_monotone(self, runner, mini_suite):
+        hm = figure10(runner, workloads=mini_suite, factors=(1, 9))
+        assert hm.at(9, 9) > hm.at(1, 1)
+
+    def test_at_unknown_point_raises(self, runner, mini_suite):
+        hm = figure9(runner, workloads=mini_suite, factors=(1,))
+        with pytest.raises(ValueError):
+            hm.at(3, 3)
+
+
+class TestRender:
+    def test_ascii_table_alignment(self):
+        text = ascii_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[:1])) == 1
+
+    def test_render_figure_contains_values(self):
+        fig = FigureSeries(
+            figure="Figure X", title="demo", metric="time_norm",
+            categories=["c1"], series={"s": {"c1": 1.234}},
+        )
+        text = render_figure(fig)
+        assert "Figure X" in text and "1.234" in text
+
+    def test_render_heatmap(self, runner, mini_suite):
+        hm = figure9(runner, workloads=mini_suite, factors=(1, 5))
+        text = render_heatmap(hm)
+        assert "write\\read" in text
+        assert "5x" in text
+
+
+class TestCli:
+    def test_tables_command(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "PCM" in out and "Table 4" in out
+
+    def test_figure_command_small(self, capsys):
+        from repro.experiments.cli import main
+
+        code = main(
+            ["--scale", str(SCALE), "--workloads", "CG", "figure", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out and "EH1" in out
+
+    def test_unknown_figure_rejected(self):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["figure", "11"])
+
+
+class TestCliErrorsAndHeatmapCommand:
+    def test_unknown_workload_clean_error(self):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["--workloads", "NOPE", "tables"])
+
+    def test_heatmap_command(self, capsys):
+        from repro.experiments.cli import main
+
+        code = main([
+            "--scale", str(SCALE), "--workloads", "CG",
+            "heatmap", "time", "--factors", "1,5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out and "5x" in out
+
+    def test_heatmap_bad_factors(self):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit, match="factors"):
+            main(["heatmap", "time", "--factors", "1,banana"])
+
+    def test_oracle_unknown_tech(self):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit, match="unknown technology"):
+            main(["--scale", str(SCALE), "oracle", "CG", "--tech", "MRAM"])
+
+    def test_validate_command(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["validate"]) == 0
+        assert "4/4" in capsys.readouterr().out

@@ -1,0 +1,109 @@
+"""SVG plotting tests: well-formed markup, content present."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ModelError
+from repro.experiments.figures import FigureSeries
+from repro.experiments.heatmap import HeatMap
+from repro.experiments.plot import figure_to_svg, heatmap_to_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def figure():
+    return FigureSeries(
+        figure="Figure X",
+        title="demo",
+        metric="time_norm",
+        categories=["N1", "N2", "N3"],
+        series={
+            "PCM": {"N1": 1.2, "N2": 1.1, "N3": 0.9},
+            "STTRAM": {"N1": 1.3, "N2": 1.0, "N3": 0.8},
+        },
+    )
+
+
+def heatmap():
+    return HeatMap(
+        figure="Figure Y",
+        title="heat",
+        metric="time_norm",
+        read_factors=[1, 5],
+        write_factors=[1, 5],
+        values=[[1.0, 1.1], [1.05, 1.3]],
+    )
+
+
+class TestFigureSvg:
+    def test_wellformed_xml(self, tmp_path):
+        path = figure_to_svg(figure(), tmp_path / "f.svg")
+        root = ET.parse(path).getroot()
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_bar_per_point(self, tmp_path):
+        path = figure_to_svg(figure(), tmp_path / "f.svg")
+        root = ET.parse(path).getroot()
+        rects = root.findall(f".//{SVG_NS}rect")
+        # 6 data bars + 2 legend swatches.
+        assert len(rects) == 6 + 2
+
+    def test_titles_carry_values(self, tmp_path):
+        path = figure_to_svg(figure(), tmp_path / "f.svg")
+        text = path.read_text()
+        assert "PCM N1: 1.200" in text
+        assert "Figure X" in text
+
+    def test_categories_labeled(self, tmp_path):
+        path = figure_to_svg(figure(), tmp_path / "f.svg")
+        text = path.read_text()
+        for category in ("N1", "N2", "N3"):
+            assert f">{category}</text>" in text
+
+    def test_empty_rejected(self, tmp_path):
+        empty = FigureSeries(figure="F", title="t", metric="m", categories=[])
+        with pytest.raises(ModelError):
+            figure_to_svg(empty, tmp_path / "e.svg")
+
+    def test_missing_category_skipped(self, tmp_path):
+        fig = figure()
+        del fig.series["PCM"]["N2"]
+        path = figure_to_svg(fig, tmp_path / "f.svg")
+        root = ET.parse(path).getroot()
+        rects = root.findall(f".//{SVG_NS}rect")
+        assert len(rects) == 5 + 2
+
+
+class TestHeatmapSvg:
+    def test_wellformed(self, tmp_path):
+        path = heatmap_to_svg(heatmap(), tmp_path / "h.svg")
+        root = ET.parse(path).getroot()
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_cell_per_point(self, tmp_path):
+        path = heatmap_to_svg(heatmap(), tmp_path / "h.svg")
+        root = ET.parse(path).getroot()
+        rects = root.findall(f".//{SVG_NS}rect")
+        assert len(rects) == 4
+
+    def test_values_printed(self, tmp_path):
+        path = heatmap_to_svg(heatmap(), tmp_path / "h.svg")
+        text = path.read_text()
+        assert "1.30" in text and "1.00" in text
+
+    def test_extremes_get_extreme_colors(self, tmp_path):
+        from repro.experiments.plot import _heat_color
+
+        low = _heat_color(1.0, 1.0, 2.0)
+        high = _heat_color(2.0, 1.0, 2.0)
+        assert low != high
+        # Low is blue-ish (blue channel max), high is red-ish.
+        assert low.endswith("ff")
+        assert high.startswith("#ff")
+
+    def test_empty_rejected(self, tmp_path):
+        empty = HeatMap(figure="F", title="t", metric="m",
+                        read_factors=[], write_factors=[])
+        with pytest.raises(ModelError):
+            heatmap_to_svg(empty, tmp_path / "e.svg")

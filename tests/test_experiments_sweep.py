@@ -1,0 +1,100 @@
+"""Sweep machinery tests (Pareto logic unit-tested, sweep integrated)."""
+
+import pytest
+
+from repro.designs.configs import N_CONFIGS
+from repro.designs.nmm import NMMDesign
+from repro.designs.reference import ReferenceDesign
+from repro.errors import ConfigError
+from repro.experiments.runner import Runner
+from repro.experiments.sweep import (
+    SweepSummary,
+    best_by,
+    pareto_frontier,
+    run_sweep,
+    summarize,
+)
+from repro.tech.params import PCM, STTRAM
+from repro.workloads.registry import get_workload
+
+SCALE = 1.0 / 8192
+
+
+def summary(design, time, energy):
+    return SweepSummary(design=design, time_norm=time, energy_norm=energy,
+                        edp_norm=time * energy)
+
+
+class TestPareto:
+    def test_dominated_points_removed(self):
+        points = [
+            summary("good", 1.0, 1.0),
+            summary("dominated", 1.1, 1.1),
+        ]
+        frontier = pareto_frontier(points)
+        assert [s.design for s in frontier] == ["good"]
+
+    def test_tradeoff_points_kept(self):
+        points = [
+            summary("fast", 1.0, 2.0),
+            summary("efficient", 2.0, 1.0),
+        ]
+        frontier = pareto_frontier(points)
+        assert len(frontier) == 2
+
+    def test_sorted_by_time(self):
+        points = [
+            summary("b", 2.0, 1.0),
+            summary("a", 1.0, 2.0),
+        ]
+        assert [s.design for s in pareto_frontier(points)] == ["a", "b"]
+
+    def test_duplicate_points_both_survive(self):
+        points = [summary("x", 1.0, 1.0), summary("y", 1.0, 1.0)]
+        assert len(pareto_frontier(points)) == 2
+
+    def test_empty(self):
+        assert pareto_frontier([]) == []
+
+
+class TestBestBy:
+    def test_metrics(self):
+        points = [summary("a", 1.0, 3.0), summary("b", 3.0, 1.0)]
+        assert best_by(points, "time_norm").design == "a"
+        assert best_by(points, "energy_norm").design == "b"
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            best_by([], "edp_norm")
+        with pytest.raises(ConfigError):
+            best_by([summary("a", 1, 1)], "speed")
+
+
+class TestRunSweep:
+    @pytest.fixture(scope="class")
+    def runner(self):
+        return Runner(scale=SCALE, seed=2)
+
+    def test_records_and_summaries(self, runner):
+        workloads = [get_workload("CG")]
+        designs = [
+            ReferenceDesign(scale=SCALE, reference=runner.reference),
+            NMMDesign(PCM, N_CONFIGS["N6"], scale=SCALE,
+                      reference=runner.reference),
+            NMMDesign(STTRAM, N_CONFIGS["N6"], scale=SCALE,
+                      reference=runner.reference),
+        ]
+        records = run_sweep(runner, designs, workloads)
+        assert len(records) == 3
+        summaries = summarize(records)
+        assert len(summaries) == 3
+        ref = next(s for s in summaries if s.design == "REF")
+        assert ref.time_norm == pytest.approx(1.0)
+        # The frontier always contains the reference or something that
+        # dominates it.
+        frontier = pareto_frontier(summaries)
+        assert frontier
+
+    def test_empty_workloads_rejected(self, runner):
+        with pytest.raises(ConfigError):
+            run_sweep(runner, [], [])

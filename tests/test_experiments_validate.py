@@ -1,0 +1,43 @@
+"""Analytical validation tests — the simulator against closed forms."""
+
+from repro.experiments.validate import (
+    check_cyclic_sweep,
+    check_random_steady_state,
+    check_sequential,
+    check_strided,
+    validate_simulator,
+)
+
+
+class TestAnalyticalValidation:
+    def test_sequential_exact(self):
+        check = check_sequential()
+        assert check.passed, f"{check.name}: {check.expected} vs {check.measured}"
+        assert check.measured == 1.0 - 8 / 64  # exactly, for aligned sweeps
+
+    def test_strided_exact_zero(self):
+        check = check_strided()
+        assert check.measured == 0.0
+
+    def test_cyclic_lru_pathology(self):
+        check = check_cyclic_sweep()
+        assert check.passed, f"{check.name}: {check.expected} vs {check.measured}"
+
+    def test_random_steady_state(self):
+        check = check_random_steady_state()
+        assert check.passed, (
+            f"{check.name}: expected {check.expected:.4f}, "
+            f"measured {check.measured:.4f}"
+        )
+
+    def test_validate_all(self):
+        checks = validate_simulator()
+        assert len(checks) == 4
+        failures = [c for c in checks if not c.passed]
+        assert not failures, [
+            (c.name, c.expected, c.measured) for c in failures
+        ]
+
+    def test_error_property(self):
+        check = check_sequential()
+        assert check.error == abs(check.expected - check.measured)

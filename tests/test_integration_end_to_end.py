@@ -1,0 +1,143 @@
+"""End-to-end integration tests: the full pipeline and cross-module
+consistency at test scale."""
+
+import pytest
+
+from repro.designs.configs import EH_CONFIGS, N_CONFIGS
+from repro.designs.fourlc import FourLCDesign
+from repro.designs.fourlcnvm import FourLCNVMDesign
+from repro.designs.nmm import NMMDesign
+from repro.designs.reference import ReferenceDesign
+from repro.experiments.runner import Runner
+from repro.tech.params import DRAM, EDRAM, HMC, PCM
+from repro.tech.scaling import scaled_technology
+from repro.workloads.registry import get_workload
+
+SCALE = 1.0 / 8192
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(scale=SCALE, seed=11)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    # A cross-section: stencil, sparse, graph, table.
+    return [get_workload(n) for n in ("BT", "CG", "Graph500", "Hashing")]
+
+
+class TestPipelineConsistency:
+    def test_traffic_conservation_through_levels(self, runner, suite):
+        """Arrivals at level i+1 == fills + writebacks emitted by level i."""
+        design = NMMDesign(PCM, N_CONFIGS["N6"], scale=SCALE,
+                           reference=runner.reference)
+        for workload in suite:
+            stats = runner.stats_for(design, workload)
+            for upper, lower in zip(stats.levels[1:-1], stats.levels[2:]):
+                # (skip L1: local-factor injection adjusts it)
+                assert lower.accesses == upper.fills + upper.writebacks, (
+                    workload.name, upper.name, lower.name,
+                )
+
+    def test_memory_bits_match_requests(self, runner, suite):
+        design = ReferenceDesign(scale=SCALE, reference=runner.reference)
+        for workload in suite:
+            stats = runner.stats_for(design, workload)
+            mem = stats.level("DRAM")
+            # Reference memory requests are all 64 B lines.
+            assert mem.load_bits == mem.loads * 64 * 8
+            assert mem.store_bits == mem.stores * 64 * 8
+
+    def test_dram_as_nvm_recovers_near_baseline(self, runner, suite):
+        """NMM with 'NVM := DRAM parameters' differs from the baseline
+        only by the extra level's latency, never by more than the
+        DRAM$ hit cost."""
+        fake_nvm = scaled_technology(DRAM, name="DRAM-as-NVM")
+        design = NMMDesign(fake_nvm, N_CONFIGS["N3"], scale=SCALE,
+                           reference=runner.reference)
+        for workload in suite:
+            ev = runner.evaluate(design, workload)
+            assert 0.9 < ev.time_norm < 1.6, workload.name
+
+    def test_bigger_dram_cache_never_hurts_hit_rate(self, runner, suite):
+        for workload in suite:
+            rates = []
+            for cfg in ("N1", "N2", "N3"):
+                design = NMMDesign(PCM, N_CONFIGS[cfg], scale=SCALE,
+                                   reference=runner.reference)
+                stats = runner.stats_for(design, workload)
+                rates.append(stats.level("DRAM$").hit_rate)
+            assert rates[0] <= rates[2] + 0.02, workload.name
+
+    def test_hmc_never_slower_than_edram_l4(self, runner, suite):
+        """HMC's 0.18 ns access dominates eDRAM's 4.4 ns with identical
+        hit behaviour — a pure model-consistency check."""
+        for workload in suite:
+            hmc = runner.evaluate(
+                FourLCDesign(HMC, EH_CONFIGS["EH1"], scale=SCALE,
+                             reference=runner.reference),
+                workload,
+            )
+            edram = runner.evaluate(
+                FourLCDesign(EDRAM, EH_CONFIGS["EH1"], scale=SCALE,
+                             reference=runner.reference),
+                workload,
+            )
+            assert hmc.time_norm <= edram.time_norm, workload.name
+
+    def test_fourlcnvm_static_power_below_reference(self, runner, suite):
+        """Removing DRAM must remove its refresh power."""
+        for workload in suite:
+            design = FourLCNVMDesign(EDRAM, PCM, EH_CONFIGS["EH1"],
+                                     scale=SCALE, reference=runner.reference)
+            raw = runner.raw_for(design, workload)
+            ref_raw = runner.prepare(workload).ref_raw
+            assert raw.static_power_w < ref_raw.static_power_w
+
+
+class TestPaperHeadlines:
+    """The conclusions' quantitative story, at test scale."""
+
+    def test_nmm_saves_energy_at_bounded_time_cost(self, runner, suite):
+        design = NMMDesign(PCM, N_CONFIGS["N6"], scale=SCALE,
+                           reference=runner.reference)
+        energy = [runner.evaluate(design, w).energy_norm for w in suite]
+        time = [runner.evaluate(design, w).time_norm for w in suite]
+        assert sum(energy) / len(energy) < 1.0  # net saving
+        assert max(time) < 2.0  # bounded overhead
+
+    def test_combined_design_beats_nmm_and_fourlc_on_energy(self, runner, suite):
+        def avg_energy(design):
+            return sum(
+                runner.evaluate(design, w).energy_norm for w in suite
+            ) / len(suite)
+
+        combined = avg_energy(
+            FourLCNVMDesign(EDRAM, PCM, EH_CONFIGS["EH1"], scale=SCALE,
+                            reference=runner.reference)
+        )
+        nmm = avg_energy(
+            NMMDesign(PCM, N_CONFIGS["N6"], scale=SCALE,
+                      reference=runner.reference)
+        )
+        fourlc = avg_energy(
+            FourLCDesign(EDRAM, EH_CONFIGS["EH1"], scale=SCALE,
+                         reference=runner.reference)
+        )
+        assert combined < fourlc
+        assert combined < nmm * 1.1  # at least competitive with NMM
+
+    def test_evaluations_are_reproducible(self, suite):
+        """Same seed, same scale => identical results."""
+        a = Runner(scale=SCALE, seed=3)
+        b = Runner(scale=SCALE, seed=3)
+        w = suite[0]
+        design_a = NMMDesign(PCM, N_CONFIGS["N6"], scale=SCALE,
+                             reference=a.reference)
+        design_b = NMMDesign(PCM, N_CONFIGS["N6"], scale=SCALE,
+                             reference=b.reference)
+        ev_a = a.evaluate(design_a, get_workload(w.name))
+        ev_b = b.evaluate(design_b, get_workload(w.name))
+        assert ev_a.time_norm == ev_b.time_norm
+        assert ev_a.energy_j == ev_b.energy_j

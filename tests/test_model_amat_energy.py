@@ -1,0 +1,120 @@
+"""Model tests: Equations (1)-(4) on hand-computed hierarchies."""
+
+import pytest
+
+from repro.cache.stats import HierarchyStats, LevelStats
+from repro.errors import ModelError
+from repro.model.amat import amat_ns, level_time_breakdown_ns
+from repro.model.bindings import LevelBinding
+from repro.model.edp import energy_delay_product
+from repro.model.energy import (
+    dynamic_energy_breakdown_pj,
+    dynamic_energy_pj,
+    static_energy_j,
+    total_static_power_w,
+)
+from repro.model.runtime import full_run_references, scaled_runtime_s
+from repro.tech.params import PCM
+
+
+def two_level_stats():
+    """100 refs: 90 hit L1, 10 go to MEM (6 loads, 4 stores)."""
+    l1 = LevelStats(
+        name="L1", loads=80, stores=20, load_bits=80 * 64, store_bits=20 * 64,
+        load_hits=74, store_hits=16, load_misses=6, store_misses=4,
+    )
+    mem = LevelStats(
+        name="MEM", loads=6, stores=4, load_bits=6 * 512, store_bits=4 * 512,
+        load_hits=6, store_hits=4,
+    )
+    return HierarchyStats(levels=[l1, mem], references=100)
+
+
+def bindings():
+    return {
+        "L1": LevelBinding("L1", 1.0, 1.0, 0.1, 0.1, 0.05),
+        "MEM": LevelBinding("MEM", 10.0, 20.0, 5.0, 7.0, 1.0),
+    }
+
+
+class TestAmat:
+    def test_hand_computed(self):
+        # numerator = (1*80 + 1*20) + (10*6 + 20*4) = 100 + 140 = 240
+        assert amat_ns(two_level_stats(), bindings()) == pytest.approx(2.40)
+
+    def test_breakdown(self):
+        breakdown = level_time_breakdown_ns(two_level_stats(), bindings())
+        assert breakdown == {"L1": 100.0, "MEM": 140.0}
+
+    def test_zero_references_rejected(self):
+        stats = HierarchyStats(levels=[], references=0)
+        with pytest.raises(ModelError):
+            amat_ns(stats, {})
+
+    def test_missing_binding_rejected(self):
+        with pytest.raises(ModelError, match="MEM"):
+            amat_ns(two_level_stats(), {"L1": bindings()["L1"]})
+
+
+class TestEnergy:
+    def test_dynamic_hand_computed(self):
+        # L1: 0.1*(80*64) + 0.1*(20*64) = 640; MEM: 5*3072 + 7*2048 = 29696
+        breakdown = dynamic_energy_breakdown_pj(two_level_stats(), bindings())
+        assert breakdown["L1"] == pytest.approx(640.0)
+        assert breakdown["MEM"] == pytest.approx(29696.0)
+        assert dynamic_energy_pj(two_level_stats(), bindings()) == pytest.approx(
+            30336.0
+        )
+
+    def test_static_power_sums_levels(self):
+        assert total_static_power_w(bindings()) == pytest.approx(1.05)
+
+    def test_static_energy(self):
+        assert static_energy_j(10.0, bindings()) == pytest.approx(10.5)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ModelError):
+            static_energy_j(-1.0, bindings())
+
+
+class TestRuntime:
+    def test_eq1_scaling(self):
+        assert scaled_runtime_s(100.0, 3.0, 2.0) == pytest.approx(150.0)
+
+    def test_identity_when_amat_equal(self):
+        assert scaled_runtime_s(42.0, 2.0, 2.0) == 42.0
+
+    def test_full_run_references(self):
+        # 10 s at 2 ns/ref -> 5e9 references.
+        assert full_run_references(10.0, 2.0) == pytest.approx(5e9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ModelError):
+            scaled_runtime_s(10.0, 1.0, 0.0)
+        with pytest.raises(ModelError):
+            full_run_references(10.0, 0.0)
+        with pytest.raises(ModelError):
+            scaled_runtime_s(-1.0, 1.0, 1.0)
+
+
+class TestEDP:
+    def test_product(self):
+        assert energy_delay_product(3.0, 4.0) == 12.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ModelError):
+            energy_delay_product(-1.0, 1.0)
+
+
+class TestBindings:
+    def test_from_technology(self):
+        binding = LevelBinding.from_technology("NVM", PCM, 1024**3)
+        assert binding.read_ns == 21.0
+        assert binding.write_ns == 100.0
+        assert binding.static_w == 0.0
+
+    def test_negative_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            LevelBinding("X", -1, 1, 1, 1, 0)

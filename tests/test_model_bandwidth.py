@@ -1,0 +1,79 @@
+"""Bandwidth-extension tests."""
+
+import pytest
+
+from repro.cache.stats import HierarchyStats, LevelStats
+from repro.errors import ModelError
+from repro.model.amat import amat_ns
+from repro.model.bandwidth import (
+    amat_with_bandwidth_ns,
+    bandwidth_demand,
+)
+from repro.model.bindings import LevelBinding
+
+
+def stats():
+    l1 = LevelStats(
+        name="L1", loads=100, load_bits=100 * 64, load_hits=90, load_misses=10
+    )
+    mem = LevelStats(
+        name="MEM", loads=10, load_bits=10 * 512 * 8, load_hits=10
+    )
+    return HierarchyStats(levels=[l1, mem], references=100)
+
+
+def bindings():
+    return {
+        "L1": LevelBinding("L1", 1.0, 1.0, 0.1, 0.1, 0.0),
+        "MEM": LevelBinding("MEM", 10.0, 10.0, 10.0, 10.0, 0.0),
+    }
+
+
+class TestAmatWithBandwidth:
+    def test_unconstrained_recovers_eq2(self):
+        plain = amat_ns(stats(), bindings())
+        unconstrained = amat_with_bandwidth_ns(stats(), bindings(), {})
+        assert unconstrained == pytest.approx(plain)
+
+    def test_transfer_term_added(self):
+        # MEM moves 10 * 512 B at 1 GB/s = 1 ns/B -> 5120 ns extra.
+        constrained = amat_with_bandwidth_ns(
+            stats(), bindings(), {"MEM": 1.0}
+        )
+        plain = amat_ns(stats(), bindings())
+        assert constrained == pytest.approx(plain + 5120 / 100)
+
+    def test_higher_bandwidth_less_penalty(self):
+        slow = amat_with_bandwidth_ns(stats(), bindings(), {"MEM": 1.0})
+        fast = amat_with_bandwidth_ns(stats(), bindings(), {"MEM": 100.0})
+        assert fast < slow
+
+    def test_default_table_applies(self):
+        # Defaults constrain L1 and nothing named MEM.
+        value = amat_with_bandwidth_ns(stats(), bindings())
+        assert value >= amat_ns(stats(), bindings())
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ModelError):
+            amat_with_bandwidth_ns(stats(), bindings(), {"MEM": -1.0})
+
+    def test_missing_binding(self):
+        with pytest.raises(ModelError):
+            amat_with_bandwidth_ns(stats(), {"L1": bindings()["L1"]}, {})
+
+
+class TestBandwidthDemand:
+    def test_demand_computation(self):
+        # MEM moves 5120 B over 1 s -> 5.12e-6 GB/s.
+        reports = bandwidth_demand(stats(), 1.0, {"MEM": 1.0})
+        mem = next(r for r in reports if r.level == "MEM")
+        assert mem.demanded_gbs == pytest.approx(5120 / 1e9)
+        assert mem.utilization == pytest.approx(5120 / 1e9)
+
+    def test_unconstrained_zero_utilization(self):
+        reports = bandwidth_demand(stats(), 1.0, {})
+        assert all(r.utilization == 0.0 for r in reports)
+
+    def test_invalid_runtime(self):
+        with pytest.raises(ModelError):
+            bandwidth_demand(stats(), 0.0)

@@ -1,0 +1,111 @@
+"""End-to-end model evaluation tests (evaluate_stats + finalize)."""
+
+import pytest
+
+from repro.cache.stats import HierarchyStats, LevelStats
+from repro.errors import ModelError
+from repro.model.bindings import LevelBinding
+from repro.model.evaluate import (
+    WorkloadMeta,
+    evaluate_stats,
+    finalize,
+)
+
+
+def stats(mem_loads=10, mem_stores=5, name="MEM"):
+    l1 = LevelStats(
+        name="L1", loads=80, stores=20, load_bits=80 * 64, store_bits=20 * 64,
+        load_hits=70, store_hits=15, load_misses=10, store_misses=5,
+    )
+    mem = LevelStats(
+        name=name, loads=mem_loads, stores=mem_stores,
+        load_bits=mem_loads * 512, store_bits=mem_stores * 512,
+        load_hits=mem_loads, store_hits=mem_stores,
+    )
+    return HierarchyStats(levels=[l1, mem], references=100)
+
+
+def bindings(mem_read=10.0, mem_write=10.0, name="MEM", static=1.0):
+    return {
+        "L1": LevelBinding("L1", 1.0, 1.0, 0.1, 0.1, 0.05),
+        name: LevelBinding(name, mem_read, mem_write, 10.0, 10.0, static),
+    }
+
+
+META = WorkloadMeta(name="W", footprint_bytes=1 << 30, t_ref_s=100.0)
+
+
+class TestEvaluateStats:
+    def test_raw_fields(self):
+        raw = evaluate_stats("D", stats(), bindings())
+        assert raw.design_name == "D"
+        assert raw.amat_ns > 0
+        assert raw.dynamic_pj_traced > 0
+        assert raw.static_power_w == pytest.approx(1.05)
+
+
+class TestFinalize:
+    def test_reference_normalizes_to_one(self):
+        ref = evaluate_stats("REF", stats(), bindings())
+        ev = finalize(ref, ref, META)
+        assert ev.time_norm == pytest.approx(1.0)
+        assert ev.energy_norm == pytest.approx(1.0)
+        assert ev.edp_norm == pytest.approx(1.0)
+        assert ev.time_s == pytest.approx(META.t_ref_s)
+
+    def test_slower_memory_increases_time(self):
+        ref = evaluate_stats("REF", stats(), bindings())
+        slow = evaluate_stats("SLOW", stats(), bindings(mem_read=100.0))
+        ev = finalize(slow, ref, META)
+        assert ev.time_norm > 1.0
+        assert ev.time_s > META.t_ref_s
+
+    def test_lower_static_power_reduces_energy(self):
+        ref = evaluate_stats("REF", stats(), bindings(static=2.0))
+        low = evaluate_stats("LOW", stats(), bindings(static=0.5))
+        ev = finalize(low, ref, META)
+        assert ev.static_norm < 1.0
+        assert ev.energy_norm < 1.0
+
+    def test_dynamic_energy_upscaled_consistently(self):
+        """Traced dynamic energy scales by full-run/traced refs ratio."""
+        ref = evaluate_stats("REF", stats(), bindings())
+        ev = finalize(ref, ref, META)
+        n_full = META.t_ref_s / (ref.amat_ns * 1e-9)
+        upscale = n_full / 100
+        assert ev.dynamic_j == pytest.approx(
+            ref.dynamic_pj_traced * upscale * 1e-12
+        )
+
+    def test_energy_is_dynamic_plus_static(self):
+        ref = evaluate_stats("REF", stats(), bindings())
+        ev = finalize(ref, ref, META)
+        assert ev.energy_j == pytest.approx(ev.dynamic_j + ev.static_j)
+
+    def test_edp_consistency(self):
+        ref = evaluate_stats("REF", stats(), bindings())
+        ev = finalize(ref, ref, META)
+        assert ev.edp_js == pytest.approx(ev.energy_j * ev.time_s)
+
+    def test_mismatched_streams_rejected(self):
+        ref = evaluate_stats("REF", stats(), bindings())
+        other_stats = stats()
+        other_stats.references = 200
+        other = evaluate_stats("X", other_stats, bindings())
+        with pytest.raises(ModelError):
+            finalize(other, ref, META)
+
+    def test_percent_helpers(self):
+        ref = evaluate_stats("REF", stats(), bindings())
+        slow = evaluate_stats("SLOW", stats(), bindings(mem_read=100.0))
+        ev = finalize(slow, ref, META)
+        assert ev.time_overhead_pct == pytest.approx((ev.time_norm - 1) * 100)
+        assert ev.energy_saving_pct == pytest.approx((1 - ev.energy_norm) * 100)
+
+
+class TestWorkloadMeta:
+    def test_invalid_rejected(self):
+        with pytest.raises(ModelError):
+            WorkloadMeta(name="X", footprint_bytes=0, t_ref_s=1.0)
+        with pytest.raises(ModelError):
+            WorkloadMeta(name="X", footprint_bytes=1, t_ref_s=0.0)

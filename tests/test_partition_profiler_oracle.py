@@ -1,0 +1,163 @@
+"""Range profiler and placement oracle tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.model.evaluate import Evaluation
+from repro.partition.oracle import enumerate_placements
+from repro.partition.profiler import RangeProfile, profile_ranges
+from repro.partition.ranges import AddressRange
+from repro.trace.tracer import Tracer
+
+
+def traced_run(hot_accesses=900, cold_accesses=100):
+    """Two regions: 'hot' gets most references, 'cold' a few."""
+    tracer = Tracer()
+    hot = tracer.array("hot", (1024,))
+    cold = tracer.array("cold", (1024,))
+    rng = np.random.default_rng(0)
+    hot_idx = rng.integers(0, 1024, hot_accesses)
+    cold_idx = rng.integers(0, 1024, cold_accesses)
+    _ = hot[hot_idx]
+    cold[cold_idx] = 1.0
+    return tracer
+
+
+class TestProfiler:
+    def test_hot_range_identified_first(self):
+        tracer = traced_run()
+        profiles = profile_ranges(tracer.stream, tracer, coverage=0.99, merge_gap=0)
+        assert profiles[0].range.label == "hot"
+        assert profiles[0].loads == 900
+
+    def test_store_fraction(self):
+        tracer = traced_run()
+        profiles = profile_ranges(tracer.stream, tracer, coverage=0.999, merge_gap=0)
+        cold = next(p for p in profiles if "cold" in p.range.label)
+        assert cold.store_fraction == 1.0
+
+    def test_coverage_limits_ranges(self):
+        tracer = traced_run(hot_accesses=990, cold_accesses=10)
+        profiles = profile_ranges(tracer.stream, tracer, coverage=0.9, merge_gap=0)
+        assert len(profiles) == 1
+
+    def test_merge_gap_joins_adjacent_regions(self):
+        tracer = traced_run()
+        # Regions are ~8 KiB each, separated by a guard page.
+        profiles = profile_ranges(
+            tracer.stream, tracer, coverage=0.999, merge_gap=64 * 1024
+        )
+        assert len(profiles) == 1
+        assert profiles[0].references == 1000
+
+    def test_empty_stream(self):
+        tracer = Tracer()
+        tracer.allocate("unused", 64)
+        assert profile_ranges(tracer.stream, tracer) == []
+
+    def test_no_regions(self):
+        assert profile_ranges(Tracer().stream, Tracer()) == []
+
+    def test_invalid_coverage(self):
+        tracer = traced_run()
+        with pytest.raises(ConfigError):
+            profile_ranges(tracer.stream, tracer, coverage=0.0)
+
+    def test_max_ranges_cap(self):
+        tracer = Tracer()
+        arrays = [tracer.array(f"a{i}", (128,)) for i in range(6)]
+        for a in arrays:
+            _ = a[:]
+        profiles = profile_ranges(
+            tracer.stream, tracer, coverage=1.0, merge_gap=0, max_ranges=3
+        )
+        assert len(profiles) <= 3
+
+
+def fake_evaluation(edp):
+    return Evaluation(
+        design_name="D", workload="W", time_s=1.0, dynamic_j=1.0,
+        static_j=1.0, energy_j=2.0, edp_js=edp, amat_ns=1.0,
+        time_norm=1.0, energy_norm=1.0, dynamic_norm=1.0,
+        static_norm=1.0, edp_norm=1.0,
+    )
+
+
+class TestOracle:
+    def candidates(self):
+        return [
+            RangeProfile(AddressRange(0, 1000, "a"), 10, 0, 80, 0),
+            RangeProfile(AddressRange(2000, 3000, "b"), 5, 0, 40, 0),
+        ]
+
+    def test_single_range_placements_plus_all(self):
+        seen = []
+
+        def evaluate(ranges):
+            seen.append(tuple(r.label for r in ranges))
+            return fake_evaluation(1.0)
+
+        enumerate_placements(
+            self.candidates(), evaluate,
+            footprint_bytes=4000, dram_capacity_bytes=10_000,
+        )
+        assert ("a",) in seen and ("b",) in seen
+        assert ("a", "b") in seen  # the all-candidates extreme
+
+    def test_sorted_by_objective(self):
+        scores = {"a": 5.0, "b": 1.0}
+
+        def evaluate(ranges):
+            return fake_evaluation(scores[ranges[0].label] if len(ranges) == 1 else 9.0)
+
+        results = enumerate_placements(
+            self.candidates(), evaluate,
+            footprint_bytes=4000, dram_capacity_bytes=10_000,
+        )
+        assert results[0].nvm_ranges[0].label == "b"
+
+    def test_feasibility_flag(self):
+        def evaluate(ranges):
+            return fake_evaluation(1.0)
+
+        results = enumerate_placements(
+            self.candidates(), evaluate,
+            footprint_bytes=4000, dram_capacity_bytes=500,
+        )
+        # Placing only 'b' (1000 B) leaves 3000 B for a 500 B DRAM: infeasible.
+        infeasible = [r for r in results if not r.feasible]
+        assert infeasible
+        # Infeasible placements sort after feasible ones.
+        flags = [r.feasible for r in results]
+        assert flags == sorted(flags, reverse=True)
+
+    def test_dram_bytes_required(self):
+        def evaluate(ranges):
+            return fake_evaluation(1.0)
+
+        results = enumerate_placements(
+            self.candidates(), evaluate,
+            footprint_bytes=4000, dram_capacity_bytes=10_000,
+            include_all_nvm=False,
+        )
+        by_label = {r.nvm_ranges[0].label: r for r in results}
+        assert by_label["a"].dram_bytes_required == 3000
+        assert by_label["b"].dram_bytes_required == 3000
+
+    def test_objective_validation(self):
+        with pytest.raises(ConfigError):
+            enumerate_placements(
+                self.candidates(), lambda r: fake_evaluation(1.0),
+                footprint_bytes=1, dram_capacity_bytes=1, objective="speed",
+            )
+
+    def test_label(self):
+        def evaluate(ranges):
+            return fake_evaluation(1.0)
+
+        results = enumerate_placements(
+            self.candidates(), evaluate,
+            footprint_bytes=4000, dram_capacity_bytes=10_000,
+        )
+        assert any("a" in r.label for r in results)

@@ -1,0 +1,80 @@
+"""Address-range algebra tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.partition.ranges import AddressRange, merge_close_ranges, total_span
+
+
+class TestAddressRange:
+    def test_size(self):
+        assert AddressRange(10, 20).size == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressRange(10, 10)
+        with pytest.raises(ConfigError):
+            AddressRange(20, 10)
+
+    def test_contains(self):
+        r = AddressRange(10, 20)
+        assert r.contains(10) and r.contains(19)
+        assert not r.contains(9) and not r.contains(20)
+
+    def test_overlaps(self):
+        a = AddressRange(0, 10)
+        assert a.overlaps(AddressRange(5, 15))
+        assert not a.overlaps(AddressRange(10, 20))  # adjacent, half-open
+
+    def test_gap(self):
+        a, b = AddressRange(0, 10), AddressRange(25, 30)
+        assert a.gap_to(b) == 15
+        assert b.gap_to(a) == 15
+        assert a.gap_to(AddressRange(5, 8)) == 0
+
+    def test_merge_covers_both(self):
+        merged = AddressRange(0, 10, "a").merge(AddressRange(20, 30, "b"))
+        assert (merged.start, merged.end) == (0, 30)
+        assert merged.label == "a+b"
+
+
+class TestMergeCloseRanges:
+    def test_merges_within_gap(self):
+        out = merge_close_ranges(
+            [AddressRange(0, 10), AddressRange(15, 20)], max_gap=5
+        )
+        assert len(out) == 1
+        assert (out[0].start, out[0].end) == (0, 20)
+
+    def test_keeps_far_ranges_apart(self):
+        out = merge_close_ranges(
+            [AddressRange(0, 10), AddressRange(100, 110)], max_gap=5
+        )
+        assert len(out) == 2
+
+    def test_unsorted_input(self):
+        out = merge_close_ranges(
+            [AddressRange(100, 110), AddressRange(0, 10), AddressRange(8, 50)],
+            max_gap=0,
+        )
+        assert [(r.start, r.end) for r in out] == [(0, 50), (100, 110)]
+
+    def test_chain_merging(self):
+        ranges = [AddressRange(i * 10, i * 10 + 8) for i in range(5)]
+        out = merge_close_ranges(ranges, max_gap=2)
+        assert len(out) == 1
+
+    def test_empty(self):
+        assert merge_close_ranges([], 10) == []
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ConfigError):
+            merge_close_ranges([AddressRange(0, 1)], -1)
+
+
+class TestTotalSpan:
+    def test_sum(self):
+        assert total_span([AddressRange(0, 10), AddressRange(20, 25)]) == 15
+
+    def test_empty(self):
+        assert total_span([]) == 0

@@ -1,0 +1,242 @@
+"""Property-based tests: the cache engine against an executable oracle.
+
+The oracle is a dict/list LRU model written for clarity, not speed; the
+engine (vectorized, run-collapsed, hashed variants) must agree with it
+exactly on hit/miss/writeback accounting for arbitrary access patterns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.config import CacheConfig
+from repro.cache.setassoc import SetAssociativeCache
+from repro.trace.events import AccessBatch
+from repro.units import KiB
+
+
+class OracleLRU:
+    """Straight-line LRU write-back cache model (block granularity)."""
+
+    def __init__(self, capacity, ways, block):
+        self.block_bits = block.bit_length() - 1
+        self.nsets = capacity // (block * ways)
+        self.ways = ways
+        self.sets = [[] for _ in range(self.nsets)]
+        self.dirty = set()
+        self.hits = self.misses = self.writebacks = 0
+
+    def access(self, addr, is_store):
+        blk = addr >> self.block_bits
+        s = self.sets[blk % self.nsets]
+        if blk in s:
+            s.remove(blk)
+            s.insert(0, blk)
+            self.hits += 1
+        else:
+            self.misses += 1
+            s.insert(0, blk)
+            if len(s) > self.ways:
+                victim = s.pop()
+                if victim in self.dirty:
+                    self.dirty.discard(victim)
+                    self.writebacks += 1
+        if is_store:
+            self.dirty.add(blk)
+
+
+accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4 * KiB - 8),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=300,
+)
+
+
+@given(accesses)
+@settings(max_examples=60, deadline=None)
+def test_engine_matches_oracle(pattern):
+    engine = SetAssociativeCache(CacheConfig("E", 1 * KiB, 2, 64))
+    oracle = OracleLRU(1 * KiB, 2, 64)
+    addrs = np.array([a for a, _ in pattern], dtype=np.uint64)
+    kinds = np.array([int(s) for _, s in pattern], dtype=np.uint8)
+    engine.process(AccessBatch.from_lists(addrs, 8, kinds))
+    for a, s in pattern:
+        oracle.access(a, s)
+    assert engine.stats.hits == oracle.hits
+    assert engine.stats.misses == oracle.misses
+    assert engine.stats.writebacks == oracle.writebacks
+
+
+@given(accesses, st.integers(min_value=1, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_chunking_invariance(pattern, n_chunks):
+    """Splitting a stream into arbitrary chunks must not change stats."""
+    addrs = np.array([a for a, _ in pattern], dtype=np.uint64)
+    kinds = np.array([int(s) for _, s in pattern], dtype=np.uint8)
+    whole = SetAssociativeCache(CacheConfig("W", 1 * KiB, 2, 64))
+    whole.process(AccessBatch.from_lists(addrs, 8, kinds))
+    split = SetAssociativeCache(CacheConfig("W", 1 * KiB, 2, 64))
+    for part_a, part_k in zip(
+        np.array_split(addrs, n_chunks), np.array_split(kinds, n_chunks)
+    ):
+        if len(part_a):
+            split.process(AccessBatch.from_lists(part_a, 8, part_k))
+    assert whole.stats.as_dict() == split.stats.as_dict()
+
+
+@given(accesses)
+@settings(max_examples=40, deadline=None)
+def test_conservation_laws(pattern):
+    """hits + misses == accesses; fills == misses; writebacks <= fills
+    history; resident blocks <= capacity."""
+    cache = SetAssociativeCache(CacheConfig("C", 512, 2, 64))
+    addrs = np.array([a for a, _ in pattern], dtype=np.uint64)
+    kinds = np.array([int(s) for _, s in pattern], dtype=np.uint8)
+    cache.process(AccessBatch.from_lists(addrs, 8, kinds))
+    stats = cache.stats
+    assert stats.hits + stats.misses == stats.accesses == len(pattern)
+    assert stats.fills == stats.misses
+    assert stats.writebacks <= stats.fills
+    assert cache.resident_blocks() <= cache.config.num_blocks
+
+
+@given(accesses)
+@settings(max_examples=40, deadline=None)
+def test_downstream_volume_conservation(pattern):
+    """Every emitted fill is a load of exactly one block; every emitted
+    writeback is a store of one block; their counts match the stats."""
+    cache = SetAssociativeCache(CacheConfig("C", 512, 2, 64))
+    addrs = np.array([a for a, _ in pattern], dtype=np.uint64)
+    kinds = np.array([int(s) for _, s in pattern], dtype=np.uint8)
+    out = cache.process(AccessBatch.from_lists(addrs, 8, kinds))
+    fills = int((out.is_store == 0).sum())
+    writebacks = int((out.is_store == 1).sum())
+    assert fills == cache.stats.fills
+    assert writebacks == cache.stats.writebacks
+    assert all(size == 64 for size in out.sizes.tolist())
+
+
+@given(accesses)
+@settings(max_examples=40, deadline=None)
+def test_sectored_writeback_subset_of_stores(pattern):
+    """A sectored cache may only write back sectors that were stored to."""
+    cache = SetAssociativeCache(
+        CacheConfig("P", 2 * KiB, 2, 256, sector_size=64)
+    )
+    addrs = np.array([a for a, _ in pattern], dtype=np.uint64)
+    kinds = np.array([int(s) for _, s in pattern], dtype=np.uint8)
+    out = cache.process(AccessBatch.from_lists(addrs, 8, kinds))
+    flushed = cache.flush_dirty()
+    stored_sectors = {
+        (int(a) >> 6) for a, s in pattern if s
+    }
+    written_back = set()
+    for batch in (out, flushed):
+        for addr, is_store in zip(batch.addresses, batch.is_store):
+            if is_store:
+                written_back.add(int(addr) >> 6)
+    assert written_back <= stored_sectors
+
+
+@given(accesses)
+@settings(max_examples=30, deadline=None)
+def test_sectored_page_hit_rate_at_least_unsectored(pattern):
+    """Sectoring changes writebacks only, never hits/misses."""
+    addrs = np.array([a for a, _ in pattern], dtype=np.uint64)
+    kinds = np.array([int(s) for _, s in pattern], dtype=np.uint8)
+    plain = SetAssociativeCache(CacheConfig("A", 2 * KiB, 2, 256))
+    sect = SetAssociativeCache(
+        CacheConfig("B", 2 * KiB, 2, 256, sector_size=64)
+    )
+    plain.process(AccessBatch.from_lists(addrs, 8, kinds))
+    sect.process(AccessBatch.from_lists(addrs, 8, kinds))
+    assert plain.stats.hits == sect.stats.hits
+    assert plain.stats.misses == sect.stats.misses
+
+
+class OracleHashedLRU(OracleLRU):
+    """Oracle variant using the engine's multiplicative set hash."""
+
+    def access(self, addr, is_store):
+        blk = addr >> self.block_bits
+        set_index = ((blk * 2654435761) >> 15) & (self.nsets - 1)
+        s = self.sets[set_index]
+        if blk in s:
+            s.remove(blk)
+            s.insert(0, blk)
+            self.hits += 1
+        else:
+            self.misses += 1
+            s.insert(0, blk)
+            if len(s) > self.ways:
+                victim = s.pop()
+                if victim in self.dirty:
+                    self.dirty.discard(victim)
+                    self.writebacks += 1
+        if is_store:
+            self.dirty.add(blk)
+
+
+@given(accesses)
+@settings(max_examples=50, deadline=None)
+def test_hashed_engine_matches_hashed_oracle(pattern):
+    engine = SetAssociativeCache(
+        CacheConfig("H", 1 * KiB, 2, 64, hashed_sets=True)
+    )
+    oracle = OracleHashedLRU(1 * KiB, 2, 64)
+    addrs = np.array([a for a, _ in pattern], dtype=np.uint64)
+    kinds = np.array([int(s) for _, s in pattern], dtype=np.uint8)
+    engine.process(AccessBatch.from_lists(addrs, 8, kinds))
+    for a, s in pattern:
+        oracle.access(a, s)
+    assert engine.stats.hits == oracle.hits
+    assert engine.stats.misses == oracle.misses
+    assert engine.stats.writebacks == oracle.writebacks
+
+
+class OracleFIFO:
+    """Straight-line FIFO write-back model."""
+
+    def __init__(self, capacity, ways, block):
+        self.block_bits = block.bit_length() - 1
+        self.nsets = capacity // (block * ways)
+        self.ways = ways
+        self.sets = [[] for _ in range(self.nsets)]
+        self.dirty = set()
+        self.hits = self.misses = self.writebacks = 0
+
+    def access(self, addr, is_store):
+        blk = addr >> self.block_bits
+        s = self.sets[blk % self.nsets]
+        if blk in s:
+            self.hits += 1  # no recency update under FIFO
+        else:
+            self.misses += 1
+            s.insert(0, blk)
+            if len(s) > self.ways:
+                victim = s.pop()
+                if victim in self.dirty:
+                    self.dirty.discard(victim)
+                    self.writebacks += 1
+        if is_store:
+            self.dirty.add(blk)
+
+
+@given(accesses)
+@settings(max_examples=50, deadline=None)
+def test_fifo_engine_matches_fifo_oracle(pattern):
+    engine = SetAssociativeCache(CacheConfig("F", 1 * KiB, 2, 64, policy="fifo"))
+    oracle = OracleFIFO(1 * KiB, 2, 64)
+    addrs = np.array([a for a, _ in pattern], dtype=np.uint64)
+    kinds = np.array([int(s) for _, s in pattern], dtype=np.uint8)
+    engine.process(AccessBatch.from_lists(addrs, 8, kinds))
+    for a, s in pattern:
+        oracle.access(a, s)
+    assert engine.stats.hits == oracle.hits
+    assert engine.stats.misses == oracle.misses
+    assert engine.stats.writebacks == oracle.writebacks

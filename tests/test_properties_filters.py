@@ -1,0 +1,104 @@
+"""Property-based tests for stream transforms."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.filters import (
+    filter_range,
+    interleave_streams,
+    loads_only,
+    sample_stream,
+    split_windows,
+    stores_only,
+)
+from repro.trace.stream import AddressStream
+
+
+@st.composite
+def streams(draw):
+    n = draw(st.integers(min_value=0, max_value=400))
+    chunk = draw(st.integers(min_value=1, max_value=64))
+    addrs = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=1 << 20),
+            min_size=n, max_size=n,
+        )
+    )
+    kinds = draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+    s = AddressStream(chunk_events=chunk)
+    if n:
+        s.append(np.array(addrs, dtype=np.uint64), 8,
+                 np.array(kinds, dtype=np.uint8))
+    return s
+
+
+@given(streams(), st.integers(min_value=1, max_value=10))
+@settings(max_examples=60, deadline=None)
+def test_split_windows_is_a_partition(stream, n_windows):
+    windows = split_windows(stream, n_windows)
+    assert len(windows) == n_windows
+    assert sum(len(w) for w in windows) == len(stream)
+    if len(stream):
+        original = stream.as_batch().addresses
+        merged = np.concatenate(
+            [w.as_batch().addresses for w in windows if len(w)]
+        )
+        assert np.array_equal(merged, original)
+
+
+@given(streams(), st.integers(min_value=1, max_value=17))
+@settings(max_examples=60, deadline=None)
+def test_sampling_count_and_membership(stream, keep_every):
+    sampled = sample_stream(stream, keep_every)
+    expected = (len(stream) + keep_every - 1) // keep_every
+    assert len(sampled) == expected
+    if len(stream):
+        original = stream.as_batch().addresses
+        picked = sampled.as_batch().addresses
+        assert np.array_equal(picked, original[::keep_every])
+
+
+@given(streams())
+@settings(max_examples=60, deadline=None)
+def test_kind_filters_partition_the_stream(stream):
+    loads = loads_only(stream)
+    stores = stores_only(stream)
+    assert len(loads) + len(stores) == len(stream)
+    assert loads.stats().stores == 0
+    assert stores.stats().loads == 0
+
+
+@given(streams(), st.integers(min_value=0, max_value=1 << 19))
+@settings(max_examples=60, deadline=None)
+def test_range_filter_partition(stream, start):
+    end = start + 4096
+    inside = filter_range(stream, start, end)
+    outside = filter_range(stream, start, end, invert=True)
+    assert len(inside) + len(outside) == len(stream)
+    if len(inside):
+        addrs = inside.as_batch().addresses
+        assert addrs.min() >= start and addrs.max() < end
+
+
+@given(st.lists(streams(), min_size=1, max_size=4),
+       st.integers(min_value=1, max_value=50))
+@settings(max_examples=40, deadline=None)
+def test_interleave_preserves_events_and_per_stream_order(stream_list, granule):
+    mixed = interleave_streams(stream_list, granule=granule)
+    assert len(mixed) == sum(len(s) for s in stream_list)
+    # Per-stream relative order is preserved: filter the mix back by
+    # each source's address multiset is weaker; instead check the first
+    # stream's subsequence order via positions of its exact batch.
+    if stream_list and len(stream_list[0]):
+        first = stream_list[0].as_batch().addresses
+        mixed_addrs = mixed.as_batch().addresses.tolist()
+        # Walk the mix consuming the first stream's events greedily;
+        # all must be found in order (multiset-subsequence check).
+        it = iter(mixed_addrs)
+        for addr in first.tolist():
+            for candidate in it:
+                if candidate == addr:
+                    break
+            else:
+                raise AssertionError("first stream's order not preserved")

@@ -1,0 +1,119 @@
+"""Cost-model tests."""
+
+import pytest
+
+from repro.designs.configs import EH_CONFIGS, N_CONFIGS
+from repro.designs.fourlc import FourLCDesign
+from repro.designs.fourlcnvm import FourLCNVMDesign
+from repro.designs.ndm import NDMDesign
+from repro.designs.nmm import NMMDesign
+from repro.designs.reference import ReferenceDesign
+from repro.errors import ModelError
+from repro.model.evaluate import Evaluation
+from repro.tech.cost import (
+    PRICE_PER_GB,
+    design_capacities_gb,
+    estimate_cost,
+    memory_capital_cost,
+)
+from repro.tech.params import EDRAM, PCM
+from repro.units import GiB
+
+
+def evaluation(energy_j=100.0, time_norm=1.0):
+    return Evaluation(
+        design_name="D", workload="W", time_s=10.0, dynamic_j=energy_j / 2,
+        static_j=energy_j / 2, energy_j=energy_j, edp_js=energy_j * 10,
+        amat_ns=2.0, time_norm=time_norm, energy_norm=1.0,
+        dynamic_norm=1.0, static_norm=1.0, edp_norm=1.0,
+    )
+
+
+class TestCapitalCost:
+    def test_simple(self):
+        assert memory_capital_cost({"DRAM": 4.0}) == pytest.approx(
+            4.0 * PRICE_PER_GB["DRAM"]
+        )
+
+    def test_mixed(self):
+        cost = memory_capital_cost({"DRAM": 0.5, "PCM": 4.0})
+        assert cost == pytest.approx(0.5 * 8.0 + 4.0 * 4.0)
+
+    def test_case_insensitive(self):
+        assert memory_capital_cost({"pcm": 1.0}) == PRICE_PER_GB["PCM"]
+
+    def test_unknown_technology_rejected(self):
+        with pytest.raises(ModelError):
+            memory_capital_cost({"MRAM9000": 1.0})
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ModelError):
+            memory_capital_cost({"DRAM": -1.0})
+
+    def test_pcm_cheaper_per_gb_than_dram(self):
+        """The premise of the capacity argument."""
+        assert PRICE_PER_GB["PCM"] < PRICE_PER_GB["DRAM"]
+
+
+class TestEstimate:
+    def test_components(self):
+        est = estimate_cost(
+            evaluation(energy_j=3.6e6),  # exactly 1 kWh per run
+            {"DRAM": 1.0},
+            runs_amortized=10,
+            dollars_per_kwh=0.10,
+        )
+        assert est.capital_dollars == pytest.approx(8.0)
+        assert est.energy_dollars == pytest.approx(1.0)
+        assert est.total_dollars == pytest.approx(9.0)
+
+    def test_cost_performance_scales_with_time(self):
+        fast = estimate_cost(evaluation(time_norm=1.0), {"DRAM": 1.0})
+        slow = estimate_cost(evaluation(time_norm=2.0), {"DRAM": 1.0})
+        assert slow.cost_performance == pytest.approx(2 * fast.cost_performance)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            estimate_cost(evaluation(), {"DRAM": 1.0}, runs_amortized=0)
+
+
+class TestDesignCapacities:
+    FOOTPRINT = 4 * GiB
+
+    def test_reference(self):
+        caps = design_capacities_gb(ReferenceDesign(), self.FOOTPRINT)
+        assert caps == {"DRAM": 4.0}
+
+    def test_nmm_swaps_dram_for_nvm(self):
+        design = NMMDesign(PCM, N_CONFIGS["N3"])
+        caps = design_capacities_gb(design, self.FOOTPRINT)
+        assert caps["DRAM"] == 0.5  # 512 MB cache
+        assert caps["PCM"] == 4.0
+
+    def test_nmm_cheaper_capital_than_reference_at_capacity(self):
+        """The paper's capacity argument, priced: NVM main memory costs
+        less than footprint-sized DRAM."""
+        ref = memory_capital_cost(
+            design_capacities_gb(ReferenceDesign(), self.FOOTPRINT)
+        )
+        nmm = memory_capital_cost(
+            design_capacities_gb(NMMDesign(PCM, N_CONFIGS["N3"]), self.FOOTPRINT)
+        )
+        assert nmm < ref
+
+    def test_fourlc(self):
+        design = FourLCDesign(EDRAM, EH_CONFIGS["EH1"])
+        caps = design_capacities_gb(design, self.FOOTPRINT)
+        assert caps["eDRAM"] == pytest.approx(16 / 1024)
+        assert caps["DRAM"] == 4.0
+
+    def test_fourlcnvm_has_no_dram(self):
+        design = FourLCNVMDesign(EDRAM, PCM, EH_CONFIGS["EH1"])
+        caps = design_capacities_gb(design, self.FOOTPRINT)
+        assert "DRAM" not in caps
+
+    def test_ndm(self):
+        design = NDMDesign(PCM, [])
+        caps = design_capacities_gb(design, self.FOOTPRINT)
+        assert caps["DRAM"] == 0.5
+        assert caps["PCM"] == 4.0

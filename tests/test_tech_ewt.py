@@ -1,0 +1,51 @@
+"""Early-write-termination tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.tech.ewt import with_early_write_termination
+from repro.tech.params import DRAM, PCM, STTRAM
+
+
+class TestEWT:
+    def test_write_energy_reduced(self):
+        ewt = with_early_write_termination(PCM, redundancy=0.6, efficiency=0.9)
+        assert ewt.write_energy_pj_per_bit == pytest.approx(210.3 * (1 - 0.54))
+
+    def test_read_energy_and_latencies_unchanged(self):
+        ewt = with_early_write_termination(PCM)
+        assert ewt.read_energy_pj_per_bit == PCM.read_energy_pj_per_bit
+        assert ewt.write_delay_ns == PCM.write_delay_ns
+        assert ewt.read_delay_ns == PCM.read_delay_ns
+
+    def test_name_annotated(self):
+        assert with_early_write_termination(STTRAM).name == "STTRAM+EWT"
+
+    def test_original_untouched(self):
+        with_early_write_termination(PCM)
+        assert PCM.write_energy_pj_per_bit == 210.3
+
+    def test_volatile_rejected(self):
+        with pytest.raises(ConfigError):
+            with_early_write_termination(DRAM)
+
+    def test_parameter_bounds(self):
+        with pytest.raises(ConfigError):
+            with_early_write_termination(PCM, redundancy=1.5)
+        with pytest.raises(ConfigError):
+            with_early_write_termination(PCM, efficiency=-0.1)
+
+    def test_zero_redundancy_identity(self):
+        ewt = with_early_write_termination(PCM, redundancy=0.0)
+        assert ewt.write_energy_pj_per_bit == PCM.write_energy_pj_per_bit
+
+    def test_usable_in_designs(self):
+        """The transformed tech slots straight into NMM."""
+        from repro.designs.configs import N_CONFIGS
+        from repro.designs.nmm import NMMDesign
+
+        design = NMMDesign(
+            with_early_write_termination(PCM), N_CONFIGS["N6"], scale=1 / 4096
+        )
+        bindings = design.lower_bindings(1 << 30)
+        assert bindings["NVM"].write_pj_per_bit < PCM.write_energy_pj_per_bit

@@ -1,0 +1,114 @@
+"""mini-CACTI, DRAM power, and technology scaling tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.tech.dram_power import (
+    DDR3_STATIC_MW_PER_MB,
+    dram_static_power_w,
+    edram_refresh_power_w,
+    refresh_energy_j,
+)
+from repro.tech.minicacti import estimate_sram_cache
+from repro.tech.params import DRAM, PCM
+from repro.tech.scaling import scaled_technology
+from repro.units import GiB, KiB, MiB
+
+
+class TestMiniCacti:
+    def test_latency_pyramid(self):
+        """L1 < L2 < L3 latency, in the CACTI ballpark."""
+        l1 = estimate_sram_cache(32 * KiB, 8)
+        l2 = estimate_sram_cache(256 * KiB, 8)
+        l3 = estimate_sram_cache(20 * MiB, 20)
+        assert l1.access_ns < l2.access_ns < l3.access_ns
+        assert 0.5 < l1.access_ns < 2.5  # ~4 cycles at 3 GHz
+        assert 5.0 < l3.access_ns < 15.0
+
+    def test_energy_grows_with_capacity(self):
+        small = estimate_sram_cache(32 * KiB, 8)
+        big = estimate_sram_cache(20 * MiB, 8)
+        assert big.energy_pj_per_bit > small.energy_pj_per_bit
+
+    def test_energy_grows_with_associativity(self):
+        low = estimate_sram_cache(1 * MiB, 2)
+        high = estimate_sram_cache(1 * MiB, 16)
+        assert high.energy_pj_per_bit > low.energy_pj_per_bit
+
+    def test_leakage_proportional_to_capacity(self):
+        a = estimate_sram_cache(1 * MiB, 8)
+        b = estimate_sram_cache(2 * MiB, 8)
+        assert b.leakage_w == pytest.approx(2 * a.leakage_w)
+
+    def test_sram_cheaper_per_bit_than_dram_access(self):
+        # On-chip SRAM reads must cost less per bit than a DRAM access.
+        l3 = estimate_sram_cache(20 * MiB, 20)
+        assert l3.energy_pj_per_bit < DRAM.read_energy_pj_per_bit
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            estimate_sram_cache(0, 8)
+        with pytest.raises(ConfigError):
+            estimate_sram_cache(1024, 0)
+
+
+class TestDramPower:
+    def test_density_constant(self):
+        assert dram_static_power_w(1 * MiB) == pytest.approx(
+            DDR3_STATIC_MW_PER_MB / 1000
+        )
+
+    def test_4gb_in_watt_ballpark(self):
+        # ~1 W/GB RDIMM planning number -> ~4 W for 4 GB.
+        assert 1.0 < dram_static_power_w(4 * GiB) < 8.0
+
+    def test_edram_refresh_at_least_dram_density(self):
+        assert edram_refresh_power_w(1 * MiB) >= dram_static_power_w(1 * MiB)
+
+    def test_refresh_energy(self):
+        energy = refresh_energy_j(1024 * MiB, 10.0)
+        assert energy == pytest.approx(dram_static_power_w(1024 * MiB) * 10.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            dram_static_power_w(-1)
+        with pytest.raises(ConfigError):
+            refresh_energy_j(1024, -1.0)
+
+
+class TestScaledTechnology:
+    def test_latency_scaling(self):
+        t = scaled_technology(DRAM, read_latency_x=5, write_latency_x=2)
+        assert t.read_delay_ns == 50.0
+        assert t.write_delay_ns == 20.0
+
+    def test_energy_scaling(self):
+        t = scaled_technology(DRAM, read_energy_x=3)
+        assert t.read_energy_pj_per_bit == 30.0
+        assert t.write_energy_pj_per_bit == 10.0
+
+    def test_static_zeroed_makes_nonvolatile(self):
+        t = scaled_technology(DRAM, static_x=0.0)
+        assert t.static_mw_per_mb == 0.0
+        assert not t.volatile
+
+    def test_base_unmodified(self):
+        scaled_technology(PCM, read_latency_x=10)
+        assert PCM.read_delay_ns == 21.0
+
+    def test_custom_name(self):
+        t = scaled_technology(DRAM, read_latency_x=2, name="HYP")
+        assert t.name == "HYP"
+
+    def test_default_name_annotated(self):
+        t = scaled_technology(DRAM, read_latency_x=2)
+        assert "DRAM" in t.name and "2" in t.name
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ConfigError):
+            scaled_technology(DRAM, read_latency_x=-1)
+
+    def test_identity(self):
+        t = scaled_technology(DRAM)
+        assert t.read_delay_ns == DRAM.read_delay_ns
+        assert t.volatile

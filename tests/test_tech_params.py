@@ -1,0 +1,115 @@
+"""Technology parameter registry tests (Table 1 fidelity)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.tech.params import (
+    DRAM,
+    EDRAM,
+    FERAM,
+    HMC,
+    PCM,
+    STTRAM,
+    TECHNOLOGIES,
+    MemoryTechnology,
+    get_technology,
+    nvm_technologies,
+    volatile_cache_technologies,
+)
+from repro.units import MiB
+
+
+class TestTable1Values:
+    """The published Table 1 numbers, verbatim."""
+
+    def test_dram(self):
+        assert (DRAM.read_delay_ns, DRAM.write_delay_ns) == (10.0, 10.0)
+        assert (DRAM.read_energy_pj_per_bit, DRAM.write_energy_pj_per_bit) == (
+            10.0,
+            10.0,
+        )
+
+    def test_pcm(self):
+        assert (PCM.read_delay_ns, PCM.write_delay_ns) == (21.0, 100.0)
+        assert (PCM.read_energy_pj_per_bit, PCM.write_energy_pj_per_bit) == (
+            12.4,
+            210.3,
+        )
+
+    def test_sttram(self):
+        assert (STTRAM.read_delay_ns, STTRAM.write_delay_ns) == (35.0, 35.0)
+        assert (STTRAM.read_energy_pj_per_bit, STTRAM.write_energy_pj_per_bit) == (
+            58.5,
+            67.7,
+        )
+
+    def test_feram(self):
+        assert (FERAM.read_delay_ns, FERAM.write_delay_ns) == (40.0, 65.0)
+        assert (FERAM.read_energy_pj_per_bit, FERAM.write_energy_pj_per_bit) == (
+            12.4,
+            210.0,
+        )
+
+    def test_edram(self):
+        assert (EDRAM.read_delay_ns, EDRAM.write_delay_ns) == (4.4, 4.4)
+        assert (EDRAM.read_energy_pj_per_bit, EDRAM.write_energy_pj_per_bit) == (
+            3.11,
+            3.09,
+        )
+
+    def test_hmc(self):
+        assert (HMC.read_delay_ns, HMC.write_delay_ns) == (0.18, 0.18)
+        assert (HMC.read_energy_pj_per_bit, HMC.write_energy_pj_per_bit) == (
+            0.48,
+            10.48,
+        )
+
+    def test_nvm_static_power_is_zero(self):
+        for tech in nvm_technologies():
+            assert tech.static_mw_per_mb == 0.0
+            assert not tech.volatile
+
+    def test_volatile_techs_have_refresh_power(self):
+        for tech in (DRAM, EDRAM, HMC):
+            assert tech.static_mw_per_mb > 0
+            assert tech.volatile
+
+
+class TestRegistry:
+    def test_all_six_registered(self):
+        assert len(TECHNOLOGIES) == 6
+
+    def test_lookup_case_insensitive(self):
+        assert get_technology("pcm") is PCM
+        assert get_technology("PCM") is PCM
+        assert get_technology("eDRAM") is EDRAM
+
+    def test_unknown_raises_with_list(self):
+        with pytest.raises(KeyError, match="dram"):
+            get_technology("mram")
+
+    def test_groupings(self):
+        assert nvm_technologies() == [PCM, STTRAM, FERAM]
+        assert volatile_cache_technologies() == [EDRAM, HMC]
+
+
+class TestDerivedProperties:
+    def test_asymmetry_ratios(self):
+        assert PCM.write_read_latency_ratio == pytest.approx(100 / 21)
+        assert STTRAM.write_read_latency_ratio == 1.0
+        assert PCM.write_read_energy_ratio == pytest.approx(210.3 / 12.4)
+
+    def test_static_power_scales_with_capacity(self):
+        assert DRAM.static_power_w(1024 * MiB) == pytest.approx(
+            1024 * DRAM.static_mw_per_mb / 1000
+        )
+        assert PCM.static_power_w(1024 * MiB) == 0.0
+
+    def test_with_static_density(self):
+        modified = PCM.with_static_density(1.0)
+        assert modified.static_mw_per_mb == 1.0
+        assert PCM.static_mw_per_mb == 0.0  # original untouched
+
+    def test_negative_parameter_rejected(self):
+        with pytest.raises(ConfigError):
+            MemoryTechnology("X", -1, 1, 1, 1, 0, False)

@@ -1,0 +1,74 @@
+"""AccessBatch and line-expansion tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.events import LOAD, STORE, AccessBatch, expand_to_lines
+
+
+class TestAccessBatch:
+    def test_from_lists_coerces_dtypes(self):
+        batch = AccessBatch.from_lists([0, 64], [8, 8], [0, 1])
+        assert batch.addresses.dtype == np.uint64
+        assert batch.sizes.dtype == np.uint32
+        assert batch.is_store.dtype == np.uint8
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TraceError):
+            AccessBatch.from_lists([0, 64], [8], [0, 1])
+
+    def test_empty(self):
+        batch = AccessBatch.empty()
+        assert len(batch) == 0
+        assert batch.load_count == 0 and batch.store_count == 0
+
+    def test_counts(self):
+        batch = AccessBatch.from_lists([0, 8, 16], 8, [0, 1, 1])
+        assert batch.load_count == 1
+        assert batch.store_count == 2
+
+    def test_concat_preserves_order(self):
+        a = AccessBatch.from_lists([1, 2], 8, 0)
+        b = AccessBatch.from_lists([3], 8, 1)
+        joined = a.concat(b)
+        assert joined.addresses.tolist() == [1, 2, 3]
+        assert joined.is_store.tolist() == [0, 0, 1]
+
+    def test_slice_is_view(self):
+        batch = AccessBatch.from_lists(range(10), 8, 0)
+        sub = batch.slice(2, 5)
+        assert sub.addresses.tolist() == [2, 3, 4]
+
+    def test_load_store_constants(self):
+        assert LOAD == 0 and STORE == 1
+
+
+class TestExpandToLines:
+    def test_aligned_accesses_one_line_each(self):
+        batch = AccessBatch.from_lists([0, 64, 128], 8, 0)
+        lines, kinds = expand_to_lines(batch, 64)
+        assert lines.tolist() == [0, 1, 2]
+        assert kinds.tolist() == [0, 0, 0]
+
+    def test_spanning_access_expanded(self):
+        # 16-byte access at offset 56 touches lines 0 and 1.
+        batch = AccessBatch.from_lists([56], [16], [1])
+        lines, kinds = expand_to_lines(batch, 64)
+        assert lines.tolist() == [0, 1]
+        assert kinds.tolist() == [1, 1]
+
+    def test_large_access_touches_many_lines(self):
+        batch = AccessBatch.from_lists([0], [256], [0])
+        lines, _ = expand_to_lines(batch, 64)
+        assert lines.tolist() == [0, 1, 2, 3]
+
+    def test_order_preserved_around_span(self):
+        batch = AccessBatch.from_lists([0, 60, 128], [8, 8, 8], [0, 1, 0])
+        lines, kinds = expand_to_lines(batch, 64)
+        assert lines.tolist() == [0, 0, 1, 2]
+        assert kinds.tolist() == [0, 1, 1, 0]
+
+    def test_empty_batch(self):
+        lines, kinds = expand_to_lines(AccessBatch.empty(), 64)
+        assert len(lines) == 0 and len(kinds) == 0

@@ -1,0 +1,155 @@
+"""Stream transform tests (windowing, sampling, filtering)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.filters import (
+    filter_range,
+    loads_only,
+    sample_stream,
+    split_windows,
+    stores_only,
+)
+from repro.trace.stream import AddressStream
+
+
+def stream(n=100, chunk=16):
+    s = AddressStream(chunk_events=chunk)
+    s.append(
+        np.arange(n, dtype=np.uint64) * 8,
+        8,
+        np.arange(n, dtype=np.uint8) % 2,  # alternate load/store
+    )
+    return s
+
+
+class TestSplitWindows:
+    def test_partition_complete_and_ordered(self):
+        windows = split_windows(stream(100), 4)
+        assert len(windows) == 4
+        assert sum(len(w) for w in windows) == 100
+        merged = np.concatenate(
+            [w.as_batch().addresses for w in windows if len(w)]
+        )
+        assert np.array_equal(merged, stream(100).as_batch().addresses)
+
+    def test_equal_sizes_except_last(self):
+        windows = split_windows(stream(103), 4)
+        assert [len(w) for w in windows] == [25, 25, 25, 28]
+
+    def test_more_windows_than_events(self):
+        windows = split_windows(stream(3), 5)
+        assert sum(len(w) for w in windows) == 3
+
+    def test_windows_cross_chunk_boundaries(self):
+        windows = split_windows(stream(100, chunk=7), 3)
+        assert sum(len(w) for w in windows) == 100
+
+    def test_invalid(self):
+        with pytest.raises(TraceError):
+            split_windows(stream(10), 0)
+
+
+class TestSampling:
+    def test_keep_every_one_is_identity(self):
+        s = stream(50)
+        sampled = sample_stream(s, 1)
+        assert len(sampled) == 50
+
+    def test_systematic(self):
+        sampled = sample_stream(stream(100), 10)
+        assert len(sampled) == 10
+        addrs = sampled.as_batch().addresses
+        assert np.array_equal(addrs, np.arange(0, 800, 80, dtype=np.uint64))
+
+    def test_crosses_chunks(self):
+        sampled = sample_stream(stream(100, chunk=7), 9)
+        expected = np.arange(0, 100, 9) * 8
+        assert np.array_equal(
+            sampled.as_batch().addresses, expected.astype(np.uint64)
+        )
+
+    def test_invalid(self):
+        with pytest.raises(TraceError):
+            sample_stream(stream(10), 0)
+
+
+class TestFilterRange:
+    def test_keeps_inside(self):
+        out = filter_range(stream(100), 80, 160)
+        addrs = out.as_batch().addresses
+        assert addrs.min() >= 80 and addrs.max() < 160
+
+    def test_invert(self):
+        out = filter_range(stream(100), 80, 160, invert=True)
+        addrs = out.as_batch().addresses
+        assert not ((addrs >= 80) & (addrs < 160)).any()
+
+    def test_invalid(self):
+        with pytest.raises(TraceError):
+            filter_range(stream(10), 10, 10)
+
+
+class TestKindFilters:
+    def test_loads_only(self):
+        out = loads_only(stream(100))
+        assert out.stats().stores == 0
+        assert out.stats().loads == 50
+
+    def test_stores_only(self):
+        out = stores_only(stream(100))
+        assert out.stats().loads == 0
+        assert out.stats().stores == 50
+
+
+class TestInterleave:
+    def test_round_robin_order(self):
+        from repro.trace.filters import interleave_streams
+
+        a = AddressStream.from_arrays([0, 8, 16, 24], 8, 0)
+        b = AddressStream.from_arrays([1000, 1008], 8, 1)
+        mixed = interleave_streams([a, b], granule=2)
+        addrs = mixed.as_batch().addresses.tolist()
+        assert addrs == [0, 8, 1000, 1008, 16, 24]
+
+    def test_all_events_preserved(self):
+        from repro.trace.filters import interleave_streams
+
+        streams = [stream(37), stream(53), stream(11)]
+        mixed = interleave_streams(streams, granule=7)
+        assert len(mixed) == 37 + 53 + 11
+
+    def test_single_stream_identity(self):
+        from repro.trace.filters import interleave_streams
+        import numpy as np
+
+        s = stream(20)
+        mixed = interleave_streams([s], granule=3)
+        assert np.array_equal(
+            mixed.as_batch().addresses, stream(20).as_batch().addresses
+        )
+
+    def test_validation(self):
+        from repro.trace.filters import interleave_streams
+
+        with pytest.raises(TraceError):
+            interleave_streams([])
+        with pytest.raises(TraceError):
+            interleave_streams([stream(5)], granule=0)
+
+
+class TestOffset:
+    def test_addresses_shifted(self):
+        from repro.trace.filters import offset_stream
+
+        shifted = offset_stream(stream(5), 4096)
+        assert shifted.as_batch().addresses.tolist() == [
+            4096 + 8 * i for i in range(5)
+        ]
+
+    def test_negative_rejected(self):
+        from repro.trace.filters import offset_stream
+
+        with pytest.raises(TraceError):
+            offset_stream(stream(5), -1)

@@ -1,0 +1,83 @@
+"""Trace serialization tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.io import (
+    load_regions,
+    load_stream,
+    load_trace,
+    save_regions,
+    save_stream,
+    save_trace,
+)
+from repro.trace.synthetic import random_stream
+from repro.trace.tracer import Tracer
+
+
+class TestStreamRoundtrip:
+    def test_bit_exact(self, tmp_path):
+        stream = random_stream(
+            5000, footprint_bytes=1 << 20, store_fraction=0.3, seed=2
+        )
+        path = tmp_path / "s.npz"
+        save_stream(stream, path)
+        loaded = load_stream(path)
+        a, b = stream.as_batch(), loaded.as_batch()
+        assert np.array_equal(a.addresses, b.addresses)
+        assert np.array_equal(a.sizes, b.sizes)
+        assert np.array_equal(a.is_store, b.is_store)
+
+    def test_empty_stream(self, tmp_path):
+        from repro.trace.stream import AddressStream
+
+        path = tmp_path / "e.npz"
+        save_stream(AddressStream(), path)
+        assert len(load_stream(path)) == 0
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_stream(tmp_path / "nope.npz")
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, version=np.int64(99), addresses=np.empty(0),
+                 sizes=np.empty(0), is_store=np.empty(0))
+        with pytest.raises(TraceError):
+            load_stream(path)
+
+
+class TestRegionRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        tracer.allocate("a", 1024)
+        tracer.allocate("b", 2048)
+        path = tmp_path / "r.json"
+        save_regions(tracer, path)
+        regions = load_regions(path)
+        assert [r.name for r in regions] == ["a", "b"]
+        assert regions[0].base == tracer.regions[0].base
+        assert regions[1].size == 2048
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_regions(tmp_path / "nope.json")
+
+
+class TestPairedTrace:
+    def test_save_load_pair(self, tmp_path):
+        tracer = Tracer()
+        a = tracer.array("data", (256,))
+        _ = a[:]
+        paths = save_trace(tracer.stream, tracer, tmp_path, "run1")
+        assert all(p.exists() for p in paths)
+        stream, regions = load_trace(tmp_path, "run1")
+        assert len(stream) == 256
+        assert regions[0].name == "data"
+
+    def test_creates_directory(self, tmp_path):
+        tracer = Tracer()
+        tracer.allocate("x", 64)
+        save_trace(tracer.stream, tracer, tmp_path / "sub" / "dir", "t")
+        assert (tmp_path / "sub" / "dir" / "t.regions.json").exists()

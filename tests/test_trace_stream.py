@@ -1,0 +1,110 @@
+"""AddressStream tests: chunking, stats, slicing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.stream import AddressStream
+
+
+class TestAppendAndChunks:
+    def test_events_counted(self):
+        stream = AddressStream()
+        stream.append(np.arange(10, dtype=np.uint64), 8, 0)
+        assert len(stream) == 10
+
+    def test_chunk_boundary_splitting(self):
+        stream = AddressStream(chunk_events=4)
+        stream.append(np.arange(10, dtype=np.uint64), 8, 0)
+        chunks = list(stream.chunks())
+        assert [len(c) for c in chunks] == [4, 4, 2]
+
+    def test_order_across_chunks(self):
+        stream = AddressStream(chunk_events=3)
+        stream.append(np.arange(8, dtype=np.uint64), 8, 0)
+        merged = stream.as_batch()
+        assert merged.addresses.tolist() == list(range(8))
+
+    def test_append_empty_is_noop(self):
+        stream = AddressStream()
+        stream.append(np.empty(0, dtype=np.uint64), 8, 0)
+        assert len(stream) == 0
+
+    def test_scalar_broadcast(self):
+        stream = AddressStream.from_arrays([0, 8, 16], 4, 1)
+        batch = stream.as_batch()
+        assert batch.sizes.tolist() == [4, 4, 4]
+        assert batch.is_store.tolist() == [1, 1, 1]
+
+    def test_per_event_sizes_and_kinds(self):
+        stream = AddressStream.from_arrays([0, 8], [4, 8], [0, 1])
+        batch = stream.as_batch()
+        assert batch.sizes.tolist() == [4, 8]
+        assert batch.is_store.tolist() == [0, 1]
+
+    def test_mismatched_lengths_rejected(self):
+        stream = AddressStream()
+        with pytest.raises(TraceError):
+            stream.append(np.arange(3, dtype=np.uint64), np.array([8, 8]), 0)
+        with pytest.raises(TraceError):
+            stream.append(np.arange(3, dtype=np.uint64), 8, np.array([0, 1]))
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(TraceError):
+            AddressStream(chunk_events=0)
+
+    def test_appendable_after_iteration(self):
+        stream = AddressStream(chunk_events=4)
+        stream.append(np.arange(3, dtype=np.uint64), 8, 0)
+        assert len(list(stream.chunks())) == 1
+        stream.append(np.arange(3, dtype=np.uint64), 8, 0)
+        assert len(stream) == 6
+        assert len(stream.as_batch()) == 6
+
+
+class TestStats:
+    def test_load_store_split(self):
+        stream = AddressStream.from_arrays([0, 8, 16, 24], 8, [0, 1, 1, 0])
+        stats = stream.stats()
+        assert stats.loads == 2 and stats.stores == 2
+        assert stats.bytes_read == 16 and stats.bytes_written == 16
+        assert stats.store_fraction == 0.5
+
+    def test_footprint_counts_distinct_lines(self):
+        # Two accesses per 64B line over 4 lines.
+        addrs = [0, 8, 64, 72, 128, 136, 192, 200]
+        stats = AddressStream.from_arrays(addrs, 8, 0).stats()
+        assert stats.footprint_bytes == 4 * 64
+
+    def test_address_bounds(self):
+        stats = AddressStream.from_arrays([100, 50, 200], 8, 0).stats()
+        assert stats.min_address == 50
+        assert stats.max_address == 200
+
+    def test_empty_stream_stats(self):
+        stats = AddressStream().stats()
+        assert stats.events == 0
+        assert stats.store_fraction == 0.0
+
+
+class TestHeadAndConcat:
+    def test_head_truncates(self):
+        stream = AddressStream.from_arrays(range(100), 8, 0)
+        head = stream.head(7)
+        assert len(head) == 7
+        assert head.as_batch().addresses.tolist() == list(range(7))
+
+    def test_head_longer_than_stream(self):
+        stream = AddressStream.from_arrays(range(5), 8, 0)
+        assert len(stream.head(50)) == 5
+
+    def test_head_negative_rejected(self):
+        with pytest.raises(TraceError):
+            AddressStream().head(-1)
+
+    def test_concat(self):
+        a = AddressStream.from_arrays([1, 2], 8, 0)
+        b = AddressStream.from_arrays([3], 8, 1)
+        joined = a.concat(b)
+        assert len(joined) == 3
+        assert joined.as_batch().is_store.tolist() == [0, 0, 1]

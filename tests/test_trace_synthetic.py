@@ -1,0 +1,112 @@
+"""Synthetic stream generator tests: locality signatures must be real."""
+
+import numpy as np
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.setassoc import SetAssociativeCache
+from repro.errors import TraceError
+from repro.trace.synthetic import (
+    pointer_chase_stream,
+    random_stream,
+    sequential_stream,
+    strided_stream,
+    zipf_stream,
+)
+from repro.units import KiB, MiB
+
+
+def hit_rate(stream, capacity=32 * KiB):
+    cache = SetAssociativeCache(CacheConfig("T", capacity, 8, 64))
+    for chunk in stream.chunks():
+        cache.process(chunk)
+    return cache.stats.hit_rate
+
+
+class TestSequential:
+    def test_count_and_addresses(self):
+        stream = sequential_stream(100, base=0, access_size=8)
+        batch = stream.as_batch()
+        assert batch.addresses.tolist() == [8 * i for i in range(100)]
+
+    def test_high_spatial_locality(self):
+        assert hit_rate(sequential_stream(50_000)) > 0.85
+
+    def test_store_fraction(self):
+        stream = sequential_stream(10_000, store_fraction=0.5, seed=1)
+        assert 0.4 < stream.stats().store_fraction < 0.6
+
+    def test_deterministic(self):
+        a = sequential_stream(100, store_fraction=0.3, seed=7).as_batch()
+        b = sequential_stream(100, store_fraction=0.3, seed=7).as_batch()
+        assert np.array_equal(a.is_store, b.is_store)
+
+
+class TestStrided:
+    def test_stride_spacing(self):
+        batch = strided_stream(10, stride=256, base=0).as_batch()
+        assert batch.addresses.tolist() == [256 * i for i in range(10)]
+
+    def test_cache_line_stride_defeats_spatial_locality(self):
+        stream = strided_stream(20_000, stride=64)
+        assert hit_rate(stream) < 0.05
+
+    def test_invalid_stride(self):
+        with pytest.raises(TraceError):
+            strided_stream(10, stride=0)
+
+    def test_negative_events(self):
+        with pytest.raises(TraceError):
+            strided_stream(-1, stride=8)
+
+
+class TestRandom:
+    def test_footprint_respected(self):
+        stream = random_stream(10_000, footprint_bytes=1 * MiB, base=0, seed=0)
+        stats = stream.stats()
+        assert stats.max_address < 1 * MiB
+
+    def test_capacity_behaviour(self):
+        fits = random_stream(30_000, footprint_bytes=16 * KiB, seed=0)
+        spills = random_stream(30_000, footprint_bytes=16 * MiB, seed=0)
+        assert hit_rate(fits) > 0.9
+        assert hit_rate(spills) < 0.2
+
+    def test_tiny_footprint_rejected(self):
+        with pytest.raises(TraceError):
+            random_stream(10, footprint_bytes=4, access_size=8)
+
+
+class TestZipf:
+    def test_skewed_reuse(self):
+        """The Zipf hot set keeps hit rates high even when the footprint
+        dwarfs the cache — unlike uniform random."""
+        zipf = zipf_stream(30_000, footprint_bytes=16 * MiB, alpha=1.5, seed=0)
+        uniform = random_stream(30_000, footprint_bytes=16 * MiB, seed=0)
+        assert hit_rate(zipf) > hit_rate(uniform) + 0.2
+
+    def test_alpha_validation(self):
+        with pytest.raises(TraceError):
+            zipf_stream(10, footprint_bytes=1 * MiB, alpha=1.0)
+
+    def test_store_fraction_bounds(self):
+        with pytest.raises(TraceError):
+            zipf_stream(10, footprint_bytes=1 * MiB, store_fraction=1.5)
+
+
+class TestPointerChase:
+    def test_all_loads(self):
+        stream = pointer_chase_stream(1000, footprint_bytes=64 * KiB, seed=0)
+        assert stream.stats().stores == 0
+
+    def test_cycle_visits_distinct_nodes(self):
+        stream = pointer_chase_stream(512, footprint_bytes=64 * KiB, seed=0)
+        batch = stream.as_batch()
+        # A permutation cycle: no address repeats within one lap.
+        assert len(np.unique(batch.addresses)) == 512
+
+    def test_worst_case_for_capacity(self):
+        stream = pointer_chase_stream(
+            20_000, footprint_bytes=16 * MiB, node_size=64, seed=0
+        )
+        assert hit_rate(stream) < 0.05

@@ -1,0 +1,137 @@
+"""TracedArray tests: address fidelity across indexing forms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.tracer import Tracer
+
+
+@pytest.fixture
+def tracer():
+    return Tracer()
+
+
+def last_addresses(tracer, n):
+    """The last n recorded addresses."""
+    return tracer.stream.as_batch().addresses[-n:].tolist()
+
+
+class TestAddressFidelity:
+    def test_scalar_index(self, tracer):
+        a = tracer.array("a", (10,), dtype=np.float64)
+        _ = a[3]
+        assert last_addresses(tracer, 1) == [a.region.base + 3 * 8]
+
+    def test_slice(self, tracer):
+        a = tracer.array("a", (10,))
+        _ = a[2:5]
+        base = a.region.base
+        assert last_addresses(tracer, 3) == [base + 16, base + 24, base + 32]
+
+    def test_2d_row(self, tracer):
+        a = tracer.array("a", (4, 5))
+        _ = a[2, :]
+        base = a.region.base
+        expected = [base + (2 * 5 + j) * 8 for j in range(5)]
+        assert last_addresses(tracer, 5) == expected
+
+    def test_2d_column_strided(self, tracer):
+        a = tracer.array("a", (4, 5))
+        _ = a[:, 1]
+        base = a.region.base
+        expected = [base + (i * 5 + 1) * 8 for i in range(4)]
+        assert last_addresses(tracer, 4) == expected
+
+    def test_fancy_index_order(self, tracer):
+        a = tracer.array("a", (10,))
+        idx = np.array([7, 0, 3])
+        _ = a[idx]
+        base = a.region.base
+        assert last_addresses(tracer, 3) == [base + 56, base + 0, base + 24]
+
+    def test_boolean_mask(self, tracer):
+        a = tracer.array("a", (4,))
+        mask = np.array([True, False, True, False])
+        _ = a[mask]
+        base = a.region.base
+        assert last_addresses(tracer, 2) == [base, base + 16]
+
+    def test_itemsize_respected(self, tracer):
+        a = tracer.array("a", (10,), dtype=np.int32)
+        _ = a[2]
+        assert last_addresses(tracer, 1) == [a.region.base + 2 * 4]
+
+
+class TestLoadStoreSemantics:
+    def test_getitem_records_loads(self, tracer):
+        a = tracer.array("a", (4,))
+        _ = a[:]
+        stats = tracer.stream.stats()
+        assert stats.loads == 4 and stats.stores == 0
+
+    def test_setitem_records_stores(self, tracer):
+        a = tracer.array("a", (4,))
+        a[:] = 1.0
+        stats = tracer.stream.stats()
+        assert stats.stores == 4 and stats.loads == 0
+
+    def test_setitem_updates_data(self, tracer):
+        a = tracer.array("a", (4,))
+        a[1] = 42.0
+        assert a.data[1] == 42.0
+
+    def test_getitem_returns_values(self, tracer):
+        a = tracer.array("a", (4,), fill=7.0)
+        assert np.all(a[:] == 7.0)
+
+    def test_accumulate_records_load_then_store(self, tracer):
+        a = tracer.array("a", (2,))
+        a.accumulate(slice(None), 1.0)
+        batch = tracer.stream.as_batch()
+        assert batch.is_store.tolist() == [0, 0, 1, 1]
+        assert np.all(a.data == 1.0)
+
+    def test_touch_all(self, tracer):
+        a = tracer.array("a", (8,))
+        a.touch_all(is_store=True)
+        stats = tracer.stream.stats()
+        assert stats.stores == 8
+
+    def test_untraced_data_access(self, tracer):
+        a = tracer.array("a", (4,))
+        a.data[0] = 9.0
+        assert len(tracer.stream) == 0
+
+
+class TestConstruction:
+    def test_from_data_copies(self, tracer):
+        src = np.arange(6.0).reshape(2, 3)
+        from repro.trace.traced_array import TracedArray
+
+        a = TracedArray.from_data(tracer, "a", src)
+        src[0, 0] = 99.0
+        assert a.data[0, 0] == 0.0
+
+    def test_non_contiguous_rejected(self, tracer):
+        from repro.trace.traced_array import TracedArray
+
+        region = tracer.allocate("x", 1000)
+        arr = np.zeros((10, 10))[:, ::2]  # non-contiguous view
+        with pytest.raises(TraceError):
+            TracedArray(arr, region, tracer)
+
+    def test_array_too_big_for_region_rejected(self, tracer):
+        from repro.trace.traced_array import TracedArray
+
+        region = tracer.allocate("x", 8)
+        with pytest.raises(TraceError):
+            TracedArray(np.zeros(100), region, tracer)
+
+    def test_shape_dtype_size_surface(self, tracer):
+        a = tracer.array("a", (3, 4), dtype=np.int32)
+        assert a.shape == (3, 4)
+        assert a.dtype == np.int32
+        assert a.size == 12
+        assert a.itemsize == 4
+        assert len(a) == 3

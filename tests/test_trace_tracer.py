@@ -1,0 +1,87 @@
+"""Tracer tests: allocation, recording, pausing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.tracer import HEAP_BASE, REGION_ALIGN, Tracer
+
+
+class TestAllocation:
+    def test_regions_are_page_aligned(self):
+        tracer = Tracer()
+        a = tracer.allocate("a", 100)
+        b = tracer.allocate("b", 100)
+        assert a.base % REGION_ALIGN == 0
+        assert b.base % REGION_ALIGN == 0
+
+    def test_regions_do_not_overlap_and_have_guard_gap(self):
+        tracer = Tracer()
+        a = tracer.allocate("a", 5000)
+        b = tracer.allocate("b", 100)
+        assert b.base >= a.end + 1  # at least the guard page separates them
+        assert b.base - a.end >= REGION_ALIGN - (a.size % REGION_ALIGN)
+
+    def test_first_region_at_heap_base(self):
+        tracer = Tracer()
+        assert tracer.allocate("a", 8).base == HEAP_BASE
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(TraceError):
+            Tracer().allocate("a", 0)
+
+    def test_region_of(self):
+        tracer = Tracer()
+        a = tracer.allocate("a", 64)
+        tracer.allocate("b", 64)
+        assert tracer.region_of(a.base + 10) is a
+        assert tracer.region_of(a.end) is None  # guard gap
+
+    def test_region_by_name(self):
+        tracer = Tracer()
+        region = tracer.allocate("matrix", 64)
+        assert tracer.region_by_name("matrix") is region
+        with pytest.raises(KeyError):
+            tracer.region_by_name("nope")
+
+    def test_region_contains(self):
+        tracer = Tracer()
+        region = tracer.allocate("a", 64)
+        assert region.contains(region.base)
+        assert region.contains(region.end - 1)
+        assert not region.contains(region.end)
+
+
+class TestRecording:
+    def test_loads_and_stores_recorded(self):
+        tracer = Tracer()
+        tracer.record_loads(np.array([1, 2], dtype=np.uint64), 8)
+        tracer.record_stores(np.array([3], dtype=np.uint64), 8)
+        stats = tracer.stream.stats()
+        assert stats.loads == 2 and stats.stores == 1
+
+    def test_pause_drops_events(self):
+        tracer = Tracer()
+        with tracer.pause():
+            tracer.record_loads(np.array([1], dtype=np.uint64), 8)
+        assert len(tracer.stream) == 0
+
+    def test_pause_restores_state(self):
+        tracer = Tracer()
+        with tracer.pause():
+            pass
+        tracer.record_loads(np.array([1], dtype=np.uint64), 8)
+        assert len(tracer.stream) == 1
+
+    def test_nested_pause(self):
+        tracer = Tracer()
+        with tracer.pause():
+            with tracer.pause():
+                pass
+            tracer.record_loads(np.array([1], dtype=np.uint64), 8)
+        assert len(tracer.stream) == 0
+
+    def test_disabled_flag(self):
+        tracer = Tracer(enabled=False)
+        tracer.record_loads(np.array([1], dtype=np.uint64), 8)
+        assert len(tracer.stream) == 0

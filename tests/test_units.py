@@ -1,0 +1,67 @@
+"""Unit-helper tests."""
+
+import pytest
+
+from repro.units import (
+    GiB,
+    KiB,
+    MiB,
+    format_bytes,
+    is_power_of_two,
+    log2_int,
+    parse_bytes,
+)
+
+
+class TestPowersOfTwo:
+    def test_powers_are_detected(self):
+        for exponent in range(0, 40):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers_are_rejected(self):
+        for value in (0, -1, -2, 3, 5, 6, 7, 9, 12, 100, 1023):
+            assert not is_power_of_two(value)
+
+    def test_log2_int_roundtrip(self):
+        for exponent in (0, 1, 5, 12, 30):
+            assert log2_int(1 << exponent) == exponent
+
+    def test_log2_int_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            log2_int(12)
+        with pytest.raises(ValueError):
+            log2_int(0)
+
+
+class TestFormatBytes:
+    def test_plain_bytes(self):
+        assert format_bytes(64) == "64B"
+
+    def test_kb(self):
+        assert format_bytes(512 * KiB) == "512KB"
+
+    def test_mb(self):
+        assert format_bytes(16 * MiB) == "16MB"
+
+    def test_gb(self):
+        assert format_bytes(4 * GiB) == "4GB"
+
+    def test_non_multiple_falls_back_to_bytes(self):
+        assert format_bytes(KiB + 1) == "1025B"
+
+
+class TestParseBytes:
+    def test_roundtrip_with_format(self):
+        for value in (64, 4 * KiB, 16 * MiB, 2 * GiB):
+            assert parse_bytes(format_bytes(value)) == value
+
+    def test_case_insensitive(self):
+        assert parse_bytes("16mb") == 16 * MiB
+
+    def test_fractional_mb(self):
+        assert parse_bytes("0.5MB") == 512 * KiB
+
+    def test_rejects_garbage(self):
+        for bad in ("", "MB", "x16MB", "-1KB", "1.5B"):
+            with pytest.raises(ValueError):
+                parse_bytes(bad)

@@ -1,0 +1,87 @@
+"""Multiprogrammed mix tests."""
+
+import numpy as np
+import pytest
+
+from repro.designs.configs import N_CONFIGS
+from repro.designs.nmm import NMMDesign
+from repro.errors import ConfigError
+from repro.experiments.runner import Runner
+from repro.tech.params import PCM
+from repro.workloads.mixes import MixedWorkload
+from repro.workloads.registry import get_workload
+
+S = 1.0 / 16384
+
+
+def mix():
+    return MixedWorkload([get_workload("CG"), get_workload("Hashing")])
+
+
+class TestMixedWorkload:
+    def test_metadata_composition(self):
+        m = mix()
+        assert m.info.footprint_gb == pytest.approx(1.5 + 4.0)
+        assert m.info.t_ref_s == 389.6  # max of members
+        assert m.name == "CG+Hashing"
+
+    def test_events_are_union_of_members(self):
+        m = mix()
+        result = m.trace(scale=S, seed=1)
+        cg = get_workload("CG").trace(scale=S, seed=1)
+        hashing = get_workload("Hashing").trace(scale=S, seed=2)
+        assert len(result.stream) == len(cg.stream) + len(hashing.stream)
+
+    def test_address_spaces_disjoint(self):
+        result = mix().trace(scale=S, seed=1)
+        batch = result.stream.as_batch()
+        slot = batch.addresses // np.uint64(1 << 30)
+        # Two members -> exactly two distinct slots.
+        assert len(np.unique(slot)) == 2
+
+    def test_member_regions_relocated(self):
+        result = mix().trace(scale=S, seed=1)
+        names = [r.name for r in result.tracer.regions]
+        assert any(name.startswith("CG.") for name in names)
+        assert any(name.startswith("Hashing.") for name in names)
+        # Regions must cover the traced addresses.
+        stats = result.stream.stats()
+        lo = min(r.base for r in result.tracer.regions)
+        hi = max(r.end for r in result.tracer.regions)
+        assert lo <= stats.min_address <= stats.max_address < hi
+
+    def test_member_checks_propagated(self):
+        result = mix().trace(scale=S, seed=1)
+        assert result.checks["members"]["CG"]["converging"]
+        assert result.checks["members"]["Hashing"]["correct"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MixedWorkload([get_workload("CG")])
+        with pytest.raises(ConfigError):
+            MixedWorkload(
+                [get_workload("CG"), get_workload("BT")], granule=0
+            )
+
+    def test_full_pipeline(self):
+        runner = Runner(scale=S, seed=3)
+        design = NMMDesign(PCM, N_CONFIGS["N6"], scale=S,
+                           reference=runner.reference)
+        ev = runner.evaluate(design, mix())
+        assert ev.time_norm > 0
+        assert ev.energy_j > 0
+
+    def test_mix_pressure_lowers_hit_rate(self):
+        """Sharing the hierarchy must not *increase* the DRAM$ hit rate
+        relative to the best single member (capacity is contended)."""
+        runner = Runner(scale=S, seed=3)
+        design = NMMDesign(PCM, N_CONFIGS["N6"], scale=S,
+                           reference=runner.reference)
+        mixed_stats = runner.stats_for(design, mix())
+        solo_rates = []
+        for name in ("CG", "Hashing"):
+            solo = runner.stats_for(design, get_workload(name))
+            solo_rates.append(solo.level("DRAM$").hit_rate)
+        assert (
+            mixed_stats.level("DRAM$").hit_rate <= max(solo_rates) + 0.02
+        )
