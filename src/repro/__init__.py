@@ -27,8 +27,10 @@ from repro.errors import (
     ReproError,
     ConfigError,
     TraceError,
+    TraceIntegrityError,
     SimulationError,
     ModelError,
+    SweepError,
 )
 
 __all__ = [
@@ -36,6 +38,8 @@ __all__ = [
     "ReproError",
     "ConfigError",
     "TraceError",
+    "TraceIntegrityError",
     "SimulationError",
     "ModelError",
+    "SweepError",
 ]

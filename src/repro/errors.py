@@ -23,9 +23,28 @@ class TraceError(ReproError):
     """A problem while recording or manipulating an address stream."""
 
 
+class TraceIntegrityError(TraceError):
+    """A persisted trace artifact failed its integrity check.
+
+    The message names the offending file. Remediation: delete that
+    file (and its ``.sha256`` sidecar) and re-run the workload so the
+    trace is regenerated; cached artifacts are never repaired in place.
+    """
+
+
 class SimulationError(ReproError):
     """A problem during cache-hierarchy simulation."""
 
 
 class ModelError(ReproError):
     """A problem while evaluating the performance or energy models."""
+
+
+class SweepError(ReproError):
+    """A problem while executing or resuming a sweep campaign.
+
+    Remediation: inspect the result journal named in the message; a
+    corrupt journal can be deleted to restart the campaign from
+    scratch, and per-cell failures are reproducible from the recorded
+    (seed, cell key) pair.
+    """

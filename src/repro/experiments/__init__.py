@@ -43,6 +43,13 @@ from repro.experiments.figures import (
 )
 from repro.experiments.heatmap import HeatMap, figure9, figure10
 from repro.experiments.tables import table1, table2, table3, table4
+from repro.resilience import (
+    CampaignResult,
+    CellOutcome,
+    Journal,
+    RetryPolicy,
+    SweepExecutor,
+)
 
 __all__ = [
     "Runner",
@@ -86,4 +93,9 @@ __all__ = [
     "render_markdown",
     "CalibrationResult",
     "calibrate_local_factor",
+    "SweepExecutor",
+    "CampaignResult",
+    "CellOutcome",
+    "Journal",
+    "RetryPolicy",
 ]

@@ -9,6 +9,11 @@ Subcommands:
   claim scorecard.
 - ``oracle WORKLOAD [--tech PCM]`` — run the NDM placement oracle.
 
+- ``sweep`` — fault-tolerant design-space sweep with an on-disk
+  result journal (``--journal``), exact resume (``--resume``), bounded
+  retries (``--max-retries``), per-cell deadlines (``--cell-timeout``)
+  and keep-going semantics (``--keep-going``).
+
 Common options: ``--scale`` (capacity/footprint scale), ``--seed``,
 ``--workloads`` (comma-separated subset of the suite).
 """
@@ -20,6 +25,7 @@ import sys
 import time
 
 from repro.designs.configs import DEFAULT_SCALE
+from repro.errors import ConfigError
 from repro.experiments import figures as figures_mod
 from repro.experiments import heatmap as heatmap_mod
 from repro.experiments import tables as tables_mod
@@ -45,6 +51,133 @@ def _parse_workloads(spec: str | None):
     if not workloads:
         raise SystemExit("error: --workloads selected nothing")
     return workloads
+
+
+#: Default design grid for the ``sweep`` subcommand.
+DEFAULT_SWEEP_DESIGNS = "REF,NMM:PCM:N6,NMM:STTRAM:N6,4LC:EDRAM:EH4"
+
+
+def _parse_designs(spec: str, scale: float, reference):
+    """Build designs from a comma-separated spec.
+
+    Grammar per item: ``REF`` | ``NMM:<TECH>:<N#>`` |
+    ``4LC:<TECH>:<EH#>`` | ``4LCNVM:<CACHE>:<NVM>:<EH#>``.
+    """
+    from repro.designs.configs import EH_CONFIGS, N_CONFIGS
+    from repro.designs.fourlc import FourLCDesign
+    from repro.designs.fourlcnvm import FourLCNVMDesign
+    from repro.designs.nmm import NMMDesign
+    from repro.designs.reference import ReferenceDesign
+    from repro.tech.params import get_technology
+
+    def tech(name: str):
+        try:
+            return get_technology(name)
+        except KeyError as exc:
+            raise SystemExit(f"error: {exc.args[0]}") from None
+
+    def config(table: dict, name: str, family: str):
+        if name not in table:
+            raise SystemExit(
+                f"error: unknown {family} config {name!r}; "
+                f"choose from {list(table)}"
+            )
+        return table[name]
+
+    designs = []
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        parts = item.split(":")
+        kind = parts[0].upper()
+        try:
+            if kind == "REF" and len(parts) == 1:
+                designs.append(ReferenceDesign(scale=scale, reference=reference))
+            elif kind == "NMM" and len(parts) == 3:
+                designs.append(NMMDesign(
+                    tech(parts[1]), config(N_CONFIGS, parts[2].upper(), "N"),
+                    scale=scale, reference=reference,
+                ))
+            elif kind == "4LC" and len(parts) == 3:
+                designs.append(FourLCDesign(
+                    tech(parts[1]), config(EH_CONFIGS, parts[2].upper(), "EH"),
+                    scale=scale, reference=reference,
+                ))
+            elif kind == "4LCNVM" and len(parts) == 4:
+                designs.append(FourLCNVMDesign(
+                    tech(parts[1]), tech(parts[2]),
+                    config(EH_CONFIGS, parts[3].upper(), "EH"),
+                    scale=scale, reference=reference,
+                ))
+            else:
+                raise SystemExit(
+                    f"error: bad design spec {item!r}; expected REF, "
+                    f"NMM:TECH:N#, 4LC:TECH:EH#, or 4LCNVM:CACHE:NVM:EH#"
+                )
+        except ConfigError as exc:
+            raise SystemExit(f"error: design spec {item!r}: {exc}") from None
+    if not designs:
+        raise SystemExit("error: --designs selected nothing")
+    return designs
+
+
+def _run_resilient_sweep(args, runner: Runner, workloads) -> int:
+    """Handler for the ``sweep`` subcommand."""
+    from repro.experiments.sweep import summarize
+    from repro.resilience import Journal, RetryPolicy, SweepExecutor
+    from repro.experiments.sweep import SweepRecord
+    from repro.workloads.registry import SUITE as suite_names
+
+    if args.resume and not args.journal:
+        raise SystemExit("error: --resume requires --journal")
+    journal = None
+    if args.journal:
+        journal = Journal(args.journal)
+        if journal.exists() and not args.resume:
+            raise SystemExit(
+                f"error: journal {args.journal} already exists; pass "
+                f"--resume to continue that campaign or delete the file"
+            )
+    designs = _parse_designs(args.designs, args.scale, runner.reference)
+    if workloads is None:
+        workloads = [get_workload(name) for name in suite_names]
+    executor = SweepExecutor(
+        runner,
+        retry=RetryPolicy(max_retries=args.max_retries, seed=args.seed),
+        cell_timeout_s=args.cell_timeout,
+        keep_going=args.keep_going,
+        journal=journal,
+        resume=args.resume,
+    )
+    result = executor.run(designs, workloads)
+    for outcome in result.outcomes:
+        source = " (journal)" if outcome.from_journal else ""
+        ev = outcome.evaluation
+        detail = (
+            f"time x{ev.time_norm:.3f} energy x{ev.energy_norm:.3f} "
+            f"EDP x{ev.edp_norm:.3f}" if ev is not None else outcome.error
+        )
+        print(f"  [{outcome.status:9s}] {outcome.design}/{outcome.workload}"
+              f"{source}: {detail}")
+    records = [
+        SweepRecord(design=o.design, workload=o.workload, evaluation=o.evaluation)
+        for o in result.evaluations
+    ]
+    if records:
+        print("\nper-design suite averages:")
+        headers = ["design", "time", "energy", "EDP"]
+        rows = [
+            [s.design, f"{s.time_norm:.3f}", f"{s.energy_norm:.3f}",
+             f"{s.edp_norm:.3f}"]
+            for s in summarize(records)
+        ]
+        print(ascii_table(headers, rows))
+    print()
+    print(result.report())
+    if args.journal:
+        print(f"\njournal: {args.journal}")
+    return 1 if result.failures else 0
 
 
 def _print_tables() -> None:
@@ -165,6 +298,40 @@ def main(argv: list[str] | None = None) -> int:
         help="print the workload characterization table (reuse CDF, "
         "memory intensity, page locality)",
     )
+    sweep = sub.add_parser(
+        "sweep",
+        help="fault-tolerant design-space sweep with journalling, "
+        "resume, retries, and per-cell deadlines",
+    )
+    sweep.add_argument(
+        "--designs", type=str, default=DEFAULT_SWEEP_DESIGNS,
+        help="comma-separated design specs: REF, NMM:TECH:N#, "
+        f"4LC:TECH:EH#, 4LCNVM:CACHE:NVM:EH# (default {DEFAULT_SWEEP_DESIGNS})",
+    )
+    sweep.add_argument(
+        "--journal", type=str, default=None,
+        help="JSON-lines result journal; finished cells are appended "
+        "durably so a killed campaign can resume",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="reuse completed cells from an existing --journal instead "
+        "of re-evaluating them",
+    )
+    sweep.add_argument(
+        "--max-retries", type=int, default=0,
+        help="extra attempts per failing cell (exponential backoff with "
+        "seeded jitter; default 0)",
+    )
+    sweep.add_argument(
+        "--cell-timeout", type=float, default=None,
+        help="per-cell wall-clock deadline in seconds (default: none)",
+    )
+    sweep.add_argument(
+        "--keep-going", action="store_true",
+        help="finish the whole grid even after failures (default: the "
+        "first failure skips the remaining cells)",
+    )
 
     args = parser.parse_args(argv)
     if args.verbose:
@@ -200,6 +367,9 @@ def main(argv: list[str] | None = None) -> int:
         _print_figure(args.number, runner, workloads,
                       per_workload=args.per_workload, svg=args.svg)
         return 0
+
+    if args.command == "sweep":
+        return _run_resilient_sweep(args, runner, workloads)
 
     if args.command == "report":
         from repro.experiments.report import generate_report, render_markdown

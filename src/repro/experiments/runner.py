@@ -153,13 +153,24 @@ class Runner:
             return None
         from pathlib import Path
 
-        from repro.trace.io import load_trace
+        from repro.errors import TraceIntegrityError
+        from repro.trace.io import discard_trace, load_trace
 
         name = self._cache_name(workload)
         directory = Path(self.trace_cache_dir)
         if not (directory / f"{name}.stream.npz").exists():
             return None
-        stream, regions = load_trace(directory, name)
+        try:
+            stream, regions = load_trace(directory, name)
+        except TraceIntegrityError as exc:
+            # A corrupt cache entry is recoverable: drop the pair and
+            # fall through to re-tracing, which re-saves clean artifacts.
+            removed = discard_trace(directory, name)
+            logger.warning(
+                "discarded corrupt cached trace for %s (%s; removed %d "
+                "files), re-tracing", workload.name, exc, len(removed),
+            )
+            return None
         tracer = Tracer()
         tracer.regions.extend(regions)
         tracer.stream = stream

@@ -54,22 +54,32 @@ def run_sweep(
     designs: Iterable[MemoryDesign],
     workloads: Sequence[Workload],
 ) -> list[SweepRecord]:
-    """Evaluate every design on every workload."""
+    """Evaluate every design on every workload.
+
+    Thin fail-fast wrapper over
+    :class:`repro.resilience.executor.SweepExecutor`: the first cell
+    failure re-raises its original exception. For journalling, retries,
+    deadlines, and keep-going semantics, use the executor directly.
+    """
+    designs = list(designs)
     if not workloads:
         raise ConfigError("a sweep needs at least one workload")
-    records: list[SweepRecord] = []
-    for design in designs:
-        for workload in workloads:
-            records.append(
-                SweepRecord(
-                    design=design.name,
-                    workload=workload.name,
-                    evaluation=runner.evaluate(design, workload),
-                )
-            )
-    if not records:
+    if not designs:
         raise ConfigError("a sweep needs at least one design")
-    return records
+    from repro.resilience.executor import SweepExecutor
+
+    result = SweepExecutor(runner, keep_going=False).run(designs, workloads)
+    for outcome in result.outcomes:
+        if outcome.exception is not None:
+            raise outcome.exception
+    return [
+        SweepRecord(
+            design=outcome.design,
+            workload=outcome.workload,
+            evaluation=outcome.evaluation,
+        )
+        for outcome in result.outcomes
+    ]
 
 
 def summarize(records: Sequence[SweepRecord]) -> list[SweepSummary]:

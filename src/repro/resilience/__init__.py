@@ -1,0 +1,69 @@
+"""Fault-tolerant, resumable experiment execution.
+
+Long sweep campaigns (the paper's 9 workloads × dozens of design
+points) need to survive bad cells, crashes, and corrupt cached
+artifacts. This package provides the resilience layer:
+
+- :mod:`repro.resilience.retry` — bounded retries with deterministic
+  seeded backoff jitter (:class:`RetryPolicy`).
+- :mod:`repro.resilience.journal` — on-disk JSON-lines result journal
+  keyed by a content hash of (design, workload, scale, seed), written
+  atomically, enabling exact resume (:class:`Journal`).
+- :mod:`repro.resilience.executor` — the fault-isolated sweep executor
+  with per-cell deadlines and a degradation report
+  (:class:`SweepExecutor`, :class:`CampaignResult`).
+- :mod:`repro.resilience.faults` — a deterministic fault-injection
+  harness (cell failures, slow cells, mid-campaign kills, artifact
+  corruption) so the resilience paths are themselves tested
+  (:class:`FaultInjector`).
+"""
+
+from repro.resilience.executor import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SKIPPED,
+    STATUS_TIMED_OUT,
+    CampaignResult,
+    CellOutcome,
+    SweepExecutor,
+    format_exception_chain,
+)
+from repro.resilience.faults import (
+    CampaignKill,
+    FaultInjector,
+    InjectedFault,
+    bitflip_file,
+    truncate_file,
+)
+from repro.resilience.journal import (
+    SCHEMA_VERSION,
+    Journal,
+    JournalEntry,
+    cell_key,
+    cell_key_for,
+)
+from repro.resilience.retry import NO_RETRY, RetryPolicy, call_with_retries
+
+__all__ = [
+    "SweepExecutor",
+    "CampaignResult",
+    "CellOutcome",
+    "STATUS_OK",
+    "STATUS_FAILED",
+    "STATUS_SKIPPED",
+    "STATUS_TIMED_OUT",
+    "format_exception_chain",
+    "Journal",
+    "JournalEntry",
+    "SCHEMA_VERSION",
+    "cell_key",
+    "cell_key_for",
+    "RetryPolicy",
+    "NO_RETRY",
+    "call_with_retries",
+    "FaultInjector",
+    "InjectedFault",
+    "CampaignKill",
+    "truncate_file",
+    "bitflip_file",
+]

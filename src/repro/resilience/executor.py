@@ -1,0 +1,396 @@
+"""Fault-isolated sweep execution with journalling and deadlines.
+
+The paper's evaluation is a large (design × workload) grid, and each
+cell is expensive because tracing actually runs the workload. The
+executor runs that grid so one bad cell can't sink the campaign:
+
+- every cell runs in **fault isolation**: an exception is captured
+  (with its full chain) and recorded, not propagated;
+- a configurable :class:`~repro.resilience.retry.RetryPolicy` re-tries
+  transient failures with deterministic, seeded backoff;
+- an optional per-cell **wall-clock deadline** abandons runaway cells
+  (the attempt keeps running on a daemon thread, but the campaign
+  moves on and records ``timed_out``);
+- finished cells are appended to an on-disk
+  :class:`~repro.resilience.journal.Journal`, so an interrupted
+  campaign **resumes** exactly where it stopped and never re-evaluates
+  an unchanged, completed cell;
+- the campaign ends with a **degradation report**: which cells
+  succeeded, which needed retries, which were abandoned, and the
+  (seed, cell key) pair that reproduces each failure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from repro.errors import ConfigError
+from repro.model.evaluate import Evaluation
+from repro.resilience.journal import Journal, JournalEntry, cell_key_for
+from repro.resilience.retry import NO_RETRY, RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a cycle with experiments
+    from repro.designs.base import MemoryDesign
+    from repro.experiments.runner import Runner
+    from repro.workloads.base import Workload
+
+#: Cell outcome states.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_SKIPPED = "skipped"
+STATUS_TIMED_OUT = "timed_out"
+
+
+def format_exception_chain(exc: BaseException) -> str:
+    """Compact one-line-per-link rendering of an exception chain.
+
+    Walks ``__cause__``/``__context__`` (newest first) so a journal or
+    report shows the whole causal story, e.g.
+    ``SweepError: ... <- caused by TraceIntegrityError: ...``.
+    """
+    links: list[str] = []
+    seen: set[int] = set()
+    current: BaseException | None = exc
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        links.append(f"{type(current).__name__}: {current}")
+        nxt = current.__cause__ or current.__context__
+        current = nxt
+    return " <- caused by ".join(links)
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """The recorded fate of one (design, workload) cell.
+
+    Attributes:
+        key: journal content hash of the cell.
+        design / workload: labels.
+        status: one of ``ok`` / ``failed`` / ``skipped`` / ``timed_out``.
+        attempts: evaluation attempts consumed (0 for skipped or
+            journal-reused cells).
+        duration_s: wall-clock spent on this campaign's attempts.
+        error: formatted exception chain for failed cells.
+        evaluation: model output for ok cells.
+        from_journal: True when the result was reused from a resume
+            journal rather than evaluated this run.
+        exception: the live exception object of the *last* attempt
+            (never serialized; lets wrappers re-raise faithfully).
+    """
+
+    key: str
+    design: str
+    workload: str
+    status: str
+    attempts: int
+    duration_s: float
+    error: str | None = None
+    evaluation: Evaluation | None = None
+    from_journal: bool = False
+    exception: BaseException | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def ok(self) -> bool:
+        """Whether the cell produced a usable evaluation."""
+        return self.status == STATUS_OK
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished (possibly degraded) campaign produced.
+
+    Attributes:
+        outcomes: one entry per grid cell, in sweep order.
+        seed: the retry policy's jitter seed (reproduction handle).
+    """
+
+    outcomes: list[CellOutcome]
+    seed: int = 0
+
+    @property
+    def evaluations(self) -> list[CellOutcome]:
+        """Only the cells that produced results."""
+        return [o for o in self.outcomes if o.ok]
+
+    @property
+    def failures(self) -> list[CellOutcome]:
+        """Cells abandoned as failed or timed out."""
+        return [
+            o for o in self.outcomes
+            if o.status in (STATUS_FAILED, STATUS_TIMED_OUT)
+        ]
+
+    @property
+    def retried(self) -> list[CellOutcome]:
+        """Cells that needed more than one attempt (any final status)."""
+        return [o for o in self.outcomes if o.attempts > 1]
+
+    def counts(self) -> dict[str, int]:
+        """Outcome tally by status."""
+        tally: dict[str, int] = {}
+        for outcome in self.outcomes:
+            tally[outcome.status] = tally.get(outcome.status, 0) + 1
+        return tally
+
+    def report(self) -> str:
+        """Human-readable degradation report for the campaign."""
+        lines = ["campaign degradation report"]
+        tally = self.counts()
+        total = len(self.outcomes)
+        summary = ", ".join(
+            f"{tally.get(status, 0)} {status}"
+            for status in (STATUS_OK, STATUS_FAILED, STATUS_TIMED_OUT,
+                           STATUS_SKIPPED)
+            if tally.get(status, 0)
+        )
+        lines.append(f"  {total} cells: {summary or 'none'}")
+        reused = sum(1 for o in self.outcomes if o.from_journal)
+        if reused:
+            lines.append(f"  {reused} reused from journal (not re-evaluated)")
+        if self.retried:
+            lines.append("  retried cells:")
+            for o in self.retried:
+                lines.append(
+                    f"    {o.design}/{o.workload}: {o.attempts} attempts "
+                    f"-> {o.status}"
+                )
+        if self.failures:
+            lines.append("  abandoned cells (reproduce with seed + key):")
+            for o in self.failures:
+                lines.append(
+                    f"    {o.design}/{o.workload} [{o.status}] "
+                    f"seed={self.seed} key={o.key}"
+                )
+                if o.error:
+                    lines.append(f"      {o.error}")
+        if not self.failures:
+            lines.append("  no cells abandoned")
+        return "\n".join(lines)
+
+
+class SweepExecutor:
+    """Runs a (design × workload) grid with fault isolation.
+
+    Args:
+        runner: the experiment runner evaluating each cell.
+        retry: retry policy for failing cells (default: no retries).
+        cell_timeout_s: per-cell wall-clock deadline spanning all of a
+            cell's attempts; None disables deadlines (cells then run
+            inline, keeping native tracebacks).
+        keep_going: when False, the first non-ok cell marks every
+            remaining cell ``skipped`` (classic fail-fast); when True
+            (default) the campaign always finishes the grid.
+        journal: a :class:`Journal`, a path for one, or None to keep
+            results in memory only.
+        resume: when True (default) completed ``ok`` entries already in
+            the journal are reused instead of re-evaluated.
+        evaluate: override for the per-cell evaluation callable
+            ``(design, workload) -> Evaluation`` — the hook the
+            fault-injection harness wraps.
+        sleep: override for backoff sleeping (tests pass a stub).
+    """
+
+    def __init__(
+        self,
+        runner: Runner,
+        *,
+        retry: RetryPolicy | None = None,
+        cell_timeout_s: float | None = None,
+        keep_going: bool = True,
+        journal: Journal | str | Path | None = None,
+        resume: bool = True,
+        evaluate: Callable[[MemoryDesign, Workload], Evaluation] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if cell_timeout_s is not None and cell_timeout_s <= 0:
+            raise ConfigError("cell_timeout_s must be positive")
+        self.runner = runner
+        self.retry = retry if retry is not None else NO_RETRY
+        self.cell_timeout_s = cell_timeout_s
+        self.keep_going = keep_going
+        if journal is not None and not isinstance(journal, Journal):
+            journal = Journal(journal)
+        self.journal = journal
+        self.resume = resume
+        self._evaluate = evaluate or runner.evaluate
+        self._sleep = sleep
+
+    # -- single-attempt plumbing ----------------------------------------
+
+    def _attempt(
+        self,
+        design: MemoryDesign,
+        workload: Workload,
+        deadline: float | None,
+    ) -> tuple[Evaluation | None, BaseException | None, bool]:
+        """One evaluation attempt.
+
+        Returns ``(evaluation, exception, timed_out)``. With no
+        deadline the call runs inline; with one it runs on a daemon
+        thread that is abandoned if the deadline passes.
+        """
+        if deadline is None:
+            try:
+                return self._evaluate(design, workload), None, False
+            except Exception as exc:
+                return None, exc, False
+
+        box: dict[str, object] = {}
+
+        def work() -> None:
+            try:
+                box["value"] = self._evaluate(design, workload)
+            except BaseException as exc:  # delivered to the caller below
+                box["error"] = exc
+
+        thread = threading.Thread(
+            target=work,
+            name=f"sweep-cell-{design.name}-{workload.name}",
+            daemon=True,
+        )
+        thread.start()
+        thread.join(max(0.0, deadline - time.monotonic()))
+        if thread.is_alive():
+            return None, None, True
+        error = box.get("error")
+        if error is not None:
+            if not isinstance(error, Exception):
+                raise error  # KeyboardInterrupt & friends propagate
+            return None, error, False
+        return box["value"], None, False  # type: ignore[return-value]
+
+    def _run_cell(
+        self, design: MemoryDesign, workload: Workload, key: str
+    ) -> CellOutcome:
+        """Evaluate one cell under the retry policy and deadline."""
+        started = time.monotonic()
+        deadline = (
+            started + self.cell_timeout_s
+            if self.cell_timeout_s is not None
+            else None
+        )
+        attempts = 0
+        last_error: BaseException | None = None
+        while attempts < self.retry.max_attempts:
+            attempts += 1
+            evaluation, error, timed_out = self._attempt(
+                design, workload, deadline
+            )
+            duration = time.monotonic() - started
+            if timed_out:
+                message = (
+                    f"cell exceeded its {self.cell_timeout_s:g}s deadline "
+                    f"after {attempts} attempt(s)"
+                )
+                if last_error is not None:
+                    message += (
+                        f"; last failure: {format_exception_chain(last_error)}"
+                    )
+                return CellOutcome(
+                    key=key, design=design.name, workload=workload.name,
+                    status=STATUS_TIMED_OUT, attempts=attempts,
+                    duration_s=duration, error=message,
+                    exception=last_error,
+                )
+            if error is None:
+                return CellOutcome(
+                    key=key, design=design.name, workload=workload.name,
+                    status=STATUS_OK, attempts=attempts, duration_s=duration,
+                    evaluation=evaluation,
+                )
+            if last_error is not None and error.__context__ is None:
+                # Thread-run attempts lose implicit chaining; restore it
+                # so the recorded chain spans all attempts.
+                error.__context__ = last_error
+            last_error = error
+            if attempts < self.retry.max_attempts:
+                delay = self.retry.delay_s(key, attempts)
+                if deadline is not None and (
+                    time.monotonic() + delay >= deadline
+                ):
+                    # No room left for another attempt; report the
+                    # failure rather than sleeping through the deadline.
+                    break
+                self._sleep(delay)
+        assert last_error is not None
+        return CellOutcome(
+            key=key, design=design.name, workload=workload.name,
+            status=STATUS_FAILED, attempts=attempts,
+            duration_s=time.monotonic() - started,
+            error=format_exception_chain(last_error),
+            exception=last_error,
+        )
+
+    # -- campaign -------------------------------------------------------
+
+    def run(
+        self,
+        designs: Iterable[MemoryDesign],
+        workloads: Sequence[Workload],
+    ) -> CampaignResult:
+        """Run the full grid; never raises for per-cell failures."""
+        designs = list(designs)
+        if not workloads:
+            raise ConfigError("a sweep needs at least one workload")
+        if not designs:
+            raise ConfigError("a sweep needs at least one design")
+
+        journalled: dict[str, JournalEntry] = {}
+        if self.journal is not None and self.resume:
+            journalled = self.journal.load()
+
+        outcomes: list[CellOutcome] = []
+        abort = False
+        for design in designs:
+            for workload in workloads:
+                key = cell_key_for(
+                    design, workload, self.runner.scale, self.runner.seed
+                )
+                if abort:
+                    outcome = CellOutcome(
+                        key=key, design=design.name, workload=workload.name,
+                        status=STATUS_SKIPPED, attempts=0, duration_s=0.0,
+                        error="skipped: an earlier cell failed and "
+                              "keep_going is off",
+                    )
+                    outcomes.append(outcome)
+                    continue
+                prior = journalled.get(key)
+                if prior is not None and prior.status == STATUS_OK:
+                    outcomes.append(
+                        CellOutcome(
+                            key=key, design=design.name,
+                            workload=workload.name, status=STATUS_OK,
+                            attempts=0, duration_s=0.0,
+                            evaluation=prior.load_evaluation(),
+                            from_journal=True,
+                        )
+                    )
+                    continue
+                outcome = self._run_cell(design, workload, key)
+                outcomes.append(outcome)
+                if self.journal is not None:
+                    self.journal.append(
+                        JournalEntry(
+                            key=key, design=design.name,
+                            workload=workload.name,
+                            scale=self.runner.scale, seed=self.runner.seed,
+                            status=outcome.status, attempts=outcome.attempts,
+                            duration_s=outcome.duration_s,
+                            error=outcome.error,
+                            evaluation=(
+                                None if outcome.evaluation is None
+                                else dataclasses.asdict(outcome.evaluation)
+                            ),
+                        )
+                    )
+                if not outcome.ok and not self.keep_going:
+                    abort = True
+        return CampaignResult(outcomes=outcomes, seed=self.retry.seed)

@@ -1,0 +1,203 @@
+"""Deterministic fault injection for testing the resilience paths.
+
+Retry, resume, deadline, and integrity handling are only trustworthy
+if they are themselves exercised; this module makes the failure modes
+reproducible on demand:
+
+- **cell faults** — wrap the executor's evaluate callable so the Nth
+  evaluation raises, a given (design, workload) cell always (or k
+  times) fails, a cell stalls long enough to trip its deadline, or the
+  whole campaign "dies" mid-run (a :class:`CampaignKill`, which the
+  executor deliberately does not catch — simulating SIGKILL for
+  resume tests);
+- **artifact corruption** — :func:`truncate_file` and
+  :func:`bitflip_file` damage saved trace artifacts deterministically
+  so integrity checking can be asserted.
+
+Everything is counted and seeded: the same injector configuration
+produces the same failures in the same places, every run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.errors import ConfigError, ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.designs.base import MemoryDesign
+    from repro.model.evaluate import Evaluation
+    from repro.workloads.base import Workload
+
+
+class InjectedFault(ReproError):
+    """The default exception raised by an injected cell fault."""
+
+
+class CampaignKill(BaseException):
+    """Simulates the process dying mid-campaign.
+
+    Derives from :class:`BaseException` on purpose: the executor's
+    fault isolation catches only :class:`Exception`, so a kill tears
+    the campaign down exactly like SIGKILL would — leaving the journal
+    with only the cells that finished.
+    """
+
+
+@dataclass
+class _CellRule:
+    """One injection rule matched against evaluation calls."""
+
+    matcher: Callable[[int, "MemoryDesign", "Workload"], bool]
+    action: Callable[[int, "MemoryDesign", "Workload"], None]
+    remaining: float  # may be math.inf for "always"
+
+    def applies(self, call: int, design, workload) -> bool:
+        return self.remaining > 0 and self.matcher(call, design, workload)
+
+
+@dataclass
+class FaultInjector:
+    """Wraps an evaluate callable with scripted, deterministic faults.
+
+    Use :meth:`wrap` to decorate ``runner.evaluate`` and hand the
+    result to :class:`~repro.resilience.executor.SweepExecutor` via its
+    ``evaluate`` argument. Calls are numbered from 1 in execution
+    order, which is deterministic (design-major, workload-minor).
+    """
+
+    calls: int = 0
+    _rules: list[_CellRule] = field(default_factory=list)
+
+    # -- scripting ------------------------------------------------------
+
+    def _add(self, matcher, action, times: float) -> "FaultInjector":
+        if times <= 0:
+            raise ConfigError("times must be positive")
+        self._rules.append(_CellRule(matcher, action, times))
+        return self
+
+    def fail_at_call(
+        self,
+        n: int,
+        exc_factory: Callable[[], Exception] | None = None,
+    ) -> "FaultInjector":
+        """Raise on the Nth evaluation overall (1-based)."""
+        factory = exc_factory or (
+            lambda: InjectedFault(f"injected failure at call {n}")
+        )
+
+        def action(call, design, workload):
+            raise factory()
+
+        return self._add(lambda call, d, w: call == n, action, times=1)
+
+    def fail_cell(
+        self,
+        design_name: str,
+        workload_name: str,
+        *,
+        times: float = float("inf"),
+        exc_factory: Callable[[], Exception] | None = None,
+    ) -> "FaultInjector":
+        """Fail a specific cell ``times`` times (default: always)."""
+        factory = exc_factory or (
+            lambda: InjectedFault(
+                f"injected failure in cell {design_name}/{workload_name}"
+            )
+        )
+
+        def action(call, design, workload):
+            raise factory()
+
+        return self._add(
+            lambda call, d, w: d.name == design_name
+            and w.name == workload_name,
+            action,
+            times=times,
+        )
+
+    def delay_cell(
+        self,
+        design_name: str,
+        workload_name: str,
+        seconds: float,
+        *,
+        times: float = float("inf"),
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> "FaultInjector":
+        """Stall a cell long enough to trip a wall-clock deadline."""
+
+        def action(call, design, workload):
+            sleep(seconds)
+
+        return self._add(
+            lambda call, d, w: d.name == design_name
+            and w.name == workload_name,
+            action,
+            times=times,
+        )
+
+    def kill_at_call(self, n: int) -> "FaultInjector":
+        """Raise :class:`CampaignKill` on the Nth evaluation overall."""
+
+        def action(call, design, workload):
+            raise CampaignKill(f"injected campaign kill at call {n}")
+
+        return self._add(lambda call, d, w: call == n, action, times=1)
+
+    # -- application ----------------------------------------------------
+
+    def wrap(
+        self,
+        evaluate: Callable[["MemoryDesign", "Workload"], "Evaluation"],
+    ) -> Callable[["MemoryDesign", "Workload"], "Evaluation"]:
+        """The instrumented evaluate callable."""
+
+        def instrumented(design, workload):
+            self.calls += 1
+            for rule in self._rules:
+                if rule.applies(self.calls, design, workload):
+                    rule.remaining -= 1
+                    rule.action(self.calls, design, workload)
+            return evaluate(design, workload)
+
+        return instrumented
+
+
+# ----------------------------------------------------------------------
+# Artifact corruption
+# ----------------------------------------------------------------------
+
+
+def truncate_file(path: str | Path, *, keep_fraction: float = 0.5) -> None:
+    """Truncate a file to a fraction of its size (simulated torn write)."""
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ConfigError("keep_fraction must be in [0, 1)")
+    path = Path(path)
+    data = path.read_bytes()
+    path.write_bytes(data[: int(len(data) * keep_fraction)])
+
+
+def bitflip_file(path: str | Path, *, seed: int = 0) -> int:
+    """Flip one deterministically-chosen bit in a file.
+
+    Returns the byte offset flipped (for failure messages). The offset
+    is drawn from a seeded RNG so the same (file size, seed) pair
+    always damages the same position.
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ConfigError(f"cannot bit-flip empty file {path}")
+    rng = np.random.default_rng(seed)
+    offset = int(rng.integers(0, len(data)))
+    bit = int(rng.integers(0, 8))
+    data[offset] ^= 1 << bit
+    path.write_bytes(bytes(data))
+    return offset

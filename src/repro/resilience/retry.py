@@ -1,0 +1,103 @@
+"""Bounded retries with deterministic, seeded backoff jitter.
+
+A failed sweep cell is usually worth one or two more tries (transient
+resource pressure, an injected fault under test), but a campaign must
+stay reproducible: given the same seed and cell key, the retry
+schedule — including its jitter — is identical on every run. Jitter is
+therefore derived from a SHA-256 of ``(seed, cell key, attempt)``
+rather than from a global RNG or the wall clock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.errors import ConfigError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently a failing cell is retried.
+
+    Attributes:
+        max_retries: additional attempts after the first failure
+            (0 disables retrying; a cell runs ``max_retries + 1``
+            times at most).
+        backoff_base_s: delay before the first retry, seconds.
+        backoff_factor: multiplier applied per subsequent retry
+            (exponential backoff).
+        jitter_fraction: the delay is perturbed by up to ±this
+            fraction, deterministically per (seed, key, attempt).
+        seed: jitter seed; recorded with campaign results so every
+            failure is reproducible.
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    jitter_fraction: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be non-negative")
+        if self.backoff_base_s < 0:
+            raise ConfigError("backoff_base_s must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ConfigError("jitter_fraction must be in [0, 1)")
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts a cell may consume."""
+        return self.max_retries + 1
+
+    def jitter_unit(self, key: str, attempt: int) -> float:
+        """Deterministic uniform value in [0, 1) for one retry slot."""
+        digest = hashlib.sha256(
+            f"{self.seed}:{key}:{attempt}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def delay_s(self, key: str, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based) of cell ``key``."""
+        if attempt < 1:
+            raise ConfigError("attempt numbering starts at 1")
+        base = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        spread = 2.0 * self.jitter_unit(key, attempt) - 1.0
+        return max(0.0, base * (1.0 + self.jitter_fraction * spread))
+
+
+#: Retrying disabled: one attempt, no backoff.
+NO_RETRY = RetryPolicy(max_retries=0, backoff_base_s=0.0, jitter_fraction=0.0)
+
+
+def call_with_retries(
+    fn: Callable[[], T],
+    *,
+    policy: RetryPolicy,
+    key: str = "",
+    sleep: Callable[[float], None] = time.sleep,
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+) -> tuple[T, int]:
+    """Call ``fn`` under a retry policy.
+
+    Returns ``(result, attempts_used)``. After the final attempt the
+    last exception propagates unchanged, with earlier failures present
+    on its ``__context__`` chain.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn(), attempt
+        except retry_on:
+            if attempt >= policy.max_attempts:
+                raise
+            sleep(policy.delay_s(key, attempt))

@@ -35,7 +35,7 @@ from repro.trace.filters import (
     split_windows,
     stores_only,
 )
-from repro.trace.io import load_trace, save_trace
+from repro.trace.io import discard_trace, load_trace, save_trace, verify_artifact
 
 __all__ = [
     "split_windows",
@@ -45,6 +45,8 @@ __all__ = [
     "stores_only",
     "save_trace",
     "load_trace",
+    "discard_trace",
+    "verify_artifact",
     "LOAD",
     "STORE",
     "AccessBatch",

@@ -1,20 +1,33 @@
-"""Stream and region-map serialization.
+"""Stream and region-map serialization with integrity protection.
 
 Traces are expensive to produce (the workload actually runs), so the
 runner can persist them: streams as compressed ``.npz`` (struct-of-
 arrays, loads back bit-exact) and the tracer's region map as JSON next
 to it. A saved pair is enough to re-run every design evaluation and
 the NDM oracle without re-executing the workload.
+
+Because long campaigns lean on these artifacts, writes are **atomic**
+(temp file in the destination directory + ``os.replace``) and every
+artifact gets a SHA-256 sidecar (``<artifact>.sha256``, ``sha256sum``
+format). Loading verifies the sidecar and re-raises any parse failure
+as :class:`~repro.errors.TraceIntegrityError` naming the offending
+file, so a half-written or bit-flipped cache entry is detected instead
+of silently corrupting an evaluation.
 """
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
+import os
+import tempfile
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
-from repro.errors import TraceError
+from repro.errors import TraceError, TraceIntegrityError
 from repro.trace.stream import AddressStream
 from repro.trace.tracer import Region, Tracer
 
@@ -22,16 +35,109 @@ from repro.trace.tracer import Region, Tracer
 _FORMAT_VERSION = 1
 
 
+# ----------------------------------------------------------------------
+# Integrity plumbing
+# ----------------------------------------------------------------------
+
+
+def checksum_path(path: str | Path) -> Path:
+    """The SHA-256 sidecar path for an artifact."""
+    path = Path(path)
+    return path.with_name(path.name + ".sha256")
+
+
+def compute_checksum(path: str | Path) -> str:
+    """SHA-256 hex digest of a file's contents."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` via temp file + ``os.replace``.
+
+    Readers never observe a partially written artifact: they see either
+    the previous version or the new one.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _write_artifact(path: Path, payload: bytes) -> None:
+    """Atomically write an artifact and its SHA-256 sidecar."""
+    _atomic_write_bytes(path, payload)
+    digest = hashlib.sha256(payload).hexdigest()
+    _atomic_write_bytes(
+        checksum_path(path), f"{digest}  {path.name}\n".encode()
+    )
+
+
+def verify_artifact(path: str | Path) -> None:
+    """Check an artifact against its SHA-256 sidecar.
+
+    Artifacts written before sidecars existed (no ``.sha256`` next to
+    them) pass unverified, for backward compatibility.
+
+    Raises:
+        TraceIntegrityError: on digest mismatch or unreadable sidecar.
+    """
+    path = Path(path)
+    sidecar = checksum_path(path)
+    if not sidecar.exists():
+        return
+    try:
+        expected = sidecar.read_text().split()[0]
+    except (OSError, IndexError) as exc:
+        raise TraceIntegrityError(
+            f"unreadable checksum sidecar {sidecar}; delete {path} and "
+            f"its sidecar, then re-trace"
+        ) from exc
+    actual = compute_checksum(path)
+    if actual != expected:
+        raise TraceIntegrityError(
+            f"checksum mismatch for {path} (expected {expected[:12]}…, "
+            f"got {actual[:12]}…); delete this file and its .sha256 "
+            f"sidecar and re-trace the workload"
+        )
+
+
+# ----------------------------------------------------------------------
+# Streams
+# ----------------------------------------------------------------------
+
+
 def save_stream(stream: AddressStream, path: str | Path) -> None:
-    """Write a stream to ``path`` (.npz, compressed)."""
+    """Write a stream to ``path`` (.npz, compressed).
+
+    Atomic (temp file + rename); parent directories are created; a
+    ``.sha256`` sidecar is written alongside.
+    """
     batch = stream.as_batch()
+    buffer = io.BytesIO()
     np.savez_compressed(
-        Path(path),
+        buffer,
         version=np.int64(_FORMAT_VERSION),
         addresses=batch.addresses,
         sizes=batch.sizes,
         is_store=batch.is_store,
     )
+    _write_artifact(Path(path), buffer.getvalue())
 
 
 def load_stream(path: str | Path) -> AddressStream:
@@ -39,23 +145,43 @@ def load_stream(path: str | Path) -> AddressStream:
 
     Raises:
         TraceError: for missing files or unknown formats.
+        TraceIntegrityError: for truncated, bit-flipped, or otherwise
+            unparseable files (checksum verified when a sidecar exists).
     """
     path = Path(path)
     if not path.exists():
         raise TraceError(f"no stream file at {path}")
-    with np.load(path) as data:
-        version = int(data["version"])
-        if version != _FORMAT_VERSION:
-            raise TraceError(
-                f"unsupported stream format version {version} in {path}"
+    verify_artifact(path)
+    try:
+        with np.load(path) as data:
+            version = int(data["version"])
+            if version != _FORMAT_VERSION:
+                raise TraceError(
+                    f"unsupported stream format version {version} in {path}"
+                )
+            return AddressStream.from_arrays(
+                data["addresses"], data["sizes"], data["is_store"]
             )
-        return AddressStream.from_arrays(
-            data["addresses"], data["sizes"], data["is_store"]
-        )
+    except TraceError:
+        raise
+    except (zipfile.BadZipFile, KeyError, ValueError, OSError, EOFError) as exc:
+        raise TraceIntegrityError(
+            f"corrupt stream file {path} ({type(exc).__name__}: {exc}); "
+            f"delete it and re-trace the workload"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Region maps
+# ----------------------------------------------------------------------
 
 
 def save_regions(tracer: Tracer, path: str | Path) -> None:
-    """Write a tracer's region map to ``path`` (JSON)."""
+    """Write a tracer's region map to ``path`` (JSON).
+
+    Atomic (temp file + rename); parent directories are created; a
+    ``.sha256`` sidecar is written alongside.
+    """
     payload = {
         "version": _FORMAT_VERSION,
         "regions": [
@@ -63,21 +189,41 @@ def save_regions(tracer: Tracer, path: str | Path) -> None:
             for r in tracer.regions
         ],
     }
-    Path(path).write_text(json.dumps(payload, indent=2))
+    _write_artifact(Path(path), json.dumps(payload, indent=2).encode())
 
 
 def load_regions(path: str | Path) -> list[Region]:
-    """Read a region map written by :func:`save_regions`."""
+    """Read a region map written by :func:`save_regions`.
+
+    Raises:
+        TraceError: for missing files or unknown formats.
+        TraceIntegrityError: for corrupt/unparseable files.
+    """
     path = Path(path)
     if not path.exists():
         raise TraceError(f"no region file at {path}")
-    payload = json.loads(path.read_text())
-    if payload.get("version") != _FORMAT_VERSION:
-        raise TraceError(f"unsupported region format in {path}")
-    return [
-        Region(name=entry["name"], base=entry["base"], size=entry["size"])
-        for entry in payload["regions"]
-    ]
+    verify_artifact(path)
+    try:
+        payload = json.loads(path.read_text())
+        if payload.get("version") != _FORMAT_VERSION:
+            raise TraceError(f"unsupported region format in {path}")
+        return [
+            Region(name=entry["name"], base=entry["base"], size=entry["size"])
+            for entry in payload["regions"]
+        ]
+    except TraceError:
+        raise
+    except (json.JSONDecodeError, KeyError, TypeError, AttributeError,
+            UnicodeDecodeError) as exc:
+        raise TraceIntegrityError(
+            f"corrupt region file {path} ({type(exc).__name__}: {exc}); "
+            f"delete it and re-trace the workload"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Paired artifacts
+# ----------------------------------------------------------------------
 
 
 def save_trace(stream: AddressStream, tracer: Tracer, directory: str | Path,
@@ -102,3 +248,22 @@ def load_trace(directory: str | Path, name: str) -> tuple[AddressStream, list[Re
         load_stream(directory / f"{name}.stream.npz"),
         load_regions(directory / f"{name}.regions.json"),
     )
+
+
+def discard_trace(directory: str | Path, name: str) -> list[Path]:
+    """Delete a saved (stream, regions) pair and sidecars if present.
+
+    The remediation step for a :class:`TraceIntegrityError`; returns
+    the paths actually removed.
+    """
+    directory = Path(directory)
+    removed = []
+    for artifact in (
+        directory / f"{name}.stream.npz",
+        directory / f"{name}.regions.json",
+    ):
+        for path in (artifact, checksum_path(artifact)):
+            if path.exists():
+                path.unlink()
+                removed.append(path)
+    return removed

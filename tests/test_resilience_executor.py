@@ -1,0 +1,333 @@
+"""Sweep executor: fault isolation, retries, deadlines, resume.
+
+Most tests drive the executor with a fake runner so the resilience
+machinery is exercised in milliseconds; one integration test runs a
+real (tiny-scale) campaign through a mid-campaign kill and resume.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.model.evaluate import Evaluation
+from repro.resilience import (
+    CampaignKill,
+    FaultInjector,
+    InjectedFault,
+    Journal,
+    RetryPolicy,
+    SweepExecutor,
+    cell_key_for,
+)
+
+pytestmark = pytest.mark.resilience
+
+
+def make_evaluation(design, workload):
+    return Evaluation(
+        design_name=design, workload=workload, time_s=1.0, dynamic_j=2.0,
+        static_j=3.0, energy_j=5.0, edp_js=5.0, amat_ns=1.5, time_norm=1.0,
+        energy_norm=0.5, dynamic_norm=0.4, static_norm=0.6, edp_norm=0.5,
+    )
+
+
+class FakeDesign:
+    def __init__(self, name):
+        self.name = name
+
+    def sim_key(self):
+        return self.name
+
+
+class FakeWorkload:
+    def __init__(self, name):
+        self.name = name
+
+
+class FakeRunner:
+    """Duck-typed stand-in: scale, seed, and an evaluate counter."""
+
+    def __init__(self):
+        self.scale = 0.001
+        self.seed = 0
+        self.calls = 0
+
+    def evaluate(self, design, workload):
+        self.calls += 1
+        return make_evaluation(design.name, workload.name)
+
+
+DESIGNS = [FakeDesign("D1"), FakeDesign("D2")]
+WORKLOADS = [FakeWorkload("W1"), FakeWorkload("W2")]
+
+
+class TestValidation:
+    def test_empty_workloads_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepExecutor(FakeRunner()).run(DESIGNS, [])
+
+    def test_empty_designs_rejected_before_work(self):
+        runner = FakeRunner()
+        with pytest.raises(ConfigError):
+            SweepExecutor(runner).run(iter([]), WORKLOADS)
+        assert runner.calls == 0
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepExecutor(FakeRunner(), cell_timeout_s=0.0)
+
+
+class TestFaultIsolation:
+    def test_clean_campaign(self):
+        result = SweepExecutor(FakeRunner()).run(DESIGNS, WORKLOADS)
+        assert [o.status for o in result.outcomes] == ["ok"] * 4
+        assert len(result.evaluations) == 4
+
+    def test_always_failing_cell_does_not_sink_campaign(self):
+        runner = FakeRunner()
+        injector = FaultInjector().fail_cell("D1", "W2")
+        executor = SweepExecutor(
+            runner, evaluate=injector.wrap(runner.evaluate)
+        )
+        result = executor.run(DESIGNS, WORKLOADS)
+        by_cell = {(o.design, o.workload): o for o in result.outcomes}
+        assert by_cell[("D1", "W2")].status == "failed"
+        # Every other cell still completed.
+        ok = [o for o in result.outcomes if o.ok]
+        assert len(ok) == 3
+        assert result.counts() == {"ok": 3, "failed": 1}
+
+    def test_failure_records_exception_chain(self):
+        runner = FakeRunner()
+
+        def chained_exc():
+            exc = InjectedFault("wrapper")
+            exc.__cause__ = ValueError("root cause")
+            return exc
+
+        injector = FaultInjector().fail_cell(
+            "D1", "W1", exc_factory=chained_exc
+        )
+        executor = SweepExecutor(
+            runner, evaluate=injector.wrap(runner.evaluate)
+        )
+        result = executor.run(DESIGNS, WORKLOADS)
+        failed = next(o for o in result.outcomes if not o.ok)
+        assert "InjectedFault: wrapper" in failed.error
+        assert "caused by ValueError: root cause" in failed.error
+        assert isinstance(failed.exception, InjectedFault)
+
+    def test_keep_going_off_skips_remaining(self):
+        runner = FakeRunner()
+        injector = FaultInjector().fail_at_call(2)
+        executor = SweepExecutor(
+            runner, evaluate=injector.wrap(runner.evaluate), keep_going=False
+        )
+        result = executor.run(DESIGNS, WORKLOADS)
+        assert [o.status for o in result.outcomes] == [
+            "ok", "failed", "skipped", "skipped"
+        ]
+        assert injector.calls == 2  # skipped cells never evaluated
+
+
+class TestRetries:
+    def test_transient_failure_retried_to_success(self):
+        runner = FakeRunner()
+        injector = FaultInjector().fail_cell("D1", "W1", times=2)
+        executor = SweepExecutor(
+            runner,
+            evaluate=injector.wrap(runner.evaluate),
+            retry=RetryPolicy(max_retries=2, backoff_base_s=0.0),
+            sleep=lambda s: None,
+        )
+        result = executor.run(DESIGNS, WORKLOADS)
+        flaky = result.outcomes[0]
+        assert flaky.status == "ok"
+        assert flaky.attempts == 3
+        assert result.retried == [flaky]
+
+    def test_retries_exhausted_reports_failure(self):
+        runner = FakeRunner()
+        injector = FaultInjector().fail_cell("D1", "W1")
+        slept = []
+        executor = SweepExecutor(
+            runner,
+            evaluate=injector.wrap(runner.evaluate),
+            retry=RetryPolicy(max_retries=2, backoff_base_s=0.01, seed=3),
+            sleep=slept.append,
+        )
+        result = executor.run(DESIGNS, WORKLOADS)
+        failed = result.outcomes[0]
+        assert failed.status == "failed"
+        assert failed.attempts == 3
+        assert len(slept) == 2
+        # Backoff delays are the policy's deterministic schedule.
+        key = failed.key
+        policy = executor.retry
+        assert slept == [policy.delay_s(key, 1), policy.delay_s(key, 2)]
+
+
+class TestDeadlines:
+    def test_slow_cell_times_out(self):
+        runner = FakeRunner()
+        injector = FaultInjector().delay_cell("D1", "W1", seconds=5.0)
+        executor = SweepExecutor(
+            runner,
+            evaluate=injector.wrap(runner.evaluate),
+            cell_timeout_s=0.1,
+        )
+        result = executor.run(DESIGNS, WORKLOADS)
+        assert result.outcomes[0].status == "timed_out"
+        assert "deadline" in result.outcomes[0].error
+        # The campaign still finished the rest of the grid.
+        assert sum(1 for o in result.outcomes if o.ok) == 3
+
+    def test_fast_cells_unaffected_by_deadline(self):
+        result = SweepExecutor(FakeRunner(), cell_timeout_s=30.0).run(
+            DESIGNS, WORKLOADS
+        )
+        assert all(o.ok for o in result.outcomes)
+
+
+class TestJournalResume:
+    def test_kill_mid_campaign_then_resume(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        runner = FakeRunner()
+        injector = FaultInjector().kill_at_call(3)
+        executor = SweepExecutor(
+            runner, evaluate=injector.wrap(runner.evaluate), journal=path
+        )
+        with pytest.raises(CampaignKill):
+            executor.run(DESIGNS, WORKLOADS)
+        # The first two cells were journalled durably before the kill.
+        assert len(Journal(path).load()) == 2
+
+        resumed_runner = FakeRunner()
+        result = SweepExecutor(resumed_runner, journal=path).run(
+            DESIGNS, WORKLOADS
+        )
+        assert all(o.ok for o in result.outcomes)
+        # Only the incomplete cells were re-evaluated.
+        assert resumed_runner.calls == 2
+        reused = [o for o in result.outcomes if o.from_journal]
+        assert [(o.design, o.workload) for o in reused] == [
+            ("D1", "W1"), ("D1", "W2")
+        ]
+
+    def test_resumed_evaluation_identical(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        runner = FakeRunner()
+        first = SweepExecutor(runner, journal=path).run(DESIGNS, WORKLOADS)
+        second = SweepExecutor(FakeRunner(), journal=path).run(
+            DESIGNS, WORKLOADS
+        )
+        assert all(o.from_journal for o in second.outcomes)
+        assert [o.evaluation for o in first.outcomes] == [
+            o.evaluation for o in second.outcomes
+        ]
+
+    def test_failed_cells_rerun_on_resume(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        runner = FakeRunner()
+        injector = FaultInjector().fail_cell("D2", "W1", times=1)
+        SweepExecutor(
+            runner, evaluate=injector.wrap(runner.evaluate), journal=path
+        ).run(DESIGNS, WORKLOADS)
+        resumed_runner = FakeRunner()
+        result = SweepExecutor(resumed_runner, journal=path).run(
+            DESIGNS, WORKLOADS
+        )
+        assert all(o.ok for o in result.outcomes)
+        assert resumed_runner.calls == 1  # only the failed cell re-ran
+
+    def test_resume_off_reevaluates_everything(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        SweepExecutor(FakeRunner(), journal=path).run(DESIGNS, WORKLOADS)
+        runner = FakeRunner()
+        SweepExecutor(runner, journal=path, resume=False).run(
+            DESIGNS, WORKLOADS
+        )
+        assert runner.calls == 4
+
+    def test_changed_scale_changes_keys(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        SweepExecutor(FakeRunner(), journal=path).run(DESIGNS, WORKLOADS)
+        changed = FakeRunner()
+        changed.scale = 0.5  # different design point: nothing reusable
+        SweepExecutor(changed, journal=path).run(DESIGNS, WORKLOADS)
+        assert changed.calls == 4
+
+
+class TestDegradationReport:
+    def test_report_names_failures_and_reproduction_handle(self):
+        runner = FakeRunner()
+        injector = FaultInjector().fail_cell("D2", "W2")
+        executor = SweepExecutor(
+            runner,
+            evaluate=injector.wrap(runner.evaluate),
+            retry=RetryPolicy(max_retries=1, backoff_base_s=0.0, seed=11),
+            sleep=lambda s: None,
+        )
+        result = executor.run(DESIGNS, WORKLOADS)
+        report = result.report()
+        key = cell_key_for(
+            DESIGNS[1], WORKLOADS[1], runner.scale, runner.seed
+        )
+        assert "3 ok" in report
+        assert "1 failed" in report
+        assert "D2/W2" in report
+        assert f"seed=11 key={key}" in report
+        assert "InjectedFault" in report
+
+    def test_clean_report(self):
+        result = SweepExecutor(FakeRunner()).run(DESIGNS, WORKLOADS)
+        assert "no cells abandoned" in result.report()
+        assert "4 ok" in result.report()
+
+
+class TestRealRunnerIntegration:
+    """End-to-end: a real tiny campaign killed and resumed."""
+
+    SCALE = 1.0 / 8192
+
+    def test_kill_and_resume_real_sweep(self, tmp_path):
+        from repro.designs.configs import N_CONFIGS
+        from repro.designs.nmm import NMMDesign
+        from repro.designs.reference import ReferenceDesign
+        from repro.experiments.runner import Runner
+        from repro.tech.params import PCM, STTRAM
+        from repro.workloads.registry import get_workload
+
+        path = tmp_path / "campaign.jsonl"
+        workloads = [get_workload("CG")]
+
+        def designs_for(runner):
+            return [
+                ReferenceDesign(scale=self.SCALE, reference=runner.reference),
+                NMMDesign(PCM, N_CONFIGS["N6"], scale=self.SCALE,
+                          reference=runner.reference),
+                NMMDesign(STTRAM, N_CONFIGS["N6"], scale=self.SCALE,
+                          reference=runner.reference),
+            ]
+
+        runner = Runner(scale=self.SCALE, seed=2)
+        injector = FaultInjector().kill_at_call(2)
+        with pytest.raises(CampaignKill):
+            SweepExecutor(
+                runner, evaluate=injector.wrap(runner.evaluate), journal=path
+            ).run(designs_for(runner), workloads)
+        assert len(Journal(path).load()) == 1
+
+        resumed = Runner(scale=self.SCALE, seed=2)
+        resumed_injector = FaultInjector()  # counts evaluations only
+        result = SweepExecutor(
+            resumed,
+            evaluate=resumed_injector.wrap(resumed.evaluate),
+            journal=path,
+        ).run(designs_for(resumed), workloads)
+        assert all(o.ok for o in result.outcomes)
+        assert resumed_injector.calls == 2  # first cell came from journal
+        assert result.outcomes[0].from_journal
+        # The journalled evaluation matches a fresh one bit-for-bit.
+        fresh = Runner(scale=self.SCALE, seed=2)
+        expected = fresh.evaluate(designs_for(fresh)[0], workloads[0])
+        assert result.outcomes[0].evaluation == expected

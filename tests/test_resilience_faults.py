@@ -1,0 +1,110 @@
+"""Fault-injection harness: deterministic cell faults and corruption."""
+
+import pytest
+
+from repro.errors import ConfigError, ReproError
+from repro.resilience import (
+    CampaignKill,
+    FaultInjector,
+    InjectedFault,
+    bitflip_file,
+    truncate_file,
+)
+
+pytestmark = pytest.mark.resilience
+
+
+class Obj:
+    def __init__(self, name):
+        self.name = name
+
+
+def evaluate(design, workload):
+    return f"{design.name}/{workload.name}"
+
+
+class TestInjector:
+    def test_counts_calls(self):
+        injector = FaultInjector()
+        wrapped = injector.wrap(evaluate)
+        wrapped(Obj("D"), Obj("W"))
+        wrapped(Obj("D"), Obj("W"))
+        assert injector.calls == 2
+
+    def test_fail_at_call_fires_once(self):
+        injector = FaultInjector().fail_at_call(2)
+        wrapped = injector.wrap(evaluate)
+        assert wrapped(Obj("D"), Obj("W")) == "D/W"
+        with pytest.raises(InjectedFault, match="call 2"):
+            wrapped(Obj("D"), Obj("W"))
+        assert wrapped(Obj("D"), Obj("W")) == "D/W"
+
+    def test_fail_cell_limited_times(self):
+        injector = FaultInjector().fail_cell("D", "W", times=2)
+        wrapped = injector.wrap(evaluate)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                wrapped(Obj("D"), Obj("W"))
+        assert wrapped(Obj("D"), Obj("W")) == "D/W"
+
+    def test_fail_cell_only_matches_its_cell(self):
+        injector = FaultInjector().fail_cell("D", "W")
+        wrapped = injector.wrap(evaluate)
+        assert wrapped(Obj("D2"), Obj("W")) == "D2/W"
+        assert wrapped(Obj("D"), Obj("W2")) == "D/W2"
+        with pytest.raises(InjectedFault):
+            wrapped(Obj("D"), Obj("W"))
+
+    def test_delay_cell_sleeps(self):
+        slept = []
+        injector = FaultInjector().delay_cell(
+            "D", "W", seconds=2.5, sleep=slept.append
+        )
+        wrapped = injector.wrap(evaluate)
+        assert wrapped(Obj("D"), Obj("W")) == "D/W"
+        assert slept == [2.5]
+
+    def test_kill_is_not_an_ordinary_exception(self):
+        injector = FaultInjector().kill_at_call(1)
+        wrapped = injector.wrap(evaluate)
+        with pytest.raises(CampaignKill):
+            wrapped(Obj("D"), Obj("W"))
+        assert not issubclass(CampaignKill, Exception)
+
+    def test_injected_fault_is_repro_error(self):
+        assert issubclass(InjectedFault, ReproError)
+
+    def test_bad_times_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultInjector().fail_cell("D", "W", times=0)
+
+
+class TestCorruptionHelpers:
+    def test_truncate(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(bytes(range(100)))
+        truncate_file(path, keep_fraction=0.5)
+        assert path.read_bytes() == bytes(range(50))
+
+    def test_truncate_validates_fraction(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"xy")
+        with pytest.raises(ConfigError):
+            truncate_file(path, keep_fraction=1.0)
+
+    def test_bitflip_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.bin", tmp_path / "b.bin"
+        payload = bytes(range(256))
+        a.write_bytes(payload)
+        b.write_bytes(payload)
+        off_a = bitflip_file(a, seed=3)
+        off_b = bitflip_file(b, seed=3)
+        assert off_a == off_b
+        assert a.read_bytes() == b.read_bytes()
+        assert a.read_bytes() != payload
+
+    def test_bitflip_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        with pytest.raises(ConfigError):
+            bitflip_file(path)

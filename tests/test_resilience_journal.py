@@ -1,0 +1,127 @@
+"""Result journal: content-hash keys, atomic append, tolerant resume."""
+
+import json
+
+import pytest
+
+from repro.errors import SweepError
+from repro.model.evaluate import Evaluation
+from repro.resilience import (
+    SCHEMA_VERSION,
+    Journal,
+    JournalEntry,
+    cell_key,
+)
+
+pytestmark = pytest.mark.resilience
+
+
+def make_evaluation(design="D", workload="W"):
+    return Evaluation(
+        design_name=design, workload=workload, time_s=1.0, dynamic_j=2.0,
+        static_j=3.0, energy_j=5.0, edp_js=5.0, amat_ns=1.5, time_norm=1.0,
+        energy_norm=0.5, dynamic_norm=0.4, static_norm=0.6, edp_norm=0.5,
+    )
+
+
+def make_entry(key="k1", status="ok", **overrides):
+    fields = dict(
+        key=key, design="D", workload="W", scale=0.001, seed=0,
+        status=status, attempts=1, duration_s=0.5,
+    )
+    fields.update(overrides)
+    return JournalEntry(**fields)
+
+
+class TestCellKey:
+    def test_deterministic(self):
+        assert cell_key("D", "S", "W", 0.1, 0) == cell_key("D", "S", "W", 0.1, 0)
+
+    def test_sensitive_to_every_component(self):
+        base = cell_key("D", "S", "W", 0.1, 0)
+        assert cell_key("D2", "S", "W", 0.1, 0) != base
+        assert cell_key("D", "S2", "W", 0.1, 0) != base
+        assert cell_key("D", "S", "W2", 0.1, 0) != base
+        assert cell_key("D", "S", "W", 0.2, 0) != base
+        assert cell_key("D", "S", "W", 0.1, 1) != base
+
+
+class TestEntryRoundtrip:
+    def test_json_roundtrip(self):
+        entry = make_entry(evaluation={"time_norm": 1.0})
+        assert JournalEntry.from_json(entry.to_json()) == entry
+
+    def test_schema_stamped(self):
+        payload = json.loads(make_entry().to_json())
+        assert payload["schema"] == SCHEMA_VERSION
+
+    def test_unknown_schema_rejected(self):
+        payload = json.loads(make_entry().to_json())
+        payload["schema"] = 99
+        with pytest.raises(SweepError, match="schema"):
+            JournalEntry.from_json(json.dumps(payload))
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(SweepError):
+            JournalEntry.from_json("{not json")
+
+    def test_evaluation_reconstruction(self):
+        import dataclasses
+
+        evaluation = make_evaluation()
+        entry = make_entry(evaluation=dataclasses.asdict(evaluation))
+        assert entry.load_evaluation() == evaluation
+
+    def test_no_evaluation_for_failures(self):
+        assert make_entry(status="failed").load_evaluation() is None
+
+
+class TestJournalFile:
+    def test_append_and_load(self, tmp_path):
+        journal = Journal(tmp_path / "sweep.jsonl")
+        journal.append(make_entry("a"))
+        journal.append(make_entry("b", status="failed", error="boom"))
+        loaded = Journal(tmp_path / "sweep.jsonl").load()
+        assert set(loaded) == {"a", "b"}
+        assert loaded["b"].error == "boom"
+
+    def test_later_entries_win(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append(make_entry("a", status="failed"))
+        journal.append(make_entry("a", status="ok"))
+        assert Journal(journal.path).load()["a"].status == "ok"
+
+    def test_creates_parent_directories(self, tmp_path):
+        journal = Journal(tmp_path / "deep" / "nested" / "j.jsonl")
+        journal.append(make_entry("a"))
+        assert journal.path.exists()
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert Journal(tmp_path / "absent.jsonl").load() == {}
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.append(make_entry("a"))
+        with open(path, "a") as handle:
+            handle.write('{"schema": 1, "key": "tor')  # torn mid-append
+        loaded = Journal(path).load()
+        assert set(loaded) == {"a"}
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.append(make_entry("a"))
+        journal.append(make_entry("b"))
+        lines = path.read_text().splitlines()
+        lines[0] = "garbage"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SweepError, match="delete"):
+            Journal(path).load()
+
+    def test_append_preserves_existing_entries(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        Journal(path).append(make_entry("a"))
+        other = Journal(path)  # fresh handle, as on resume
+        other.append(make_entry("b"))
+        assert set(Journal(path).load()) == {"a", "b"}

@@ -1,0 +1,108 @@
+"""RetryPolicy: bounded attempts, exponential backoff, seeded jitter."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.resilience import NO_RETRY, RetryPolicy, call_with_retries
+
+pytestmark = pytest.mark.resilience
+
+
+class TestPolicyValidation:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_retries=-1)
+
+    def test_bad_backoff_rejected(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_base_s=-0.1)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_bad_jitter_rejected(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter_fraction=1.0)
+
+    def test_max_attempts(self):
+        assert RetryPolicy(max_retries=2).max_attempts == 3
+        assert NO_RETRY.max_attempts == 1
+
+
+class TestBackoff:
+    def test_deterministic_per_key_and_attempt(self):
+        policy = RetryPolicy(seed=7)
+        assert policy.delay_s("cell-a", 1) == policy.delay_s("cell-a", 1)
+
+    def test_jitter_varies_with_key_seed_attempt(self):
+        policy = RetryPolicy(seed=7)
+        units = {
+            policy.jitter_unit("cell-a", 1),
+            policy.jitter_unit("cell-b", 1),
+            policy.jitter_unit("cell-a", 2),
+            RetryPolicy(seed=8).jitter_unit("cell-a", 1),
+        }
+        assert len(units) == 4
+
+    def test_exponential_growth(self):
+        policy = RetryPolicy(
+            backoff_base_s=1.0, backoff_factor=2.0, jitter_fraction=0.0
+        )
+        assert policy.delay_s("k", 1) == pytest.approx(1.0)
+        assert policy.delay_s("k", 2) == pytest.approx(2.0)
+        assert policy.delay_s("k", 3) == pytest.approx(4.0)
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(
+            backoff_base_s=1.0, backoff_factor=1.0, jitter_fraction=0.1
+        )
+        for attempt in range(1, 20):
+            delay = policy.delay_s("k", attempt)
+            assert 0.9 <= delay <= 1.1
+
+    def test_attempt_numbering_from_one(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy().delay_s("k", 0)
+
+
+class TestCallWithRetries:
+    def test_succeeds_after_transient_failures(self):
+        attempts = []
+        slept = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise RuntimeError(f"transient {len(attempts)}")
+            return "done"
+
+        value, used = call_with_retries(
+            flaky,
+            policy=RetryPolicy(max_retries=3, backoff_base_s=0.01),
+            key="cell",
+            sleep=slept.append,
+        )
+        assert value == "done"
+        assert used == 3
+        assert len(slept) == 2
+
+    def test_exhaustion_reraises_last_error(self):
+        def always():
+            raise RuntimeError("permanent")
+
+        with pytest.raises(RuntimeError, match="permanent"):
+            call_with_retries(
+                always,
+                policy=RetryPolicy(max_retries=2),
+                sleep=lambda s: None,
+            )
+
+    def test_no_retry_single_attempt(self):
+        calls = []
+
+        def failing():
+            calls.append(1)
+            raise ValueError("x")
+
+        with pytest.raises(ValueError):
+            call_with_retries(failing, policy=NO_RETRY, sleep=lambda s: None)
+        assert len(calls) == 1

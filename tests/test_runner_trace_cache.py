@@ -66,3 +66,35 @@ class TestTraceCache:
         runner = Runner(scale=SCALE, seed=4)
         runner.prepare(get_workload("CG"))
         assert not list(tmp_path.iterdir())
+
+
+class TestCorruptCacheSelfHeal:
+    def test_corrupt_entry_discarded_and_retraced(self, tmp_path):
+        from repro.resilience import bitflip_file
+
+        first = Runner(scale=SCALE, seed=4, trace_cache_dir=str(tmp_path))
+        trace_a = first.prepare(get_workload("CG"))
+        stream_path = next(iter(tmp_path.glob("CG-*.stream.npz")))
+        bitflip_file(stream_path, seed=1)
+
+        healed = Runner(scale=SCALE, seed=4, trace_cache_dir=str(tmp_path))
+        trace_b = healed.prepare(get_workload("CG"))
+        # Re-traced (not served from the corrupt cache) ...
+        assert trace_b.result.checks != {"cached": True}
+        assert len(trace_b.result.stream) == len(trace_a.result.stream)
+        # ... and the cache entry was rewritten cleanly for next time.
+        third = Runner(scale=SCALE, seed=4, trace_cache_dir=str(tmp_path))
+        assert third.prepare(get_workload("CG")).result.checks == {
+            "cached": True
+        }
+
+    def test_discard_trace_removes_pair_and_sidecars(self, tmp_path):
+        from repro.trace.io import discard_trace
+
+        runner = Runner(scale=SCALE, seed=4, trace_cache_dir=str(tmp_path))
+        runner.prepare(get_workload("CG"))
+        name = next(iter(tmp_path.glob("CG-*.stream.npz"))).name
+        name = name.removesuffix(".stream.npz")
+        removed = discard_trace(tmp_path, name)
+        assert len(removed) == 4  # two artifacts + two sidecars
+        assert not list(tmp_path.iterdir())
