@@ -22,6 +22,8 @@ see the subpackages for the full API:
 - :mod:`repro.experiments` harness regenerating every table and figure
 """
 
+import logging
+
 from repro._version import __version__
 from repro.errors import (
     ReproError,
@@ -30,8 +32,15 @@ from repro.errors import (
     TraceIntegrityError,
     SimulationError,
     ModelError,
+    TelemetryError,
     SweepError,
 )
+
+# Library-safe logging: every module logs under the "repro" namespace,
+# and a NullHandler here guarantees silence-by-default without the
+# "No handlers could be found" warning. Applications opt in with e.g.
+# ``logging.getLogger("repro").setLevel(logging.INFO)`` plus a handler.
+logging.getLogger("repro").addHandler(logging.NullHandler())
 
 __all__ = [
     "__version__",
@@ -41,5 +50,6 @@ __all__ = [
     "TraceIntegrityError",
     "SimulationError",
     "ModelError",
+    "TelemetryError",
     "SweepError",
 ]

@@ -20,6 +20,7 @@ from repro.cache.partition import PartitionedMemory
 from repro.cache.setassoc import SetAssociativeCache, check_request_sizes
 from repro.cache.stats import HierarchyStats
 from repro.errors import ConfigError
+from repro.telemetry.core import get_active
 from repro.trace.events import (
     ADDR_DTYPE,
     KIND_DTYPE,
@@ -69,12 +70,19 @@ class Hierarchy:
             must be non-decreasing downward so a request never exceeds
             the serving level's granularity.
         memory: terminal device (or partitioned device).
+        observer: optional telemetry hook — an object with an
+            ``on_refs(n)`` method (e.g. a
+            :class:`~repro.telemetry.windows.WindowedCollector`) called
+            once per processed batch with the number of top-level
+            requests. When None (the default) the hook costs one
+            ``is not None`` check per batch.
     """
 
     def __init__(
         self,
         caches: list[SetAssociativeCache],
         memory: MainMemory | PartitionedMemory,
+        observer=None,
     ) -> None:
         if not caches:
             raise ConfigError("a hierarchy needs at least one cache level")
@@ -86,6 +94,7 @@ class Hierarchy:
                 )
         self.caches = list(caches)
         self.memory = memory
+        self.observer = observer
         self._references = 0
 
     # ------------------------------------------------------------------
@@ -93,13 +102,18 @@ class Hierarchy:
     def process_batch(self, batch: AccessBatch) -> None:
         """Run one raw access batch through the whole chain."""
         requests = to_block_requests(batch, self.caches[0].block_size)
-        self._references += len(requests)
+        arrived = len(requests)
+        self._references += arrived
         for cache in self.caches:
             check_request_sizes(requests, cache.block_size, cache.name)
             requests = cache.process(requests)
             if len(requests) == 0:
-                return
-        self.memory.process(requests)
+                break
+        else:
+            self.memory.process(requests)
+        observer = self.observer
+        if observer is not None:
+            observer.on_refs(arrived)
 
     def run(self, stream: AddressStream, drain: bool = False) -> HierarchyStats:
         """Run an address stream through the hierarchy.
@@ -116,10 +130,11 @@ class Hierarchy:
             hierarchy instance; use a fresh instance or :meth:`reset`
             for independent measurements).
         """
-        for chunk in stream.chunks():
-            self.process_batch(chunk)
-        if drain:
-            self.drain()
+        with get_active().span("hierarchy.run", memory=self.memory.name):
+            for chunk in stream.chunks():
+                self.process_batch(chunk)
+            if drain:
+                self.drain()
         return self.stats()
 
     def drain(self) -> None:

@@ -40,6 +40,16 @@ class ModelError(ReproError):
     """A problem while evaluating the performance or energy models."""
 
 
+class TelemetryError(ReproError):
+    """A problem while recording or exporting telemetry.
+
+    Raised for invalid metric/window configuration and for corrupt
+    telemetry artifacts (event logs, window CSVs). Remediation for
+    artifact corruption: the telemetry directory is disposable —
+    delete it and re-run with ``--telemetry`` to regenerate.
+    """
+
+
 class SweepError(ReproError):
     """A problem while executing or resuming a sweep campaign.
 

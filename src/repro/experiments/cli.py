@@ -14,15 +14,20 @@ Subcommands:
   retries (``--max-retries``), per-cell deadlines (``--cell-timeout``)
   and keep-going semantics (``--keep-going``).
 
+- ``telemetry report DIR`` — summarize a telemetry directory written
+  by a previous ``--telemetry DIR`` run (span digests, window files,
+  event counts).
+
 Common options: ``--scale`` (capacity/footprint scale), ``--seed``,
-``--workloads`` (comma-separated subset of the suite).
+``--workloads`` (comma-separated subset of the suite),
+``--telemetry DIR`` (record spans, metrics, and windowed time-series
+for the whole invocation).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro.designs.configs import DEFAULT_SCALE
 from repro.errors import ConfigError
@@ -31,6 +36,7 @@ from repro.experiments import heatmap as heatmap_mod
 from repro.experiments import tables as tables_mod
 from repro.experiments.render import ascii_table, render_figure, render_heatmap
 from repro.experiments.runner import Runner
+from repro.telemetry.core import Telemetry, get_active, set_active
 from repro.workloads.registry import SUITE, get_workload
 
 
@@ -142,6 +148,8 @@ def _run_resilient_sweep(args, runner: Runner, workloads) -> int:
     designs = _parse_designs(args.designs, args.scale, runner.reference)
     if workloads is None:
         workloads = [get_workload(name) for name in suite_names]
+    from repro.telemetry.progress import ProgressReporter
+
     executor = SweepExecutor(
         runner,
         retry=RetryPolicy(max_retries=args.max_retries, seed=args.seed),
@@ -149,6 +157,7 @@ def _run_resilient_sweep(args, runner: Runner, workloads) -> int:
         keep_going=args.keep_going,
         journal=journal,
         resume=args.resume,
+        progress=ProgressReporter(len(designs) * len(workloads)),
     )
     result = executor.run(designs, workloads)
     for outcome in result.outcomes:
@@ -261,6 +270,11 @@ def main(argv: list[str] | None = None) -> int:
         help="log tracing/simulation progress",
     )
     parser.add_argument(
+        "--telemetry", type=str, default=None, metavar="DIR",
+        help="record telemetry (events.jsonl, metrics.prom, "
+        "windows_*.csv) into DIR for this invocation",
+    )
+    parser.add_argument(
         "--workloads",
         type=str,
         default=None,
@@ -332,6 +346,13 @@ def main(argv: list[str] | None = None) -> int:
         help="finish the whole grid even after failures (default: the "
         "first failure skips the remaining cells)",
     )
+    telem = sub.add_parser(
+        "telemetry",
+        help="inspect a telemetry directory from a --telemetry run",
+    )
+    telem.add_argument("action", choices=["report"])
+    telem.add_argument("dir", type=str,
+                       help="telemetry directory to summarize")
 
     args = parser.parse_args(argv)
     if args.verbose:
@@ -340,6 +361,27 @@ def main(argv: list[str] | None = None) -> int:
         logging.basicConfig(level=logging.INFO, format="%(message)s")
         logging.getLogger("repro").setLevel(logging.INFO)
     workloads = _parse_workloads(args.workloads)
+
+    telemetry = None
+    if args.telemetry:
+        telemetry = Telemetry(args.telemetry)
+        set_active(telemetry)
+    try:
+        return _dispatch(args, workloads)
+    finally:
+        if telemetry is not None:
+            set_active(None)
+            telemetry.close()
+            print(f"telemetry: {args.telemetry}", file=sys.stderr)
+
+
+def _dispatch(args, workloads) -> int:
+    """Run the selected subcommand (telemetry already activated)."""
+    if args.command == "telemetry":
+        from repro.telemetry.report import render_summary, summarize_directory
+
+        print(render_summary(summarize_directory(args.dir)))
+        return 0
 
     if args.command == "tables":
         _print_tables()
@@ -449,12 +491,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     # reproduce-all
-    started = time.perf_counter()
-    _print_tables()
-    for number in range(1, 11):
-        _print_figure(number, runner, workloads)
+    with get_active().span("cli.reproduce_all", scale=args.scale) as span:
+        _print_tables()
+        for number in range(1, 11):
+            _print_figure(number, runner, workloads)
     print(f"\nreproduced all tables and figures in "
-          f"{time.perf_counter() - started:.1f}s (scale={args.scale:g})")
+          f"{span.duration_s:.1f}s (scale={args.scale:g})")
     return 0
 
 

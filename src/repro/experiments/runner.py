@@ -20,7 +20,6 @@ invalidations, as in the paper's simulator).
 from __future__ import annotations
 
 import logging
-import time
 from dataclasses import dataclass
 
 from repro.cache.hierarchy import Hierarchy
@@ -41,12 +40,14 @@ from repro.partition.oracle import PlacementResult, enumerate_placements
 from repro.partition.profiler import profile_ranges
 from repro.partition.ranges import AddressRange
 from repro.tech.params import MemoryTechnology
+from repro.telemetry.core import NullTelemetry, Telemetry, get_active
 from repro.trace.events import AccessBatch
 from repro.trace.stream import AddressStream
 from repro.trace.tracer import Tracer
 from repro.workloads.base import TraceResult, Workload
 
-#: Package logger; enable progress lines on long runs with
+#: Package logger ("repro" has a NullHandler attached, so the library
+#: is silent by default); enable progress lines on long runs with
 #: ``logging.getLogger("repro").setLevel(logging.INFO)`` plus a handler.
 logger = logging.getLogger("repro.experiments")
 
@@ -119,6 +120,11 @@ class Runner:
         reference: the SRAM pyramid (defaults to Sandy Bridge).
         local_factor: L1-hitting local references injected per traced
             data reference (see :data:`DEFAULT_LOCAL_FACTOR`).
+        telemetry: explicit telemetry instance; None (the default)
+            resolves the process-wide active instance per call (see
+            :mod:`repro.telemetry.core`), which is the disabled
+            :data:`~repro.telemetry.core.NULL_TELEMETRY` unless a
+            caller activated one.
     """
 
     def __init__(
@@ -128,6 +134,7 @@ class Runner:
         reference: ReferenceSystem | None = None,
         local_factor: float = DEFAULT_LOCAL_FACTOR,
         trace_cache_dir: str | None = None,
+        telemetry: Telemetry | NullTelemetry | None = None,
     ) -> None:
         if local_factor < 0:
             raise ValueError("local_factor must be non-negative")
@@ -135,6 +142,7 @@ class Runner:
         self.seed = seed
         self.reference = reference or ReferenceSystem.sandy_bridge()
         self.local_factor = local_factor
+        self.telemetry = telemetry
         #: Optional directory for persistent trace caching across
         #: processes: traced streams and region maps are saved after the
         #: first run and reloaded (bit-exact) instead of re-executing
@@ -144,6 +152,10 @@ class Runner:
         self.trace_cache_dir = trace_cache_dir
         self._traces: dict[str, WorkloadTrace] = {}
         self._design_stats: dict[tuple[str, str], HierarchyStats] = {}
+
+    def _telemetry(self) -> Telemetry | NullTelemetry:
+        """The telemetry to instrument with (explicit, else active)."""
+        return self.telemetry if self.telemetry is not None else get_active()
 
     def _cache_name(self, workload: Workload) -> str:
         return f"{workload.name}-s{self.scale:g}-r{self.seed}".replace("/", "_")
@@ -222,54 +234,83 @@ class Runner:
         key = workload.name
         if key in self._traces:
             return self._traces[key]
-        started = time.perf_counter()
-        result = self._load_cached_trace(workload)
-        if result is None:
-            result = workload.trace(scale=self.scale, seed=self.seed)
-            self._store_cached_trace(workload, result)
-            logger.info(
-                "traced %s: %s events in %.1fs",
-                workload.name, f"{len(result.stream):,}",
-                time.perf_counter() - started,
+        telemetry = self._telemetry()
+        prepare_span = telemetry.span("runner.prepare", workload=key)
+        with prepare_span:
+            trace_span = telemetry.span("runner.trace", workload=key)
+            with trace_span:
+                result = self._load_cached_trace(workload)
+                cached = result is not None
+                if not cached:
+                    result = workload.trace(scale=self.scale, seed=self.seed)
+                    self._store_cached_trace(workload, result)
+            if cached:
+                logger.info("loaded cached trace for %s", workload.name)
+            else:
+                logger.info(
+                    "traced %s: %s events in %.1fs",
+                    workload.name, f"{len(result.stream):,}",
+                    trace_span.duration_s,
+                )
+            upper = self.reference.build_caches(self.scale)
+            capture = CapturingMemory()
+            hierarchy = Hierarchy(upper, capture)
+            collector = None
+            if telemetry.enabled:
+                collector = telemetry.window_collector(
+                    f"upper-{key}", lambda: hierarchy.stats().levels
+                )
+                hierarchy.observer = collector
+            with telemetry.span("runner.upper_sim", workload=key):
+                hierarchy.run(result.stream)
+            if collector is not None:
+                telemetry.finish_collector(collector)
+            telemetry.counter("repro_references_simulated_total").inc(
+                hierarchy.references
             )
-        else:
-            logger.info("loaded cached trace for %s", workload.name)
-        upper = self.reference.build_caches(self.scale)
-        capture = CapturingMemory()
-        hierarchy = Hierarchy(upper, capture)
-        hierarchy.run(result.stream)
-        upper_stats, references = self._inject_locals(
-            [cache.stats for cache in upper], hierarchy.references
-        )
+            upper_stats, references = self._inject_locals(
+                [cache.stats for cache in upper], hierarchy.references
+            )
 
-        # The reference design's DRAM sees exactly the post-L3 stream.
-        ref_design = ReferenceDesign(scale=self.scale, reference=self.reference)
-        dram = ref_design.memory()
-        for chunk in capture.captured.chunks():
-            dram.process(chunk)
-        ref_stats = HierarchyStats(
-            levels=upper_stats + [dram.stats], references=references
-        )
-        ref_raw = evaluate_stats(
-            ref_design.name,
-            ref_stats,
-            ref_design.bindings(workload.info.footprint_bytes),
-        )
-        trace = WorkloadTrace(
-            workload=workload,
-            result=result,
-            upper_stats=upper_stats,
-            references=references,
-            post_l3=capture.captured,
-            ref_raw=ref_raw,
-            traced_footprint_bytes=result.stream.stats().footprint_bytes,
-        )
-        self._traces[key] = trace
-        self._design_stats[("REF", key)] = ref_stats
+            # The reference design's DRAM sees exactly the post-L3 stream.
+            ref_design = ReferenceDesign(
+                scale=self.scale, reference=self.reference
+            )
+            dram = ref_design.memory()
+            for chunk in capture.captured.chunks():
+                dram.process(chunk)
+            ref_stats = HierarchyStats(
+                levels=upper_stats + [dram.stats], references=references
+            )
+            ref_raw = evaluate_stats(
+                ref_design.name,
+                ref_stats,
+                ref_design.bindings(workload.info.footprint_bytes),
+            )
+            trace = WorkloadTrace(
+                workload=workload,
+                result=result,
+                upper_stats=upper_stats,
+                references=references,
+                post_l3=capture.captured,
+                ref_raw=ref_raw,
+                traced_footprint_bytes=result.stream.stats().footprint_bytes,
+            )
+            self._traces[key] = trace
+            self._design_stats[("REF", key)] = ref_stats
         logger.info(
             "prepared %s: %s post-L3 requests, AMAT_ref %.2f ns (%.1fs)",
             workload.name, f"{len(capture.captured):,}",
-            ref_raw.amat_ns, time.perf_counter() - started,
+            ref_raw.amat_ns, prepare_span.duration_s,
+        )
+        telemetry.event(
+            "workload_prepared",
+            workload=key,
+            events=len(result.stream),
+            post_l3_requests=len(capture.captured),
+            references=references,
+            trace_cached=cached,
+            duration_s=round(prepare_span.duration_s, 6),
         )
         return trace
 
@@ -287,16 +328,36 @@ class Runner:
         if key in self._design_stats:
             return self._design_stats[key]
         trace = self.prepare(workload)
+        telemetry = self._telemetry()
         lower = design.lower_caches()
         memory = design.memory()
-        for chunk in trace.post_l3.chunks():
-            requests = chunk
-            for cache in lower:
-                requests = cache.process(requests)
-                if len(requests) == 0:
-                    break
-            else:
-                memory.process(requests)
+
+        def lower_levels():
+            if isinstance(memory, PartitionedMemory):
+                return [cache.stats for cache in lower] + memory.stats_list
+            return [cache.stats for cache in lower] + [memory.stats]
+
+        collector = None
+        if telemetry.enabled:
+            collector = telemetry.window_collector(
+                f"design-{design.sim_key()}-{workload.name}", lower_levels
+            )
+        with telemetry.span(
+            "runner.design_sim", design=design.sim_key(),
+            workload=workload.name,
+        ):
+            for chunk in trace.post_l3.chunks():
+                requests = chunk
+                for cache in lower:
+                    requests = cache.process(requests)
+                    if len(requests) == 0:
+                        break
+                else:
+                    memory.process(requests)
+                if collector is not None:
+                    collector.on_refs(len(chunk))
+        if collector is not None:
+            telemetry.finish_collector(collector)
         lower_stats = [cache.stats for cache in lower]
         if isinstance(memory, PartitionedMemory):
             memory_stats = memory.stats_list

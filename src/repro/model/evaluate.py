@@ -26,6 +26,7 @@ from repro.model.energy import (
     total_static_power_w,
 )
 from repro.model.runtime import full_run_references, scaled_runtime_s
+from repro.telemetry.core import get_active
 from repro.units import J_PER_PJ
 
 
@@ -119,13 +120,14 @@ def evaluate_stats(
     bindings: dict[str, LevelBinding],
 ) -> RawEvaluation:
     """Stage 1: reduce a hierarchy run to model quantities."""
-    return RawEvaluation(
-        design_name=design_name,
-        stats=stats,
-        amat_ns=amat_ns(stats, bindings),
-        dynamic_pj_traced=dynamic_energy_pj(stats, bindings),
-        static_power_w=total_static_power_w(bindings),
-    )
+    with get_active().span("model.evaluate_stats", design=design_name):
+        return RawEvaluation(
+            design_name=design_name,
+            stats=stats,
+            amat_ns=amat_ns(stats, bindings),
+            dynamic_pj_traced=dynamic_energy_pj(stats, bindings),
+            static_power_w=total_static_power_w(bindings),
+        )
 
 
 def finalize(
@@ -142,6 +144,17 @@ def finalize(
             itself).
         meta: workload Table 4 metadata.
     """
+    with get_active().span(
+        "model.finalize", design=raw.design_name, workload=meta.name
+    ):
+        return _finalize(raw, ref, meta)
+
+
+def _finalize(
+    raw: RawEvaluation,
+    ref: RawEvaluation,
+    meta: WorkloadMeta,
+) -> Evaluation:
     if raw.stats.references != ref.stats.references:
         raise ModelError(
             "design and reference were evaluated on different streams: "

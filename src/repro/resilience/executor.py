@@ -33,6 +33,8 @@ from repro.errors import ConfigError
 from repro.model.evaluate import Evaluation
 from repro.resilience.journal import Journal, JournalEntry, cell_key_for
 from repro.resilience.retry import NO_RETRY, RetryPolicy
+from repro.telemetry.core import NullTelemetry, Telemetry, get_active
+from repro.telemetry.progress import ProgressReporter
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a cycle with experiments
     from repro.designs.base import MemoryDesign
@@ -195,6 +197,11 @@ class SweepExecutor:
             ``(design, workload) -> Evaluation`` — the hook the
             fault-injection harness wraps.
         sleep: override for backoff sleeping (tests pass a stub).
+        telemetry: explicit telemetry instance; None resolves the
+            process-wide active instance at :meth:`run` time.
+        progress: optional
+            :class:`~repro.telemetry.progress.ProgressReporter` for
+            live per-cell lines, ETA, and the resume summary.
     """
 
     def __init__(
@@ -208,6 +215,8 @@ class SweepExecutor:
         resume: bool = True,
         evaluate: Callable[[MemoryDesign, Workload], Evaluation] | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        telemetry: Telemetry | NullTelemetry | None = None,
+        progress: ProgressReporter | None = None,
     ) -> None:
         if cell_timeout_s is not None and cell_timeout_s <= 0:
             raise ConfigError("cell_timeout_s must be positive")
@@ -221,6 +230,12 @@ class SweepExecutor:
         self.resume = resume
         self._evaluate = evaluate or runner.evaluate
         self._sleep = sleep
+        self.telemetry = telemetry
+        self.progress = progress
+
+    def _telemetry(self) -> Telemetry | NullTelemetry:
+        """The explicit instance if one was given, else the active one."""
+        return self.telemetry if self.telemetry is not None else get_active()
 
     # -- single-attempt plumbing ----------------------------------------
 
@@ -346,51 +361,122 @@ class SweepExecutor:
         if self.journal is not None and self.resume:
             journalled = self.journal.load()
 
+        tel = self._telemetry()
+        progress = self.progress
+        grid = [
+            (design, workload,
+             cell_key_for(design, workload, self.runner.scale,
+                          self.runner.seed))
+            for design in designs
+            for workload in workloads
+        ]
+        total = len(grid)
+        reused = sum(
+            1 for _, _, key in grid
+            if key in journalled and journalled[key].status == STATUS_OK
+        )
+        abandoned = sum(
+            1 for _, _, key in grid
+            if key in journalled and journalled[key].status != STATUS_OK
+        )
+        if journalled:
+            if progress is not None:
+                progress.resume_summary(
+                    reused=reused, to_run=total - reused,
+                    abandoned=abandoned,
+                )
+            tel.event(
+                "sweep_resume", cells=total, reused=reused,
+                to_run=total - reused, abandoned=abandoned,
+            )
+        tel.event(
+            "sweep_started", designs=len(designs),
+            workloads=len(workloads), cells=total,
+        )
+        pending = tel.gauge("repro_sweep_cells_pending")
+        pending.set(total)
+
         outcomes: list[CellOutcome] = []
         abort = False
-        for design in designs:
-            for workload in workloads:
-                key = cell_key_for(
-                    design, workload, self.runner.scale, self.runner.seed
+        for design, workload, key in grid:
+            if abort:
+                outcome = CellOutcome(
+                    key=key, design=design.name, workload=workload.name,
+                    status=STATUS_SKIPPED, attempts=0, duration_s=0.0,
+                    error="skipped: an earlier cell failed and "
+                          "keep_going is off",
                 )
-                if abort:
-                    outcome = CellOutcome(
-                        key=key, design=design.name, workload=workload.name,
-                        status=STATUS_SKIPPED, attempts=0, duration_s=0.0,
-                        error="skipped: an earlier cell failed and "
-                              "keep_going is off",
-                    )
-                    outcomes.append(outcome)
-                    continue
-                prior = journalled.get(key)
-                if prior is not None and prior.status == STATUS_OK:
-                    outcomes.append(
-                        CellOutcome(
-                            key=key, design=design.name,
-                            workload=workload.name, status=STATUS_OK,
-                            attempts=0, duration_s=0.0,
-                            evaluation=prior.load_evaluation(),
-                            from_journal=True,
-                        )
-                    )
-                    continue
-                outcome = self._run_cell(design, workload, key)
                 outcomes.append(outcome)
-                if self.journal is not None:
-                    self.journal.append(
-                        JournalEntry(
-                            key=key, design=design.name,
-                            workload=workload.name,
-                            scale=self.runner.scale, seed=self.runner.seed,
-                            status=outcome.status, attempts=outcome.attempts,
-                            duration_s=outcome.duration_s,
-                            error=outcome.error,
-                            evaluation=(
-                                None if outcome.evaluation is None
-                                else dataclasses.asdict(outcome.evaluation)
-                            ),
-                        )
+                self._record_outcome(tel, progress, pending, outcome)
+                continue
+            prior = journalled.get(key)
+            if prior is not None and prior.status == STATUS_OK:
+                outcome = CellOutcome(
+                    key=key, design=design.name,
+                    workload=workload.name, status=STATUS_OK,
+                    attempts=0, duration_s=0.0,
+                    evaluation=prior.load_evaluation(),
+                    from_journal=True,
+                )
+                outcomes.append(outcome)
+                self._record_outcome(tel, progress, pending, outcome)
+                continue
+            if progress is not None:
+                progress.cell_started(design.name, workload.name)
+            with tel.span(
+                "sweep.cell", design=design.name, workload=workload.name
+            ):
+                outcome = self._run_cell(design, workload, key)
+            outcomes.append(outcome)
+            self._record_outcome(tel, progress, pending, outcome)
+            if self.journal is not None:
+                self.journal.append(
+                    JournalEntry(
+                        key=key, design=design.name,
+                        workload=workload.name,
+                        scale=self.runner.scale, seed=self.runner.seed,
+                        status=outcome.status, attempts=outcome.attempts,
+                        duration_s=outcome.duration_s,
+                        error=outcome.error,
+                        evaluation=(
+                            None if outcome.evaluation is None
+                            else dataclasses.asdict(outcome.evaluation)
+                        ),
                     )
-                if not outcome.ok and not self.keep_going:
-                    abort = True
-        return CampaignResult(outcomes=outcomes, seed=self.retry.seed)
+                )
+            if not outcome.ok and not self.keep_going:
+                abort = True
+        result = CampaignResult(outcomes=outcomes, seed=self.retry.seed)
+        tel.event("sweep_finished", cells=total, **result.counts())
+        tel.flush()
+        return result
+
+    def _record_outcome(
+        self,
+        tel: Telemetry | NullTelemetry,
+        progress: ProgressReporter | None,
+        pending,
+        outcome: CellOutcome,
+    ) -> None:
+        """Emit the per-cell telemetry + progress line for one outcome."""
+        pending.dec()
+        tel.counter(
+            "repro_sweep_cells_total", status=outcome.status
+        ).inc()
+        if outcome.from_journal:
+            tel.counter("repro_sweep_cells_reused_total").inc()
+        if outcome.attempts > 1:
+            tel.counter("repro_sweep_retries_total").inc(
+                outcome.attempts - 1
+            )
+        tel.event(
+            "cell_finished", design=outcome.design,
+            workload=outcome.workload, status=outcome.status,
+            attempts=outcome.attempts, duration_s=outcome.duration_s,
+            from_journal=outcome.from_journal,
+        )
+        if progress is not None:
+            progress.cell_finished(
+                outcome.design, outcome.workload, outcome.status,
+                outcome.duration_s, from_journal=outcome.from_journal,
+            )

@@ -1,0 +1,100 @@
+"""Observability for the whole pipeline: metrics, spans, time-series.
+
+Simulation results are only trustworthy when the intermediate signals
+are inspectable, and long campaigns are only operable when they report
+progress while running. This package is that layer:
+
+- :mod:`repro.telemetry.registry` — counters, gauges, fixed-bucket
+  histograms (:class:`MetricsRegistry`), with a zero-cost
+  :class:`NullRegistry` for the disabled path.
+- :mod:`repro.telemetry.core` — the :class:`Telemetry` facade: nesting
+  span timers, JSONL events, the process-wide *active* instance
+  (:func:`get_active` / :func:`set_active` / :func:`activate`), and
+  :data:`NULL_TELEMETRY`.
+- :mod:`repro.telemetry.windows` — epoch-windowed per-level
+  time-series (:class:`WindowedCollector`) whose window sums equal the
+  final :class:`~repro.cache.stats.HierarchyStats` counters exactly.
+- :mod:`repro.telemetry.exporters` — atomic JSONL / CSV / Prometheus
+  writers and their readers.
+- :mod:`repro.telemetry.progress` — live per-cell sweep progress with
+  ETA and the ``--resume`` startup summary.
+- :mod:`repro.telemetry.report` — ``telemetry report`` directory
+  summaries.
+"""
+
+from repro.telemetry.core import (
+    EVENTS_FILE,
+    METRICS_FILE,
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Span,
+    Telemetry,
+    activate,
+    get_active,
+    set_active,
+    slugify,
+)
+from repro.telemetry.exporters import (
+    JsonlEventLog,
+    atomic_write_text,
+    read_jsonl,
+    read_windows_csv,
+    write_prometheus,
+    write_windows_csv,
+)
+from repro.telemetry.progress import ProgressReporter, format_duration
+from repro.telemetry.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.telemetry.report import (
+    TelemetrySummary,
+    render_summary,
+    summarize_directory,
+)
+from repro.telemetry.windows import (
+    DEFAULT_WINDOW_REFS,
+    WINDOW_FIELDS,
+    WindowedCollector,
+    WindowRecord,
+    sum_windows,
+)
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "Span",
+    "activate",
+    "get_active",
+    "set_active",
+    "slugify",
+    "EVENTS_FILE",
+    "METRICS_FILE",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "WindowedCollector",
+    "WindowRecord",
+    "WINDOW_FIELDS",
+    "DEFAULT_WINDOW_REFS",
+    "sum_windows",
+    "JsonlEventLog",
+    "read_jsonl",
+    "read_windows_csv",
+    "write_windows_csv",
+    "write_prometheus",
+    "atomic_write_text",
+    "ProgressReporter",
+    "format_duration",
+    "TelemetrySummary",
+    "summarize_directory",
+    "render_summary",
+]

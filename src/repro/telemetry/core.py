@@ -1,0 +1,359 @@
+"""The telemetry facade: spans, events, and the active instance.
+
+A :class:`Telemetry` bundles the three observability surfaces:
+
+- a :class:`~repro.telemetry.registry.MetricsRegistry` of counters /
+  gauges / histograms (Prometheus snapshot at :meth:`flush`);
+- **spans** — ``with telemetry.span("runner.trace", workload="CG"):``
+  wall-clock phase timers that nest, feed a per-name duration
+  histogram, and emit JSONL events;
+- **window collectors** — per-level time-series of a simulation stage
+  (see :mod:`repro.telemetry.windows`), written as CSV when the stage
+  finishes.
+
+Instrumented library code does not thread a telemetry object through
+every call; like :mod:`logging`, it asks for the *active* instance via
+:func:`get_active`. The default is :data:`NULL_TELEMETRY`, whose spans
+still measure time (so log lines keep real durations) but record
+nothing and whose registry drops everything — disabled telemetry costs
+a few method calls per pipeline *stage* and exactly one ``is not
+None`` check per simulated chunk on the hot loop.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Iterator, Sequence
+
+from repro.telemetry.exporters import (
+    JsonlEventLog,
+    write_prometheus,
+    write_windows_csv,
+)
+from repro.telemetry.registry import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+)
+from repro.telemetry.windows import (
+    DEFAULT_WINDOW_REFS,
+    WindowedCollector,
+    WindowRecord,
+)
+
+#: Bucket bounds for span/cell duration histograms (seconds).
+SPAN_SECONDS_BUCKETS: tuple[float, ...] = (
+    0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0, 600.0, 3600.0
+)
+
+#: File names inside a telemetry directory.
+EVENTS_FILE = "events.jsonl"
+METRICS_FILE = "metrics.prom"
+
+
+def slugify(context: str) -> str:
+    """A context label reduced to a safe file-name fragment."""
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-", context).strip("-") or "unnamed"
+
+
+class Span:
+    """A wall-clock phase timer (context manager).
+
+    Attributes:
+        name: span name (namespaced, e.g. ``"runner.trace"``).
+        meta: free-form labels attached at creation.
+        duration_s: elapsed seconds; populated on exit (0.0 before).
+        parent: enclosing span's name, set on entry (None at top level).
+    """
+
+    __slots__ = ("name", "meta", "duration_s", "parent", "_telemetry", "_start")
+
+    def __init__(
+        self, name: str, meta: dict, telemetry: "Telemetry | None"
+    ) -> None:
+        self.name = name
+        self.meta = meta
+        self.duration_s = 0.0
+        self.parent: str | None = None
+        self._telemetry = telemetry
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        telemetry = self._telemetry
+        if telemetry is not None:
+            self.parent = telemetry._enter_span(self)
+            clock = telemetry._clock
+        else:
+            clock = time.perf_counter
+        self._start = clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        telemetry = self._telemetry
+        clock = telemetry._clock if telemetry is not None else time.perf_counter
+        self.duration_s = clock() - self._start
+        if telemetry is not None:
+            telemetry._exit_span(self, failed=exc_type is not None)
+
+
+class Telemetry:
+    """Live telemetry: registry + spans + events + window collectors.
+
+    Args:
+        directory: where to write ``events.jsonl``, ``metrics.prom``
+            and ``windows_*.csv``. None keeps everything in memory
+            (registry and span accounting still work; events and CSVs
+            are dropped).
+        registry: metrics registry (default: a fresh
+            :class:`MetricsRegistry`).
+        window_refs: default epoch width for window collectors.
+        clock: monotonic clock for durations (tests inject a fake).
+        wall_clock: wall time for event timestamps.
+    """
+
+    enabled: bool = True
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        *,
+        registry: MetricsRegistry | None = None,
+        window_refs: int = DEFAULT_WINDOW_REFS,
+        clock: Callable[[], float] = time.perf_counter,
+        wall_clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.window_refs = int(window_refs)
+        self._clock = clock
+        self._wall_clock = wall_clock
+        self._events: JsonlEventLog | None = None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._events = JsonlEventLog(self.directory / EVENTS_FILE)
+        self._stack = threading.local()
+        self._collectors: list[WindowedCollector] = []
+        self._lock = threading.Lock()
+
+    # -- spans ----------------------------------------------------------
+
+    def span(self, name: str, **meta) -> Span:
+        """A context-managed phase timer named ``name``."""
+        return Span(name, meta, self)
+
+    def _enter_span(self, span: Span) -> str | None:
+        stack = getattr(self._stack, "spans", None)
+        if stack is None:
+            stack = self._stack.spans = []
+        parent = stack[-1].name if stack else None
+        stack.append(span)
+        return parent
+
+    def _exit_span(self, span: Span, failed: bool) -> None:
+        stack = getattr(self._stack, "spans", [])
+        if stack and stack[-1] is span:
+            stack.pop()
+        self.registry.counter("repro_spans_total", name=span.name).inc()
+        self.registry.histogram(
+            "repro_span_seconds", buckets=SPAN_SECONDS_BUCKETS, name=span.name
+        ).observe(span.duration_s)
+        event: dict = {
+            "kind": "span",
+            "name": span.name,
+            "duration_s": round(span.duration_s, 9),
+        }
+        if span.parent is not None:
+            event["parent"] = span.parent
+        if failed:
+            event["failed"] = True
+        if span.meta:
+            event.update(span.meta)
+        self.event(**event)
+
+    # -- events ---------------------------------------------------------
+
+    def event(self, kind: str = "event", **fields) -> None:
+        """Append one timestamped event to the JSONL log (if any)."""
+        if self._events is None:
+            return
+        payload = {"ts": self._wall_clock(), "kind": kind}
+        payload.update(fields)
+        self._events.append(payload)
+
+    # -- metrics passthrough --------------------------------------------
+
+    def counter(self, name: str, /, **labels):
+        """Registry counter passthrough."""
+        return self.registry.counter(name, **labels)
+
+    def gauge(self, name: str, /, **labels):
+        """Registry gauge passthrough."""
+        return self.registry.gauge(name, **labels)
+
+    def histogram(self, name: str, /, buckets=None, **labels):
+        """Registry histogram passthrough."""
+        if buckets is None:
+            buckets = SPAN_SECONDS_BUCKETS
+        return self.registry.histogram(name, buckets=buckets, **labels)
+
+    # -- window collectors ----------------------------------------------
+
+    def window_collector(
+        self,
+        context: str,
+        levels_fn: Callable[[], Sequence],
+        window_refs: int | None = None,
+    ) -> WindowedCollector:
+        """Create (and track) a window collector for one stage."""
+        collector = WindowedCollector(
+            context,
+            levels_fn,
+            window_refs=window_refs or self.window_refs,
+            on_window=self._on_window,
+        )
+        with self._lock:
+            self._collectors.append(collector)
+        return collector
+
+    def _on_window(
+        self, collector: WindowedCollector, fresh: list[WindowRecord]
+    ) -> None:
+        if self._events is None or not fresh:
+            return
+        self.event(
+            kind="window",
+            context=collector.context,
+            window=fresh[0].index,
+            start_refs=fresh[0].start_refs,
+            end_refs=fresh[0].end_refs,
+            levels={
+                r.level: {
+                    "accesses": r.accesses,
+                    "hit_rate": round(r.hit_rate, 6),
+                    "bytes": r.bytes_moved,
+                }
+                for r in fresh
+            },
+        )
+
+    def finish_collector(self, collector: WindowedCollector) -> Path | None:
+        """Finalize a collector and write its CSV time-series.
+
+        Returns the CSV path, or None when no directory is configured.
+        """
+        records = collector.finish()
+        with self._lock:
+            if collector in self._collectors:
+                self._collectors.remove(collector)
+        if self.directory is None:
+            return None
+        path = self.directory / f"windows_{slugify(collector.context)}.csv"
+        write_windows_csv(records, path)
+        self.event(
+            kind="windows_written",
+            context=collector.context,
+            windows=(records[-1].index + 1) if records else 0,
+            refs=collector.refs,
+            path=path.name,
+        )
+        return path
+
+    # -- lifecycle ------------------------------------------------------
+
+    def flush(self) -> None:
+        """Write the Prometheus snapshot (if a directory is configured)."""
+        if self.directory is not None:
+            write_prometheus(self.registry, self.directory / METRICS_FILE)
+
+    def close(self) -> None:
+        """Finish pending collectors, flush metrics, close the event log."""
+        with self._lock:
+            pending = list(self._collectors)
+        for collector in pending:
+            self.finish_collector(collector)
+        self.flush()
+        if self._events is not None:
+            self._events.close()
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class NullTelemetry:
+    """Disabled telemetry with the same surface.
+
+    Spans still measure wall time (so progress/log lines report real
+    durations) but record nothing; events are dropped; the registry is
+    the shared :data:`~repro.telemetry.registry.NULL_REGISTRY`; window
+    collectors are never created (callers gate on :attr:`enabled`).
+    """
+
+    enabled: bool = False
+    directory = None
+    registry = NULL_REGISTRY
+
+    def span(self, name: str, **meta) -> Span:
+        return Span(name, meta, None)
+
+    def event(self, kind: str = "event", **fields) -> None:
+        pass
+
+    def counter(self, name: str, /, **labels):
+        return NULL_REGISTRY.counter(name, **labels)
+
+    def gauge(self, name: str, /, **labels):
+        return NULL_REGISTRY.gauge(name, **labels)
+
+    def histogram(self, name: str, /, buckets=None, **labels):
+        return NULL_REGISTRY.histogram(name, **labels)
+
+    def window_collector(self, context, levels_fn, window_refs=None):
+        raise RuntimeError(
+            "window collectors are not available on disabled telemetry; "
+            "gate on telemetry.enabled first"
+        )
+
+    def finish_collector(self, collector) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: The shared disabled instance (the default active telemetry).
+NULL_TELEMETRY = NullTelemetry()
+
+_active: Telemetry | NullTelemetry = NULL_TELEMETRY
+_active_lock = threading.Lock()
+
+
+def get_active() -> Telemetry | NullTelemetry:
+    """The process-wide active telemetry (default: disabled)."""
+    return _active
+
+
+def set_active(telemetry: Telemetry | NullTelemetry | None) -> None:
+    """Install the active telemetry; None restores the disabled default."""
+    global _active
+    with _active_lock:
+        _active = telemetry if telemetry is not None else NULL_TELEMETRY
+
+
+@contextmanager
+def activate(telemetry: Telemetry | NullTelemetry) -> Iterator:
+    """Scope ``telemetry`` as the active instance, restoring on exit."""
+    previous = get_active()
+    set_active(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_active(previous)

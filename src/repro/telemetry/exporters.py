@@ -1,0 +1,189 @@
+"""Telemetry exporters: JSONL events, CSV time-series, Prometheus text.
+
+All files live alongside the resilience journal and follow the same
+durability discipline:
+
+- whole-file artifacts (the CSV time-series and the Prometheus
+  snapshot) are written atomically — temp file in the same directory,
+  fsync, ``os.replace`` — so a kill mid-write leaves either the old
+  file or the new one, never a torn hybrid;
+- the JSONL event log is append-only with a flush per line, so a kill
+  can at worst tear the final line; :func:`read_jsonl` tolerates (and
+  drops) exactly that torn trailing line, like the resilience journal.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import TelemetryError
+from repro.telemetry.windows import WINDOW_FIELDS, WindowRecord
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+# ----------------------------------------------------------------------
+# JSONL event log
+# ----------------------------------------------------------------------
+
+
+class JsonlEventLog:
+    """Append-only JSON-lines event log with per-line durability.
+
+    Args:
+        path: log file; created (with parents) on first append.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle: io.TextIOWrapper | None = None
+        self._lock = threading.Lock()
+
+    def append(self, event: dict) -> None:
+        """Serialize one event as a line and flush it to disk."""
+        line = json.dumps(event, sort_keys=True, default=str)
+        with self._lock:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.path, "a")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Close the underlying file (reopened on next append)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Load a JSONL event log.
+
+    A torn *trailing* line (interrupted append) is dropped silently;
+    corruption anywhere else raises :class:`TelemetryError`.
+    """
+    path = Path(path)
+    raw = path.read_text().splitlines()
+    events: list[dict] = []
+    for index, line in enumerate(raw):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+            if not isinstance(payload, dict):
+                raise ValueError("event line is not an object")
+        except ValueError as exc:
+            if index == len(raw) - 1:
+                continue
+            raise TelemetryError(
+                f"corrupt event log {path} at line {index + 1}: {exc}"
+            ) from exc
+        events.append(payload)
+    return events
+
+
+# ----------------------------------------------------------------------
+# CSV window time-series
+# ----------------------------------------------------------------------
+
+#: CSV column order: identity, then the raw counters of WINDOW_FIELDS.
+CSV_COLUMNS: tuple[str, ...] = ("window", "start_refs", "end_refs", "level")
+
+
+def write_windows_csv(
+    records: Sequence[WindowRecord], path: str | Path
+) -> Path:
+    """Write window records as CSV, atomically.
+
+    One row per (window, level); raw counters only, so a read-back
+    reconstructs the records exactly (derived rates are recomputed).
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(CSV_COLUMNS + WINDOW_FIELDS)
+    for record in records:
+        writer.writerow(
+            [record.index, record.start_refs, record.end_refs, record.level]
+            + [getattr(record, f) for f in WINDOW_FIELDS]
+        )
+    return atomic_write_text(path, buffer.getvalue())
+
+
+def read_windows_csv(path: str | Path) -> list[WindowRecord]:
+    """Load window records written by :func:`write_windows_csv`.
+
+    Raises:
+        TelemetryError: on a missing/reordered header or a bad row.
+    """
+    path = Path(path)
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise TelemetryError(f"empty windows CSV {path}") from None
+        expected = list(CSV_COLUMNS + WINDOW_FIELDS)
+        if header != expected:
+            raise TelemetryError(
+                f"unexpected windows CSV header in {path}: {header!r}"
+            )
+        records = []
+        for row_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            try:
+                records.append(
+                    WindowRecord(
+                        index=int(row[0]),
+                        start_refs=int(row[1]),
+                        end_refs=int(row[2]),
+                        level=row[3],
+                        **{
+                            f: int(v)
+                            for f, v in zip(WINDOW_FIELDS, row[4:])
+                        },
+                    )
+                )
+            except (ValueError, TypeError) as exc:
+                raise TelemetryError(
+                    f"bad windows CSV row {row_number} in {path}: {exc}"
+                ) from exc
+    return records
+
+
+# ----------------------------------------------------------------------
+# Prometheus snapshot
+# ----------------------------------------------------------------------
+
+
+def write_prometheus(registry, path: str | Path) -> Path:
+    """Write a registry's Prometheus text snapshot, atomically."""
+    return atomic_write_text(path, registry.render_prometheus())

@@ -1,0 +1,98 @@
+"""Live sweep progress: per-cell lines, ETA, and the resume summary.
+
+A long campaign should never be a black box between its first and last
+cell. :class:`ProgressReporter` prints one line per finished cell —
+``[3/12] NMM-PCM-N6/CG: ok in 4.1s (ETA 38s)`` — with an ETA
+extrapolated from the mean wall time of the cells evaluated *this*
+run (journal-reused cells are free, so they are excluded from the
+estimate), plus a one-line resume summary at startup so ``--resume``
+says up front how much work remains.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TextIO
+
+
+def format_duration(seconds: float) -> str:
+    """Compact human duration: ``0.4s``, ``12s``, ``3m05s``, ``2h07m``."""
+    if seconds < 0:
+        seconds = 0.0
+    if seconds < 10:
+        return f"{seconds:.1f}s"
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ProgressReporter:
+    """Prints sweep progress lines with a running ETA.
+
+    Args:
+        total: number of grid cells in the campaign.
+        out: destination stream (default ``sys.stderr`` so progress
+            never pollutes piped result output).
+    """
+
+    def __init__(self, total: int, *, out: TextIO | None = None) -> None:
+        self.total = int(total)
+        self.out = out if out is not None else sys.stderr
+        self._done = 0
+        self._evaluated = 0
+        self._evaluated_s = 0.0
+
+    def _print(self, line: str) -> None:
+        print(line, file=self.out, flush=True)
+
+    # ------------------------------------------------------------------
+
+    def resume_summary(
+        self, *, reused: int, to_run: int, abandoned: int
+    ) -> None:
+        """One line, before the first cell, on what resume reclaimed."""
+        line = (
+            f"resume: {reused} cell(s) reused from journal, "
+            f"{to_run} to run"
+        )
+        if abandoned:
+            line += f", {abandoned} previously abandoned (re-running)"
+        self._print(line)
+
+    def cell_started(self, design: str, workload: str) -> None:
+        """Announce the cell about to be evaluated."""
+        self._print(
+            f"[{self._done + 1}/{self.total}] {design}/{workload} ..."
+        )
+
+    def cell_finished(
+        self,
+        design: str,
+        workload: str,
+        status: str,
+        duration_s: float,
+        *,
+        from_journal: bool = False,
+    ) -> None:
+        """Record and print one finished cell with the updated ETA."""
+        self._done += 1
+        if not from_journal and status != "skipped":
+            self._evaluated += 1
+            self._evaluated_s += duration_s
+        remaining = max(0, self.total - self._done)
+        if remaining == 0:
+            eta = "done"
+        elif self._evaluated:
+            mean = self._evaluated_s / self._evaluated
+            eta = f"ETA {format_duration(remaining * mean)}"
+        else:
+            eta = "ETA ?"
+        source = " (journal)" if from_journal else ""
+        self._print(
+            f"[{self._done}/{self.total}] {design}/{workload}: "
+            f"{status}{source} in {format_duration(duration_s)} ({eta})"
+        )

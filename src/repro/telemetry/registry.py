@@ -1,0 +1,361 @@
+"""Metric instruments and the registry that owns them.
+
+Three instrument kinds, mirroring the Prometheus data model the HPC
+monitoring stacks this reproduction targets already speak:
+
+- :class:`Counter` — monotonically increasing count (cells evaluated,
+  retries consumed, references simulated);
+- :class:`Gauge` — a value that goes up and down (sweep queue depth);
+- :class:`Histogram` — fixed-bucket distribution (span durations,
+  per-cell wall time).
+
+Instruments are owned by a :class:`MetricsRegistry` and keyed by
+``(name, labels)``, so ``registry.counter("repro_sweep_cells_total",
+status="ok")`` always returns the same instrument. A
+:class:`NullRegistry` provides the same surface with no-op instruments
+so disabled telemetry costs nothing but a method call — and the hot
+simulate loop does not even pay that (see
+:mod:`repro.telemetry.windows`: the observer hook is a single
+``is not None`` check per chunk).
+
+All mutation is guarded by a registry-wide lock: sweep cells may run on
+daemon threads under a deadline, and abandoned attempts can outlive
+their cell.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Iterable
+
+from repro.errors import TelemetryError
+
+#: Default histogram bucket upper bounds (seconds-oriented).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 600.0
+)
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _validate_name(name: str) -> None:
+    if not name or not all(c.isalnum() or c in "_:" for c in name):
+        raise TelemetryError(
+            f"invalid metric name {name!r}: use [a-zA-Z0-9_:] only"
+        )
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: dict[str, str], lock: threading.Lock):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self._lock = lock
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name} cannot decrease (inc({amount}))"
+            )
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: dict[str, str], lock: threading.Lock):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative)."""
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount``."""
+        self.inc(-amount)
+
+
+class Histogram:
+    """A fixed-bucket histogram (cumulative rendering, Prometheus-style).
+
+    Args:
+        buckets: strictly increasing upper bounds; an implicit ``+Inf``
+            bucket is always appended.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        labels: dict[str, str],
+        lock: threading.Lock,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise TelemetryError(
+                f"histogram {name} buckets must be strictly increasing"
+            )
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        #: Per-bucket (non-cumulative) observation counts; the final
+        #: slot is the implicit +Inf bucket.
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[i] += 1
+                    return
+            self.counts[-1] += 1
+
+    def cumulative_counts(self) -> list[int]:
+        """Counts at or below each bound, ending with the total."""
+        out, running = [], 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+
+class MetricsRegistry:
+    """Owns every instrument; the single source for snapshots/exports."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[tuple[str, _LabelKey], object] = {}
+        self._kinds: dict[str, str] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """True — a real registry records everything."""
+        return True
+
+    def _get(self, kind: str, name: str, labels: dict[str, str], factory):
+        _validate_name(name)
+        key = (name, _label_key(labels))
+        with self._lock:
+            existing_kind = self._kinds.get(name)
+            if existing_kind is not None and existing_kind != kind:
+                raise TelemetryError(
+                    f"metric {name} already registered as a "
+                    f"{existing_kind}, not a {kind}"
+                )
+            instrument = self._metrics.get(key)
+            if instrument is None:
+                instrument = factory()
+                self._metrics[key] = instrument
+                self._kinds[name] = kind
+            return instrument
+
+    def counter(self, name: str, /, **labels: str) -> Counter:
+        """Get or create the counter ``name`` with ``labels``.
+
+        ``name`` is positional-only so ``name=...`` stays available as
+        a label key (span metrics label by span name).
+        """
+        return self._get(
+            "counter", name, labels,
+            lambda: Counter(name, labels, self._lock),
+        )
+
+    def gauge(self, name: str, /, **labels: str) -> Gauge:
+        """Get or create the gauge ``name`` with ``labels``."""
+        return self._get(
+            "gauge", name, labels, lambda: Gauge(name, labels, self._lock)
+        )
+
+    def histogram(
+        self,
+        name: str,
+        /,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        """Get or create the histogram ``name`` with ``labels``.
+
+        ``buckets`` applies only on first creation; later calls return
+        the existing instrument unchanged.
+        """
+        return self._get(
+            "histogram", name, labels,
+            lambda: Histogram(name, labels, self._lock, buckets),
+        )
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> list[dict]:
+        """Plain-data dump of every instrument (stable order)."""
+        with self._lock:
+            items = sorted(self._metrics.items(), key=lambda kv: kv[0])
+        out = []
+        for (name, _), inst in items:
+            entry: dict = {
+                "name": name,
+                "kind": self._kinds[name],
+                "labels": dict(inst.labels),
+            }
+            if isinstance(inst, Histogram):
+                entry["sum"] = inst.sum
+                entry["count"] = inst.count
+                entry["buckets"] = {
+                    str(b): c
+                    for b, c in zip(
+                        list(inst.buckets) + ["+Inf"],
+                        inst.cumulative_counts(),
+                    )
+                }
+            else:
+                entry["value"] = inst.value
+            out.append(entry)
+        return out
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        lines: list[str] = []
+        seen_types: set[str] = set()
+        for entry in self.snapshot():
+            name, kind = entry["name"], entry["kind"]
+            if name not in seen_types:
+                lines.append(f"# TYPE {name} {kind}")
+                seen_types.add(name)
+            if kind == "histogram":
+                for bound, count in entry["buckets"].items():
+                    labels = dict(entry["labels"], le=bound)
+                    lines.append(
+                        f"{name}_bucket{_render_labels(labels)} {count}"
+                    )
+                lines.append(
+                    f"{name}_sum{_render_labels(entry['labels'])} "
+                    f"{_render_value(entry['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_render_labels(entry['labels'])} "
+                    f"{entry['count']}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_render_labels(entry['labels'])} "
+                    f"{_render_value(entry['value'])}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{k}="{_escape(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+# ----------------------------------------------------------------------
+# Null (disabled) variants
+# ----------------------------------------------------------------------
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = "null"
+    labels: dict[str, str] = {}
+    value = 0.0
+    sum = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:  # noqa: D102 - no-op
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """A registry whose instruments drop everything.
+
+    Every method returns the same shared no-op instrument, so code can
+    be written unconditionally against the registry API while a
+    disabled configuration records nothing and allocates nothing.
+    """
+
+    @property
+    def enabled(self) -> bool:
+        """False — nothing is recorded."""
+        return False
+
+    def counter(self, name: str, /, **labels: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, /, **labels: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, /, buckets=DEFAULT_BUCKETS, **labels):
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> list[dict]:
+        return []
+
+    def render_prometheus(self) -> str:
+        return ""
+
+
+#: Shared null registry (stateless, safe to reuse everywhere).
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,229 @@
+"""Summarize a telemetry directory into a human-readable report.
+
+``python -m repro.experiments telemetry report DIR`` reads what a run
+wrote — ``events.jsonl``, ``windows_*.csv``, ``metrics.prom`` — and
+renders: event counts by kind, per-span duration statistics, and a
+per-stage window digest (windows, references, per-level hit rate and
+demanded bandwidth). Pure reader: it never mutates the directory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import TelemetryError
+from repro.telemetry.core import EVENTS_FILE, METRICS_FILE
+from repro.telemetry.exporters import read_jsonl, read_windows_csv
+from repro.telemetry.windows import WindowRecord
+
+
+@dataclass
+class SpanDigest:
+    """Aggregate statistics for one span name.
+
+    Attributes:
+        name: span name.
+        count: finished spans.
+        total_s / mean_s / max_s: duration aggregates, seconds.
+    """
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        """Mean duration (0.0 when no spans finished)."""
+        return self.total_s / self.count if self.count else 0.0
+
+
+@dataclass
+class LevelDigest:
+    """Per-level aggregate over one stage's windows.
+
+    Attributes:
+        level: hierarchy level name.
+        accesses / hits / bytes_moved / writebacks: window sums.
+    """
+
+    level: str
+    accesses: int = 0
+    hits: int = 0
+    bytes_moved: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Overall hit fraction across the stage's windows."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class StageWindows:
+    """One stage's window time-series digest.
+
+    Attributes:
+        context: stage label (from the CSV file name).
+        windows: number of emitted windows.
+        refs: top-level references covered.
+        levels: per-level digests, top to bottom.
+    """
+
+    context: str
+    windows: int
+    refs: int
+    levels: list[LevelDigest] = field(default_factory=list)
+
+
+@dataclass
+class TelemetrySummary:
+    """Everything :func:`summarize_directory` extracts.
+
+    Attributes:
+        directory: the summarized path.
+        events_by_kind: event counts from ``events.jsonl``.
+        spans: per-name span digests, by descending total time.
+        stages: per-stage window digests, by context.
+        metrics_lines: number of lines in the Prometheus snapshot.
+    """
+
+    directory: Path
+    events_by_kind: dict[str, int] = field(default_factory=dict)
+    spans: list[SpanDigest] = field(default_factory=list)
+    stages: list[StageWindows] = field(default_factory=list)
+    metrics_lines: int = 0
+
+
+def _digest_windows(context: str, records: list[WindowRecord]) -> StageWindows:
+    by_level: dict[str, LevelDigest] = {}
+    refs = 0
+    windows = 0
+    for record in records:
+        windows = max(windows, record.index + 1)
+        refs = max(refs, record.end_refs)
+        digest = by_level.setdefault(record.level, LevelDigest(record.level))
+        digest.accesses += record.accesses
+        digest.hits += record.hits
+        digest.bytes_moved += record.bytes_moved
+        digest.writebacks += record.writebacks
+    return StageWindows(
+        context=context, windows=windows, refs=refs,
+        levels=list(by_level.values()),
+    )
+
+
+def summarize_directory(directory: str | Path) -> TelemetrySummary:
+    """Read a telemetry directory into a :class:`TelemetrySummary`.
+
+    Raises:
+        TelemetryError: when the directory does not exist.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise TelemetryError(f"no telemetry directory at {directory}")
+    summary = TelemetrySummary(directory=directory)
+
+    events_path = directory / EVENTS_FILE
+    spans: dict[str, SpanDigest] = {}
+    if events_path.exists():
+        for event in read_jsonl(events_path):
+            kind = str(event.get("kind", "event"))
+            summary.events_by_kind[kind] = (
+                summary.events_by_kind.get(kind, 0) + 1
+            )
+            if kind == "span" and "name" in event:
+                digest = spans.setdefault(
+                    event["name"], SpanDigest(event["name"])
+                )
+                duration = float(event.get("duration_s", 0.0))
+                digest.count += 1
+                digest.total_s += duration
+                digest.max_s = max(digest.max_s, duration)
+    summary.spans = sorted(
+        spans.values(), key=lambda d: d.total_s, reverse=True
+    )
+
+    for csv_path in sorted(directory.glob("windows_*.csv")):
+        context = csv_path.stem[len("windows_"):]
+        summary.stages.append(
+            _digest_windows(context, read_windows_csv(csv_path))
+        )
+
+    metrics_path = directory / METRICS_FILE
+    if metrics_path.exists():
+        summary.metrics_lines = len(
+            [l for l in metrics_path.read_text().splitlines() if l.strip()]
+        )
+    return summary
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    """Minimal left-aligned ASCII table (self-contained on purpose:
+    keeps :mod:`repro.telemetry` free of :mod:`repro.experiments`)."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+        if rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    def line(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths)).rstrip()
+    rule = "  ".join("-" * w for w in widths)
+    return "\n".join([line(headers), rule] + [line(r) for r in rows])
+
+
+def render_summary(summary: TelemetrySummary) -> str:
+    """The summary as a multi-section plain-text report."""
+    sections = [f"telemetry report: {summary.directory}"]
+
+    if summary.events_by_kind:
+        rows = [
+            [kind, str(count)]
+            for kind, count in sorted(summary.events_by_kind.items())
+        ]
+        sections.append("events\n" + _table(["kind", "count"], rows))
+    else:
+        sections.append("events: none recorded")
+
+    if summary.spans:
+        rows = [
+            [
+                d.name, str(d.count), f"{d.total_s:.3f}",
+                f"{d.mean_s:.3f}", f"{d.max_s:.3f}",
+            ]
+            for d in summary.spans
+        ]
+        sections.append(
+            "spans (seconds)\n"
+            + _table(["span", "count", "total", "mean", "max"], rows)
+        )
+
+    for stage in summary.stages:
+        rows = [
+            [
+                d.level, str(d.accesses), f"{d.hit_rate:.4f}",
+                str(d.bytes_moved), str(d.writebacks),
+            ]
+            for d in stage.levels
+        ]
+        sections.append(
+            f"windows [{stage.context}]: {stage.windows} window(s), "
+            f"{stage.refs:,} refs\n"
+            + _table(
+                ["level", "accesses", "hit_rate", "bytes", "writebacks"],
+                rows,
+            )
+        )
+
+    if summary.metrics_lines:
+        sections.append(
+            f"metrics snapshot: {summary.metrics_lines} lines "
+            f"({METRICS_FILE})"
+        )
+    return "\n\n".join(sections)

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import TraceError
+from repro.telemetry.core import get_active
 from repro.trace.stream import AddressStream
 
 #: Base of the simulated heap. Nonzero so address 0 stays invalid.
@@ -85,6 +86,9 @@ class Tracer:
         base = self._next_base
         region = Region(name=name, base=base, size=size)
         self.regions.append(region)
+        get_active().event(
+            "region_allocated", region=name, base=base, size=size
+        )
         aligned = (size + REGION_ALIGN - 1) // REGION_ALIGN * REGION_ALIGN
         # Leave one guard page between regions so off-by-one addresses
         # never alias a neighbouring region.

@@ -1,0 +1,186 @@
+"""Metric instruments: counters, gauges, histograms, and the registry."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.registry import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("repro_cells_total")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        counter = MetricsRegistry().counter("repro_cells_total")
+        with pytest.raises(TelemetryError, match="cannot decrease"):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("repro_pending")
+        gauge.set(10)
+        gauge.dec()
+        gauge.inc(0.5)
+        assert gauge.value == 9.5
+
+
+class TestHistogram:
+    def test_observations_land_in_correct_buckets(self):
+        hist = MetricsRegistry().histogram(
+            "repro_seconds", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        # Non-cumulative per-bucket counts, final slot is +Inf.
+        assert hist.counts == [1, 1, 1, 1]
+        assert hist.cumulative_counts() == [1, 2, 3, 4]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(55.55)
+
+    def test_boundary_value_counts_as_le(self):
+        hist = MetricsRegistry().histogram("repro_seconds", buckets=(1.0, 2.0))
+        hist.observe(1.0)
+        assert hist.counts == [1, 0, 0]
+
+    def test_rejects_non_increasing_buckets(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TelemetryError, match="strictly increasing"):
+            registry.histogram("repro_bad", buckets=(1.0, 1.0))
+        with pytest.raises(TelemetryError, match="strictly increasing"):
+            registry.histogram("repro_worse", buckets=(2.0, 1.0))
+
+    def test_accepts_increasing_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_ok", buckets=(0.001, 0.01, 0.1))
+        assert hist.buckets == (0.001, 0.01, 0.1)
+
+
+class TestRegistry:
+    def test_same_name_and_labels_return_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_cells_total", status="ok")
+        b = registry.counter("repro_cells_total", status="ok")
+        c = registry.counter("repro_cells_total", status="failed")
+        assert a is b
+        assert a is not c
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x", design="NMM", workload="CG")
+        b = registry.counter("repro_x", workload="CG", design="NMM")
+        assert a is b
+
+    def test_name_is_usable_as_a_label_key(self):
+        # Span metrics label by span *name*; the positional-only
+        # metric-name parameter must not shadow it.
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_spans_total", name="runner.trace")
+        assert counter.labels == {"name": "runner.trace"}
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_thing")
+        with pytest.raises(TelemetryError, match="already registered"):
+            registry.gauge("repro_thing")
+
+    def test_invalid_metric_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TelemetryError, match="invalid metric name"):
+            registry.counter("repro thing")
+        with pytest.raises(TelemetryError, match="invalid metric name"):
+            registry.counter("")
+
+    def test_snapshot_is_plain_data_in_stable_order(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_b").inc(2)
+        registry.gauge("repro_a").set(1)
+        snap = registry.snapshot()
+        assert [e["name"] for e in snap] == ["repro_a", "repro_b"]
+        assert snap[0] == {
+            "name": "repro_a", "kind": "gauge", "labels": {}, "value": 1.0,
+        }
+
+    def test_concurrent_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_concurrent_total")
+
+        def work():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestPrometheusRendering:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_cells_total", status="ok").inc(3)
+        registry.gauge("repro_pending").set(2.5)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_cells_total counter" in text
+        assert 'repro_cells_total{status="ok"} 3' in text
+        assert "# TYPE repro_pending gauge" in text
+        assert "repro_pending 2.5" in text
+        assert text.endswith("\n")
+
+    def test_histogram_lines_are_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_seconds", buckets=(1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        hist.observe(50.0)
+        text = registry.render_prometheus()
+        assert 'repro_seconds_bucket{le="1.0"} 1' in text
+        assert 'repro_seconds_bucket{le="10.0"} 2' in text
+        assert 'repro_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_seconds_sum 55.5" in text
+        assert "repro_seconds_count 3" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x", label='a"b\\c\nd').inc()
+        text = registry.render_prometheus()
+        assert 'label="a\\"b\\\\c\\nd"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+
+class TestNullRegistry:
+    def test_shared_noop_instrument(self):
+        null = NullRegistry()
+        counter = null.counter("repro_anything", status="ok")
+        gauge = null.gauge("repro_other")
+        hist = null.histogram("repro_h")
+        assert counter is gauge is hist  # one shared instance
+        counter.inc(5)
+        gauge.set(3)
+        gauge.dec()
+        hist.observe(1.0)
+        assert counter.value == 0.0
+        assert null.snapshot() == []
+        assert null.render_prometheus() == ""
+
+    def test_enabled_flags(self):
+        assert MetricsRegistry().enabled is True
+        assert NULL_REGISTRY.enabled is False

@@ -1,0 +1,182 @@
+"""Spans, events, and the process-wide active telemetry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.core import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    activate,
+    get_active,
+    set_active,
+)
+from repro.telemetry.exporters import read_jsonl
+
+pytestmark = pytest.mark.telemetry
+
+
+class FakeClock:
+    """Deterministic monotonic clock advanced by the test."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+class TestSpans:
+    def test_span_measures_duration(self, tmp_path, clock):
+        telemetry = Telemetry(tmp_path, clock=clock)
+        with telemetry.span("runner.trace", workload="CG") as span:
+            clock.advance(1.5)
+        assert span.duration_s == pytest.approx(1.5)
+
+    def test_span_feeds_counter_and_histogram(self, tmp_path, clock):
+        telemetry = Telemetry(tmp_path, clock=clock)
+        with telemetry.span("runner.trace"):
+            clock.advance(0.2)
+        with telemetry.span("runner.trace"):
+            clock.advance(0.3)
+        counter = telemetry.counter("repro_spans_total", name="runner.trace")
+        hist = telemetry.histogram("repro_span_seconds", name="runner.trace")
+        assert counter.value == 2
+        assert hist.count == 2
+        assert hist.sum == pytest.approx(0.5)
+
+    def test_nested_spans_record_parent(self, tmp_path, clock):
+        telemetry = Telemetry(tmp_path, clock=clock)
+        with telemetry.span("outer"):
+            with telemetry.span("inner") as inner:
+                pass
+        telemetry.close()
+        assert inner.parent == "outer"
+        spans = {
+            e["name"]: e
+            for e in read_jsonl(tmp_path / "events.jsonl")
+            if e["kind"] == "span"
+        }
+        assert "parent" not in spans["outer"]
+        assert spans["inner"]["parent"] == "outer"
+
+    def test_failed_span_is_flagged_and_reraises(self, tmp_path, clock):
+        telemetry = Telemetry(tmp_path, clock=clock)
+        with pytest.raises(ValueError):
+            with telemetry.span("doomed"):
+                raise ValueError("boom")
+        telemetry.close()
+        [event] = [
+            e for e in read_jsonl(tmp_path / "events.jsonl")
+            if e["kind"] == "span"
+        ]
+        assert event["failed"] is True
+
+    def test_span_event_carries_meta(self, tmp_path, clock):
+        telemetry = Telemetry(tmp_path, clock=clock)
+        with telemetry.span("runner.trace", workload="CG"):
+            clock.advance(0.25)
+        telemetry.close()
+        [event] = read_jsonl(tmp_path / "events.jsonl")
+        assert event["workload"] == "CG"
+        assert event["duration_s"] == pytest.approx(0.25)
+
+    def test_memory_only_telemetry_still_times(self, clock):
+        telemetry = Telemetry(clock=clock)  # no directory
+        with telemetry.span("x") as span:
+            clock.advance(2.0)
+        assert span.duration_s == pytest.approx(2.0)
+        assert telemetry.counter("repro_spans_total", name="x").value == 1
+
+
+class TestEvents:
+    def test_events_are_timestamped_jsonl(self, tmp_path):
+        times = iter([111.0, 222.0])
+        telemetry = Telemetry(tmp_path, wall_clock=lambda: next(times))
+        telemetry.event("sweep_started", cells=4)
+        telemetry.event("cell_finished", status="ok")
+        telemetry.close()
+        events = read_jsonl(tmp_path / "events.jsonl")
+        assert events[0] == {"ts": 111.0, "kind": "sweep_started", "cells": 4}
+        assert events[1]["ts"] == 222.0
+
+    def test_event_lines_are_valid_json_objects(self, tmp_path):
+        telemetry = Telemetry(tmp_path)
+        telemetry.event("x", value=1)
+        telemetry.close()
+        lines = (tmp_path / "events.jsonl").read_text().splitlines()
+        assert all(isinstance(json.loads(line), dict) for line in lines)
+
+
+class TestNullTelemetry:
+    def test_null_span_still_measures(self):
+        with NULL_TELEMETRY.span("anything") as span:
+            pass
+        assert span.duration_s >= 0.0
+        assert span.parent is None
+
+    def test_null_records_nothing(self, tmp_path):
+        null = NullTelemetry()
+        null.event("ignored")
+        null.counter("repro_x").inc()
+        null.flush()
+        null.close()
+        assert null.registry.snapshot() == []
+        assert list(tmp_path.iterdir()) == []
+
+    def test_null_window_collector_is_an_error(self):
+        with pytest.raises(RuntimeError, match="enabled"):
+            NULL_TELEMETRY.window_collector("ctx", list)
+
+
+class TestActiveInstance:
+    def test_default_is_null(self):
+        assert get_active() is NULL_TELEMETRY
+
+    def test_set_active_and_reset(self, tmp_path):
+        telemetry = Telemetry(tmp_path)
+        try:
+            set_active(telemetry)
+            assert get_active() is telemetry
+        finally:
+            set_active(None)
+        assert get_active() is NULL_TELEMETRY
+
+    def test_activate_scopes_and_restores(self, tmp_path):
+        telemetry = Telemetry(tmp_path)
+        with activate(telemetry):
+            assert get_active() is telemetry
+        assert get_active() is NULL_TELEMETRY
+
+    def test_activate_restores_on_error(self, tmp_path):
+        telemetry = Telemetry(tmp_path)
+        with pytest.raises(RuntimeError):
+            with activate(telemetry):
+                raise RuntimeError("boom")
+        assert get_active() is NULL_TELEMETRY
+
+
+class TestLifecycle:
+    def test_close_writes_prometheus_snapshot(self, tmp_path):
+        telemetry = Telemetry(tmp_path)
+        telemetry.counter("repro_cells_total").inc(3)
+        telemetry.close()
+        text = (tmp_path / "metrics.prom").read_text()
+        assert "repro_cells_total 3" in text
+
+    def test_context_manager_closes(self, tmp_path):
+        with Telemetry(tmp_path) as telemetry:
+            telemetry.event("x")
+        assert (tmp_path / "events.jsonl").exists()
+        assert (tmp_path / "metrics.prom").exists()
