@@ -1,0 +1,434 @@
+"""Simulation-reuse throughput benchmark and regression gate.
+
+Three measurements, one committed baseline (``BENCH_sim.json``):
+
+1. **Sequential single-design throughput** — post-L3 requests per
+   second through one design's lower levels, best-of-N. This is the
+   number the perf gate protects: the CI ``perf-smoke`` job re-measures
+   it and fails on a >15% regression against the committed baseline
+   (after dividing out machine speed with a fixed calibration loop, so
+   the gate survives hardware changes).
+2. **Prefix-sharing speedup** — the paper's 4LC + 4LC-NVM
+   (PCM/STT-RAM/FeRAM) cluster simulated (a) fully independently, one
+   complete lower-level simulation per design, and (b) through a
+   :class:`~repro.experiments.simplan.SimPlan`, which dedups identical
+   sim keys and runs the shared eDRAM L4 once. Asserted >= 2x.
+3. **Parallel sweep speedup** — a multi-workload sweep at ``workers=1``
+   vs ``workers=2`` over a shared on-disk trace cache. Asserted
+   >= 1.6x. Skipped in quick mode (CI), where the committed values
+   stand in.
+
+Run from the repo root to (re)write the baseline::
+
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py
+
+Run the CI gate (quick mode, read-only)::
+
+    PYTHONPATH=src python -m pytest -q -m perf benchmarks/bench_sim_throughput.py
+
+Environment knobs: ``REPRO_BENCH_SCALE`` (default 1/1024),
+``REPRO_BENCH_REPS`` (default 3), ``REPRO_BENCH_QUICK=1`` to skip the
+parallel measurement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cache.config import CacheConfig
+from repro.cache.hierarchy import run_chain
+from repro.cache.setassoc import SetAssociativeCache
+from repro.designs.configs import EH_CONFIGS, N_CONFIGS
+from repro.designs.fourlc import FourLCDesign
+from repro.designs.fourlcnvm import FourLCNVMDesign
+from repro.designs.nmm import NMMDesign
+from repro.experiments.runner import Runner
+from repro.experiments.simplan import SimPlan
+from repro.resilience.executor import SweepExecutor
+from repro.tech.params import EDRAM, FERAM, PCM, STTRAM
+from repro.telemetry.core import Telemetry, activate
+from repro.trace.events import AccessBatch
+from repro.units import KiB
+from repro.workloads.registry import get_workload
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+DEFAULT_SCALE = 1.0 / 1024
+DEFAULT_REPS = 3
+#: CI gate: sequential throughput may not drop more than this.
+REGRESSION_TOLERANCE = 0.15
+MIN_PREFIX_SPEEDUP = 2.0
+MIN_PARALLEL_SPEEDUP = 1.6
+SEQUENTIAL_WORKLOAD = "CG"
+PARALLEL_WORKLOADS = ("CG", "SP", "Hashing", "BT")
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+
+
+def bench_reps() -> int:
+    return int(os.environ.get("REPRO_BENCH_REPS", DEFAULT_REPS))
+
+
+def quick_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+
+def sharing_cluster(reference, scale):
+    """The acceptance sweep: one 4LC plus three 4LC-NVM points, all on
+    the same eDRAM EH4 L4 (two sim keys, one shared level)."""
+    return [
+        FourLCDesign(EDRAM, EH_CONFIGS["EH4"], scale=scale,
+                     reference=reference),
+        FourLCNVMDesign(EDRAM, PCM, EH_CONFIGS["EH4"], scale=scale,
+                        reference=reference),
+        FourLCNVMDesign(EDRAM, STTRAM, EH_CONFIGS["EH4"], scale=scale,
+                        reference=reference),
+        FourLCNVMDesign(EDRAM, FERAM, EH_CONFIGS["EH4"], scale=scale,
+                        reference=reference),
+    ]
+
+
+def calibrate() -> float:
+    """Machine-speed score: requests/s of a fixed, deterministic cache
+    run. Committed and fresh throughputs are divided by this before
+    comparison, so the perf gate measures the *code*, not the host.
+    """
+    rng = np.random.RandomState(0)
+    addresses = (rng.randint(0, 1 << 22, size=200_000).astype(np.uint64)
+                 << np.uint64(6))
+    batch = AccessBatch(
+        addresses,
+        np.full(len(addresses), 64, dtype=np.uint32),
+        (rng.rand(len(addresses)) < 0.3).astype(np.uint8),
+    )
+    best = float("inf")
+    for _ in range(3):
+        cache = SetAssociativeCache(CacheConfig("CAL", 256 * KiB, 8, 64))
+        start = time.perf_counter()
+        cache.process(batch)
+        best = min(best, time.perf_counter() - start)
+    return len(batch) / best
+
+
+def measure_sequential(runner: Runner, reps: int) -> dict:
+    """Best-of-``reps`` lower-level replay throughput for one design."""
+    workload = get_workload(SEQUENTIAL_WORKLOAD)
+    design = NMMDesign(PCM, N_CONFIGS["N6"], scale=runner.scale,
+                       reference=runner.reference)
+    trace = runner.prepare(workload)
+    best = float("inf")
+    for _ in range(reps):
+        caches = design.lower_caches()
+        memory = design.memory()
+        start = time.perf_counter()
+        for chunk in trace.post_l3.chunks():
+            run_chain(chunk, caches, memory)
+        best = min(best, time.perf_counter() - start)
+    requests = len(trace.post_l3)
+    return {
+        "workload": SEQUENTIAL_WORKLOAD,
+        "design": design.sim_key(),
+        "requests": requests,
+        "sim_s": round(best, 6),
+        "requests_per_sec": round(requests / best),
+    }
+
+
+def measure_prefix_sharing(runner: Runner, reps: int) -> dict:
+    """Independent per-design simulation vs one shared-prefix plan."""
+    workload = get_workload(SEQUENTIAL_WORKLOAD)
+    designs = sharing_cluster(runner.reference, runner.scale)
+    trace = runner.prepare(workload)
+
+    independent = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        for design in designs:
+            caches = design.lower_caches()
+            memory = design.memory()
+            for chunk in trace.post_l3.chunks():
+                run_chain(chunk, caches, memory)
+        independent = min(independent, time.perf_counter() - start)
+
+    shared = float("inf")
+    for _ in range(reps):
+        plan = SimPlan(designs)
+        start = time.perf_counter()
+        plan.execute(trace.post_l3)
+        shared = min(shared, time.perf_counter() - start)
+
+    plan = SimPlan(designs)
+    return {
+        "workload": SEQUENTIAL_WORKLOAD,
+        "designs": [d.name for d in designs],
+        "sim_keys": plan.sim_count,
+        "shared_levels": plan.shared_levels,
+        "independent_s": round(independent, 6),
+        "plan_s": round(shared, 6),
+        "speedup": round(independent / shared, 3),
+        "min_speedup": MIN_PREFIX_SPEEDUP,
+    }
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def measure_parallel(scale: float, trace_cache: str) -> dict:
+    """Wall-clock of the same multi-workload sweep at 1 and 2 workers.
+
+    Traces are prewarmed into a shared on-disk cache first so both
+    modes pay identical (near-zero) tracing costs and the comparison
+    isolates simulation + evaluation work. On a single-CPU host two
+    CPU-bound workers can only time-slice, so the measurement is
+    recorded as skipped rather than committing a meaningless number —
+    the floor is enforced wherever >= 2 cores exist (CI runners).
+    """
+    cpus = usable_cpus()
+    if cpus < 2:
+        return {
+            "workloads": list(PARALLEL_WORKLOADS),
+            "workers": 2,
+            "cpus": cpus,
+            "speedup": None,
+            "min_speedup": MIN_PARALLEL_SPEEDUP,
+            "skipped": "host exposes a single CPU; two workers can only "
+                       "time-slice, so no speedup is measurable",
+        }
+    workloads = [get_workload(name) for name in PARALLEL_WORKLOADS]
+    warm = Runner(scale=scale, seed=0, trace_cache_dir=trace_cache)
+    for workload in workloads:
+        warm.prepare(workload)
+
+    def timed(workers: int) -> float:
+        runner = Runner(scale=scale, seed=0, trace_cache_dir=trace_cache)
+        designs = sharing_cluster(runner.reference, scale)
+        executor = SweepExecutor(runner, workers=workers)
+        start = time.perf_counter()
+        result = executor.run(designs, workloads)
+        elapsed = time.perf_counter() - start
+        if not all(outcome.ok for outcome in result.outcomes):
+            raise RuntimeError("benchmark sweep had non-ok cells")
+        return elapsed
+
+    workers1 = timed(1)
+    workers2 = timed(2)
+    return {
+        "workloads": list(PARALLEL_WORKLOADS),
+        "designs": [d.name for d in sharing_cluster(None, scale)],
+        "workers": 2,
+        "cpus": cpus,
+        "workers1_s": round(workers1, 6),
+        "workers2_s": round(workers2, 6),
+        "speedup": round(workers1 / workers2, 3),
+        "min_speedup": MIN_PARALLEL_SPEEDUP,
+    }
+
+
+def span_totals(registry) -> dict[str, float]:
+    """Per-span-name total seconds from a registry snapshot."""
+    totals: dict[str, float] = {}
+    for entry in registry.snapshot():
+        if entry["name"] == "repro_span_seconds":
+            name = entry["labels"].get("name", "?")
+            totals[name] = totals.get(name, 0.0) + entry["sum"]
+    return totals
+
+
+def load_baseline() -> dict | None:
+    if not BASELINE_PATH.exists():
+        return None
+    return json.loads(BASELINE_PATH.read_text())
+
+
+def sequential_gate(baseline: dict, fresh: dict,
+                    fresh_calibration: float) -> dict:
+    """Compare normalized sequential throughput against the baseline."""
+    base_norm = (baseline["sequential"]["requests_per_sec"]
+                 / baseline["calibration_requests_per_sec"])
+    fresh_norm = fresh["requests_per_sec"] / fresh_calibration
+    ratio = fresh_norm / base_norm
+    return {
+        "baseline_normalized": round(base_norm, 6),
+        "fresh_normalized": round(fresh_norm, 6),
+        "ratio": round(ratio, 4),
+        "floor": round(1.0 - REGRESSION_TOLERANCE, 4),
+        "ok": ratio >= 1.0 - REGRESSION_TOLERANCE,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", type=str, default=str(BASELINE_PATH),
+        help="output JSON path (default: the committed BENCH_sim.json)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="gate against the committed baseline instead of rewriting it",
+    )
+    args = parser.parse_args(argv)
+    scale = bench_scale()
+    reps = bench_reps()
+    tel = Telemetry()
+    runner = Runner(scale=scale, seed=0, telemetry=tel)
+
+    print(f"calibrating machine speed ...", flush=True)
+    calibration = calibrate()
+    with activate(tel):
+        print(f"sequential replay at scale {scale:g} ...", flush=True)
+        sequential = measure_sequential(runner, reps)
+        print(f"prefix sharing ({MIN_PREFIX_SPEEDUP:g}x floor) ...",
+              flush=True)
+        prefix = measure_prefix_sharing(runner, reps)
+
+    result = {
+        "scale": scale,
+        "calibration_requests_per_sec": round(calibration),
+        "sequential": sequential,
+        "prefix_sharing": prefix,
+        "regression_tolerance": REGRESSION_TOLERANCE,
+        "stage_seconds": {
+            name: round(seconds, 6)
+            for name, seconds in sorted(span_totals(tel.registry).items())
+        },
+    }
+
+    failures = []
+    if prefix["speedup"] < MIN_PREFIX_SPEEDUP:
+        failures.append(
+            f"prefix-sharing speedup {prefix['speedup']:.2f}x "
+            f"< {MIN_PREFIX_SPEEDUP:g}x"
+        )
+
+    if quick_mode():
+        print("quick mode: skipping the parallel sweep measurement")
+    else:
+        import tempfile
+
+        print(f"parallel sweep ({MIN_PARALLEL_SPEEDUP:g}x floor) ...",
+              flush=True)
+        with tempfile.TemporaryDirectory() as trace_cache:
+            result["parallel"] = measure_parallel(scale, trace_cache)
+        speedup = result["parallel"]["speedup"]
+        if speedup is not None and speedup < MIN_PARALLEL_SPEEDUP:
+            failures.append(
+                f"parallel speedup {speedup:.2f}x "
+                f"< {MIN_PARALLEL_SPEEDUP:g}x"
+            )
+
+    baseline = load_baseline()
+    if args.check:
+        if baseline is None:
+            print("FAIL: no committed BENCH_sim.json to gate against",
+                  file=sys.stderr)
+            return 1
+        gate = sequential_gate(baseline, sequential, calibration)
+        print(
+            f"  sequential gate: ratio {gate['ratio']:.3f} "
+            f"(floor {gate['floor']:.2f})"
+        )
+        if not gate["ok"]:
+            failures.append(
+                f"sequential throughput regressed: normalized ratio "
+                f"{gate['ratio']:.3f} < {gate['floor']:.2f}"
+            )
+    else:
+        if baseline is not None and "parallel" not in result:
+            # Quick rewrites keep the committed parallel numbers.
+            result["parallel"] = baseline.get("parallel")
+        Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {args.out}")
+
+    print(f"  sequential: {sequential['requests_per_sec']:,} post-L3 req/s")
+    print(f"  prefix sharing: {prefix['speedup']:.2f}x "
+          f"({prefix['independent_s']:.3f}s -> {prefix['plan_s']:.3f}s)")
+    par = result.get("parallel")
+    if par and par.get("speedup") is not None:
+        print(f"  workers=2: {par['speedup']:.2f}x "
+              f"({par['workers1_s']:.3f}s -> {par['workers2_s']:.3f}s)")
+    elif par:
+        print(f"  workers=2: skipped ({par.get('skipped', 'no measurement')})")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("ok: throughput floors hold")
+    return 0
+
+
+# -- pytest gate (CI: pytest -q -m perf benchmarks/bench_sim_throughput.py)
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - standalone script use
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.fixture(scope="module")
+    def gate_runner():
+        baseline = load_baseline()
+        if baseline is None:
+            pytest.skip("no committed BENCH_sim.json")
+        return baseline, Runner(scale=baseline["scale"], seed=0)
+
+    @pytest.mark.perf
+    def test_sequential_throughput_no_regression(gate_runner):
+        baseline, runner = gate_runner
+        fresh = measure_sequential(runner, bench_reps())
+        gate = sequential_gate(baseline, fresh, calibrate())
+        assert gate["ok"], (
+            f"sequential throughput regressed: normalized ratio "
+            f"{gate['ratio']} < {gate['floor']} "
+            f"(fresh {fresh['requests_per_sec']:,} req/s vs committed "
+            f"{baseline['sequential']['requests_per_sec']:,})"
+        )
+
+    @pytest.mark.perf
+    def test_prefix_sharing_speedup_floor(gate_runner):
+        baseline, runner = gate_runner
+        fresh = measure_prefix_sharing(runner, bench_reps())
+        assert fresh["speedup"] >= MIN_PREFIX_SPEEDUP, fresh
+
+    @pytest.mark.perf
+    def test_parallel_speedup_floor(gate_runner):
+        if usable_cpus() < 2:
+            pytest.skip("parallel speedup needs >= 2 CPUs")
+        baseline, _ = gate_runner
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as trace_cache:
+            fresh = measure_parallel(baseline["scale"], trace_cache)
+        assert fresh["speedup"] >= MIN_PARALLEL_SPEEDUP, fresh
+
+    @pytest.mark.perf
+    def test_committed_baseline_meets_the_floors():
+        baseline = load_baseline()
+        if baseline is None:
+            pytest.skip("no committed BENCH_sim.json")
+        assert baseline["prefix_sharing"]["speedup"] >= MIN_PREFIX_SPEEDUP
+        parallel = baseline.get("parallel") or {}
+        if parallel.get("speedup") is not None:
+            assert parallel["speedup"] >= MIN_PARALLEL_SPEEDUP
+        else:
+            assert parallel.get("skipped"), (
+                "committed parallel section must either meet the floor "
+                "or carry an explicit skip reason"
+            )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

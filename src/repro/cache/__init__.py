@@ -19,7 +19,7 @@ from repro.cache.stats import LevelStats, HierarchyStats
 from repro.cache.setassoc import SetAssociativeCache
 from repro.cache.mainmem import MainMemory
 from repro.cache.partition import PartitionedMemory
-from repro.cache.hierarchy import Hierarchy
+from repro.cache.hierarchy import Hierarchy, drain_chain, run_chain
 from repro.cache.prefetch import PrefetchingCache, PrefetchStats
 from repro.cache.replacement import (
     FIFOPolicy,
@@ -37,6 +37,8 @@ __all__ = [
     "MainMemory",
     "PartitionedMemory",
     "Hierarchy",
+    "run_chain",
+    "drain_chain",
     "PrefetchingCache",
     "PrefetchStats",
     "ReplacementPolicy",

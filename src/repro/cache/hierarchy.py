@@ -31,6 +31,51 @@ from repro.trace.stream import AddressStream
 from repro.units import log2_int
 
 
+def run_chain(
+    requests: AccessBatch,
+    caches: list[SetAssociativeCache],
+    memory: MainMemory | PartitionedMemory,
+) -> None:
+    """Push one batch of block requests through a cache chain.
+
+    The single authoritative request path: every consumer of a cache
+    chain — :meth:`Hierarchy.process_batch` for full hierarchies, the
+    runner's post-L3 replay, and prefix-captured suffix simulation —
+    routes batches through here so they all apply the same
+    ``check_request_sizes`` guard (a mis-ordered chain raises
+    :class:`~repro.errors.SimulationError` instead of silently
+    corrupting statistics). Whatever survives the last cache reaches
+    ``memory``; a level that absorbs everything ends the walk early.
+    """
+    for cache in caches:
+        check_request_sizes(requests, cache.block_size, cache.name)
+        requests = cache.process(requests)
+        if len(requests) == 0:
+            return
+    memory.process(requests)
+
+
+def drain_chain(
+    caches: list[SetAssociativeCache],
+    memory: MainMemory | PartitionedMemory,
+) -> None:
+    """Flush dirty blocks from every cache in the chain, top to bottom.
+
+    Writebacks from level *i* enter level *i + 1* (or memory), exactly
+    as in :meth:`Hierarchy.drain` — this is the shared implementation
+    behind it and behind the runner's ``drain=True`` replay mode.
+    """
+    for i, cache in enumerate(caches):
+        writebacks = cache.flush_dirty()
+        # Writebacks from level i enter level i+1 (or memory).
+        for lower in caches[i + 1 :]:
+            writebacks = lower.process(writebacks)
+            if len(writebacks) == 0:
+                break
+        else:
+            memory.process(writebacks)
+
+
 def to_block_requests(batch: AccessBatch, block_size: int) -> AccessBatch:
     """Convert raw byte accesses into top-level cache requests.
 
@@ -104,13 +149,7 @@ class Hierarchy:
         requests = to_block_requests(batch, self.caches[0].block_size)
         arrived = len(requests)
         self._references += arrived
-        for cache in self.caches:
-            check_request_sizes(requests, cache.block_size, cache.name)
-            requests = cache.process(requests)
-            if len(requests) == 0:
-                break
-        else:
-            self.memory.process(requests)
+        run_chain(requests, self.caches, self.memory)
         observer = self.observer
         if observer is not None:
             observer.on_refs(arrived)
@@ -139,15 +178,7 @@ class Hierarchy:
 
     def drain(self) -> None:
         """Flush dirty blocks from every level, top to bottom."""
-        for i, cache in enumerate(self.caches):
-            writebacks = cache.flush_dirty()
-            # Writebacks from level i enter level i+1 (or memory).
-            for lower in self.caches[i + 1 :]:
-                writebacks = lower.process(writebacks)
-                if len(writebacks) == 0:
-                    break
-            else:
-                self.memory.process(writebacks)
+        drain_chain(self.caches, self.memory)
 
     # ------------------------------------------------------------------
 

@@ -165,18 +165,39 @@ class SetAssociativeCache:
         change[0] = True
         np.not_equal(units[1:], units[:-1], out=change[1:])
         starts = np.flatnonzero(change)
-        counts = np.diff(np.append(starts, n))
+        counts = np.diff(starts, append=n)
         store_cum = np.concatenate(
             [[0], np.cumsum(is_store, dtype=np.int64)]
         )
         run_stores = store_cum[starts + counts] - store_cum[starts]
         run_units = units[starts]
         first_store = is_store[starts]
+        run_loads = counts - run_stores
+
+        # Set indices, vectorized. The serial loops used to evaluate
+        # ``(blk * 2654435761) >> 15 & mask`` per run in Python — the
+        # product exceeds 64 bits, so every probe paid for big-int
+        # allocation. uint64 wrap-around keeps the low 64 bits exact,
+        # and the masked bits (15 .. 15 + set bits) all live there, so
+        # the mapping is bit-identical.
+        run_blocks = (
+            run_units >> np.uint64(self._block_bits - self._sector_bits)
+            if self._sectored
+            else run_units
+        )
+        if self._hashed:
+            run_sets = (
+                (run_blocks * np.uint64(2654435761)) >> np.uint64(15)
+            ) & np.uint64(self._set_mask)
+        else:
+            run_sets = run_blocks & np.uint64(self._set_mask)
 
         if self._sectored:
             out_units, out_kinds, out_sizes = self._process_runs_sectored(
                 run_units.tolist(),
-                counts.tolist(),
+                run_blocks.tolist(),
+                run_sets.tolist(),
+                run_loads.tolist(),
                 run_stores.tolist(),
                 first_store.tolist(),
             )
@@ -191,14 +212,16 @@ class SetAssociativeCache:
         if self._is_lru:
             out_blocks, out_kinds = self._process_runs_lru(
                 run_units.tolist(),
-                counts.tolist(),
+                run_sets.tolist(),
+                run_loads.tolist(),
                 run_stores.tolist(),
                 first_store.tolist(),
             )
         else:
             out_blocks, out_kinds = self._process_runs_generic(
                 run_units.tolist(),
-                counts.tolist(),
+                run_sets.tolist(),
+                run_loads.tolist(),
                 run_stores.tolist(),
                 first_store.tolist(),
             )
@@ -214,21 +237,23 @@ class SetAssociativeCache:
             np.asarray(out_kinds, dtype=KIND_DTYPE),
         )
 
-    def _process_runs_sectored(self, run_sectors, counts, run_stores, first_store):
+    def _process_runs_sectored(
+        self, run_sectors, run_blocks, run_sets, run_loads, run_stores,
+        first_store,
+    ):
         """Sectored hot loop: page-granularity allocation, sector-
         granularity dirty tracking (LRU or pluggable policy).
 
         Fill requests are full blocks (the page is the allocation
         unit); dirty-eviction writebacks are one request per dirty
-        sector — the paper's "dirty cache line" accounting.
+        sector — the paper's "dirty cache line" accounting. Block
+        numbers, set indices, and per-run load counts arrive
+        precomputed (vectorized in :meth:`process`).
         """
-        sectored_shift = self._block_bits - self._sector_bits
         sector_bytes = 1 << self._sector_bits
         block_bytes = self.config.block_size
         sector_to_addr = self._sector_bits
         dirty = self._dirty_sectors
-        mask = self._set_mask
-        hashed = self._hashed
         stats = self.stats
         is_lru = self._is_lru
         sets = self._sets if is_lru else None
@@ -239,9 +264,10 @@ class SetAssociativeCache:
         out_kinds: list[int] = []
         out_sizes: list[int] = []
 
-        for sec, cnt, nst, fst in zip(run_sectors, counts, run_stores, first_store):
-            blk = sec >> sectored_shift
-            sidx = ((blk * 2654435761) >> 15) & mask if hashed else blk & mask
+        for sec, blk, sidx, nld, nst, fst in zip(
+            run_sectors, run_blocks, run_sets, run_loads, run_stores,
+            first_store,
+        ):
             if is_lru:
                 s = sets[sidx]
                 if blk in s:
@@ -254,16 +280,16 @@ class SetAssociativeCache:
             else:
                 hit = policy.lookup(sidx, blk)
             if hit:
-                lh += cnt - nst
+                lh += nld
                 sh += nst
             else:
                 if fst:
                     sm += 1
                     sh += nst - 1
-                    lh += cnt - nst
+                    lh += nld
                 else:
                     lm += 1
-                    lh += cnt - nst - 1
+                    lh += nld - 1
                     sh += nst
                 fills += 1
                 out_addrs.append(blk << self._block_bits)
@@ -297,12 +323,13 @@ class SetAssociativeCache:
         stats.fills += fills
         return out_addrs, out_kinds, out_sizes
 
-    def _process_runs_lru(self, run_blocks, counts, run_stores, first_store):
-        """Inline-LRU hot loop. Local-variable bound for speed."""
+    def _process_runs_lru(
+        self, run_blocks, run_sets, run_loads, run_stores, first_store
+    ):
+        """Inline-LRU hot loop. Local-variable bound for speed; set
+        indices and per-run load counts arrive precomputed."""
         sets = self._sets
         dirty = self._dirty
-        mask = self._set_mask
-        hashed = self._hashed
         ways = self.config.associativity
         stats = self.stats
         lh = lm = sh = sm = wb = fills = 0
@@ -310,14 +337,17 @@ class SetAssociativeCache:
         out_kinds: list[int] = []
         append_b = out_blocks.append
         append_k = out_kinds.append
+        dirty_add = dirty.add
 
-        for blk, cnt, nst, fst in zip(run_blocks, counts, run_stores, first_store):
-            s = sets[((blk * 2654435761) >> 15) & mask if hashed else blk & mask]
+        for blk, sidx, nld, nst, fst in zip(
+            run_blocks, run_sets, run_loads, run_stores, first_store
+        ):
+            s = sets[sidx]
             if blk in s:
                 if s[0] != blk:
                     s.remove(blk)
                     s.insert(0, blk)
-                lh += cnt - nst
+                lh += nld
                 sh += nst
             else:
                 # Miss charged to the run's first access; the rest of
@@ -325,10 +355,10 @@ class SetAssociativeCache:
                 if fst:
                     sm += 1
                     sh += nst - 1
-                    lh += cnt - nst
+                    lh += nld
                 else:
                     lm += 1
-                    lh += cnt - nst - 1
+                    lh += nld - 1
                     sh += nst
                 fills += 1
                 append_b(blk)
@@ -342,7 +372,7 @@ class SetAssociativeCache:
                         append_b(victim)
                         append_k(1)
             if nst:
-                dirty.add(blk)
+                dirty_add(blk)
 
         stats.load_hits += lh
         stats.load_misses += lm
@@ -352,30 +382,31 @@ class SetAssociativeCache:
         stats.fills += fills
         return out_blocks, out_kinds
 
-    def _process_runs_generic(self, run_blocks, counts, run_stores, first_store):
+    def _process_runs_generic(
+        self, run_blocks, run_sets, run_loads, run_stores, first_store
+    ):
         """Policy-object loop (FIFO/Random studies)."""
         policy = self._policy
         dirty = self._dirty
-        mask = self._set_mask
-        hashed = self._hashed
         stats = self.stats
         lh = lm = sh = sm = wb = fills = 0
         out_blocks: list[int] = []
         out_kinds: list[int] = []
 
-        for blk, cnt, nst, fst in zip(run_blocks, counts, run_stores, first_store):
-            set_idx = ((blk * 2654435761) >> 15) & mask if hashed else blk & mask
+        for blk, set_idx, nld, nst, fst in zip(
+            run_blocks, run_sets, run_loads, run_stores, first_store
+        ):
             if policy.lookup(set_idx, blk):
-                lh += cnt - nst
+                lh += nld
                 sh += nst
             else:
                 if fst:
                     sm += 1
                     sh += nst - 1
-                    lh += cnt - nst
+                    lh += nld
                 else:
                     lm += 1
-                    lh += cnt - nst - 1
+                    lh += nld - 1
                     sh += nst
                 fills += 1
                 out_blocks.append(blk)

@@ -11,6 +11,7 @@
 """
 
 from repro.experiments.runner import Runner, WorkloadTrace
+from repro.experiments.simplan import CapturingCache, SimPlan, config_key
 from repro.experiments.sweep import (
     SweepRecord,
     SweepSummary,
@@ -54,6 +55,9 @@ from repro.resilience import (
 __all__ = [
     "Runner",
     "WorkloadTrace",
+    "SimPlan",
+    "CapturingCache",
+    "config_key",
     "FigureSeries",
     "figure1",
     "figure2",

@@ -11,17 +11,20 @@ Subcommands:
 
 - ``sweep`` — fault-tolerant design-space sweep with an on-disk
   result journal (``--journal``), exact resume (``--resume``), bounded
-  retries (``--max-retries``), per-cell deadlines (``--cell-timeout``)
-  and keep-going semantics (``--keep-going``).
+  retries (``--max-retries``), per-cell deadlines (``--cell-timeout``),
+  keep-going semantics (``--keep-going``), and process-parallel
+  execution (``--workers N``; shared lower-level prefixes simulate
+  once per workload unless ``--no-share-prefixes``).
 
 - ``telemetry report DIR`` — summarize a telemetry directory written
   by a previous ``--telemetry DIR`` run (span digests, window files,
   event counts).
 
 Common options: ``--scale`` (capacity/footprint scale), ``--seed``,
-``--workloads`` (comma-separated subset of the suite),
-``--telemetry DIR`` (record spans, metrics, and windowed time-series
-for the whole invocation).
+``--workloads`` (comma-separated subset of the suite), ``--drain``
+(flush dirty blocks at end of stream instead of the default
+steady-state accounting), ``--telemetry DIR`` (record spans, metrics,
+and windowed time-series for the whole invocation).
 """
 
 from __future__ import annotations
@@ -158,6 +161,8 @@ def _run_resilient_sweep(args, runner: Runner, workloads) -> int:
         journal=journal,
         resume=args.resume,
         progress=ProgressReporter(len(designs) * len(workloads)),
+        workers=args.workers,
+        share_prefixes=not args.no_share_prefixes,
     )
     result = executor.run(designs, workloads)
     for outcome in result.outcomes:
@@ -259,6 +264,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="workload RNG seed")
     parser.add_argument(
+        "--drain", action="store_true",
+        help="flush dirty blocks at end of stream at every level "
+        "(steady-state accounting leaves them unflushed by default)",
+    )
+    parser.add_argument(
         "--trace-cache",
         type=str,
         default=None,
@@ -346,6 +356,16 @@ def main(argv: list[str] | None = None) -> int:
         help="finish the whole grid even after failures (default: the "
         "first failure skips the remaining cells)",
     )
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes evaluating cells (default 1: in-process; "
+        "pair with --trace-cache so workers share traced streams)",
+    )
+    sweep.add_argument(
+        "--no-share-prefixes", action="store_true",
+        help="disable shared lower-level prefix simulation (designs "
+        "with config-identical L4 chains then simulate independently)",
+    )
     telem = sub.add_parser(
         "telemetry",
         help="inspect a telemetry directory from a --telemetry run",
@@ -403,7 +423,8 @@ def _dispatch(args, workloads) -> int:
         return 1 if failed else 0
 
     runner = Runner(
-        scale=args.scale, seed=args.seed, trace_cache_dir=args.trace_cache
+        scale=args.scale, seed=args.seed, trace_cache_dir=args.trace_cache,
+        drain=args.drain,
     )
     if args.command == "figure":
         _print_figure(args.number, runner, workloads,

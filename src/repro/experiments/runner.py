@@ -22,7 +22,7 @@ from __future__ import annotations
 import logging
 from dataclasses import dataclass
 
-from repro.cache.hierarchy import Hierarchy
+from repro.cache.hierarchy import Hierarchy, drain_chain, run_chain
 from repro.cache.mainmem import MainMemory
 from repro.cache.partition import PartitionedMemory
 from repro.cache.stats import HierarchyStats, LevelStats
@@ -120,6 +120,16 @@ class Runner:
         reference: the SRAM pyramid (defaults to Sandy Bridge).
         local_factor: L1-hitting local references injected per traced
             data reference (see :data:`DEFAULT_LOCAL_FACTOR`).
+        drain: when True, every simulation — the shared upper-level
+            prefix *and* each design's lower levels — flushes dirty
+            blocks at end of stream, so writebacks propagate all the
+            way to main memory (``Hierarchy.run(drain=True)``
+            semantics). The default False is the paper's steady-state
+            accounting: a long-running application's residual dirty
+            lines are a vanishing fraction of its write traffic, so
+            end-of-trace flushes are intentionally excluded from the
+            energy/latency model. Applied uniformly to every design,
+            either choice yields exact full-hierarchy statistics.
         telemetry: explicit telemetry instance; None (the default)
             resolves the process-wide active instance per call (see
             :mod:`repro.telemetry.core`), which is the disabled
@@ -134,6 +144,7 @@ class Runner:
         reference: ReferenceSystem | None = None,
         local_factor: float = DEFAULT_LOCAL_FACTOR,
         trace_cache_dir: str | None = None,
+        drain: bool = False,
         telemetry: Telemetry | NullTelemetry | None = None,
     ) -> None:
         if local_factor < 0:
@@ -142,6 +153,7 @@ class Runner:
         self.seed = seed
         self.reference = reference or ReferenceSystem.sandy_bridge()
         self.local_factor = local_factor
+        self.drain = drain
         self.telemetry = telemetry
         #: Optional directory for persistent trace caching across
         #: processes: traced streams and region maps are saved after the
@@ -262,7 +274,11 @@ class Runner:
                 )
                 hierarchy.observer = collector
             with telemetry.span("runner.upper_sim", workload=key):
-                hierarchy.run(result.stream)
+                # drain=True flushes L1-L3 at end of stream; the flush
+                # traffic lands in the captured post-L3 stream *in
+                # hierarchy drain order*, so suffix replays stay
+                # bit-exact against a full Hierarchy.run(drain=True).
+                hierarchy.run(result.stream, drain=self.drain)
             if collector is not None:
                 telemetry.finish_collector(collector)
             telemetry.counter("repro_references_simulated_total").inc(
@@ -298,6 +314,12 @@ class Runner:
             )
             self._traces[key] = trace
             self._design_stats[("REF", key)] = ref_stats
+            telemetry.gauge(
+                "repro_captured_stream_requests", stage="post_l3", workload=key
+            ).set(len(capture.captured))
+            telemetry.gauge(
+                "repro_captured_stream_nbytes", stage="post_l3", workload=key
+            ).set(capture.captured.nbytes)
         logger.info(
             "prepared %s: %s post-L3 requests, AMAT_ref %.2f ns (%.1fs)",
             workload.name, f"{len(capture.captured):,}",
@@ -308,6 +330,7 @@ class Runner:
             workload=key,
             events=len(result.stream),
             post_l3_requests=len(capture.captured),
+            post_l3_nbytes=capture.captured.nbytes,
             references=references,
             trace_cached=cached,
             duration_s=round(prepare_span.duration_s, 6),
@@ -322,7 +345,17 @@ class Runner:
         """Full hierarchy statistics for a design on a workload (cached).
 
         Runs only the design's lower levels on the cached post-L3
-        stream; the shared upper-level stats are prepended.
+        stream; the shared upper-level stats are prepended. The replay
+        routes every batch through
+        :func:`~repro.cache.hierarchy.run_chain`, so the same
+        ``check_request_sizes`` guard as ``Hierarchy.process_batch``
+        applies — a design whose lower chain shrinks block sizes
+        downward raises :class:`~repro.errors.SimulationError` here
+        instead of silently corrupting statistics. When the runner was
+        built with ``drain=True`` the lower levels are flushed at end
+        of stream (matching the drained upper-level capture); the
+        default leaves residual dirty lines unflushed — the steady-
+        state accounting choice documented on :class:`Runner`.
         """
         key = (design.sim_key(), workload.name)
         if key in self._design_stats:
@@ -347,15 +380,11 @@ class Runner:
             workload=workload.name,
         ):
             for chunk in trace.post_l3.chunks():
-                requests = chunk
-                for cache in lower:
-                    requests = cache.process(requests)
-                    if len(requests) == 0:
-                        break
-                else:
-                    memory.process(requests)
+                run_chain(chunk, lower, memory)
                 if collector is not None:
                     collector.on_refs(len(chunk))
+            if self.drain:
+                drain_chain(lower, memory)
         if collector is not None:
             telemetry.finish_collector(collector)
         lower_stats = [cache.stats for cache in lower]
@@ -370,6 +399,55 @@ class Runner:
         self._design_stats[key] = stats
         logger.debug("simulated %s on %s", design.sim_key(), workload.name)
         return stats
+
+    def simulate_designs(
+        self, designs: list[MemoryDesign], workload: Workload
+    ) -> None:
+        """Batch-simulate designs on one workload with prefix sharing.
+
+        Builds a :class:`~repro.experiments.simplan.SimPlan` over the
+        designs that still need simulating and executes it on the
+        cached post-L3 stream: lower-level chains that start with
+        config-identical levels (every 4LC/4LC-NVM point shares the
+        same L4) simulate that prefix once. Results land in the same
+        per-``sim_key`` statistics cache that :meth:`stats_for` reads,
+        so subsequent per-design calls are hits — the statistics are
+        bit-identical to what :meth:`stats_for` would have produced
+        (see :mod:`repro.experiments.simplan` for the exactness
+        argument).
+        """
+        from repro.experiments.simplan import SimPlan
+
+        todo = []
+        seen: set[str] = set()
+        for design in designs:
+            sim_key = design.sim_key()
+            if sim_key in seen or (sim_key, workload.name) in self._design_stats:
+                continue
+            seen.add(sim_key)
+            todo.append(design)
+        if not todo:
+            return
+        trace = self.prepare(workload)
+        telemetry = self._telemetry()
+        plan = SimPlan(todo)
+        with telemetry.span(
+            "runner.plan_sim", workload=workload.name,
+            designs=len(todo), shared_levels=plan.shared_levels,
+        ):
+            results = plan.execute(
+                trace.post_l3, drain=self.drain,
+                telemetry=telemetry, workload=workload.name,
+            )
+        for sim_key, lower_stats in results.items():
+            self._design_stats[(sim_key, workload.name)] = HierarchyStats(
+                levels=trace.upper_stats + lower_stats,
+                references=trace.references,
+            )
+        logger.info(
+            "plan-simulated %d design(s) on %s (%d shared level(s))",
+            len(todo), workload.name, plan.shared_levels,
+        )
 
     def raw_for(self, design: MemoryDesign, workload: Workload) -> RawEvaluation:
         """Stage-1 model outputs for a design on a workload."""

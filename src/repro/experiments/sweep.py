@@ -53,25 +53,39 @@ def run_sweep(
     runner: Runner,
     designs: Iterable[MemoryDesign],
     workloads: Sequence[Workload],
+    *,
+    workers: int = 1,
 ) -> list[SweepRecord]:
     """Evaluate every design on every workload.
 
     Thin fail-fast wrapper over
-    :class:`repro.resilience.executor.SweepExecutor`: the first cell
-    failure re-raises its original exception. For journalling, retries,
-    deadlines, and keep-going semantics, use the executor directly.
+    :class:`repro.resilience.executor.SweepExecutor` (shared-prefix
+    batching included): the first cell failure re-raises its original
+    exception. ``workers > 1`` runs the grid on a process pool; the
+    live exception object then cannot cross the process boundary, so
+    failures re-raise as :class:`~repro.errors.SweepError` carrying the
+    formatted chain. For journalling, retries, deadlines, and
+    keep-going semantics, use the executor directly.
     """
     designs = list(designs)
     if not workloads:
         raise ConfigError("a sweep needs at least one workload")
     if not designs:
         raise ConfigError("a sweep needs at least one design")
+    from repro.errors import SweepError
     from repro.resilience.executor import SweepExecutor
 
-    result = SweepExecutor(runner, keep_going=False).run(designs, workloads)
+    result = SweepExecutor(runner, keep_going=False, workers=workers).run(
+        designs, workloads
+    )
     for outcome in result.outcomes:
         if outcome.exception is not None:
             raise outcome.exception
+        if outcome.status in ("failed", "timed_out"):
+            raise SweepError(
+                f"cell {outcome.design}/{outcome.workload} "
+                f"{outcome.status}: {outcome.error}"
+            )
     return [
         SweepRecord(
             design=outcome.design,

@@ -18,13 +18,26 @@ executor runs that grid so one bad cell can't sink the campaign:
 - the campaign ends with a **degradation report**: which cells
   succeeded, which needed retries, which were abandoned, and the
   (seed, cell key) pair that reproduces each failure.
+
+With ``workers=N`` the grid runs on a **process pool**: cells are
+grouped into workload-affine shards (each worker traces and prepares a
+workload at most once, and all workers share the on-disk trace cache),
+shard order is deterministically seeded, and every worker evaluates its
+shard under the same retry policy and per-cell deadline in its own
+process. Results flow back through the same journal and telemetry
+paths — resume, fault isolation, and the degradation report are
+unchanged; only the live exception objects cannot cross the process
+boundary (the formatted error chains still do).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import logging
+import random
 import threading
 import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
@@ -33,8 +46,16 @@ from repro.errors import ConfigError
 from repro.model.evaluate import Evaluation
 from repro.resilience.journal import Journal, JournalEntry, cell_key_for
 from repro.resilience.retry import NO_RETRY, RetryPolicy
-from repro.telemetry.core import NullTelemetry, Telemetry, get_active
+from repro.telemetry.core import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    get_active,
+    set_active,
+)
 from repro.telemetry.progress import ProgressReporter
+
+logger = logging.getLogger("repro.resilience")
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a cycle with experiments
     from repro.designs.base import MemoryDesign
@@ -195,13 +216,26 @@ class SweepExecutor:
             the journal are reused instead of re-evaluated.
         evaluate: override for the per-cell evaluation callable
             ``(design, workload) -> Evaluation`` — the hook the
-            fault-injection harness wraps.
+            fault-injection harness wraps. Incompatible with
+            ``workers > 1`` (the callable cannot cross the process
+            boundary).
         sleep: override for backoff sleeping (tests pass a stub).
         telemetry: explicit telemetry instance; None resolves the
             process-wide active instance at :meth:`run` time.
         progress: optional
             :class:`~repro.telemetry.progress.ProgressReporter` for
             live per-cell lines, ETA, and the resume summary.
+        workers: processes evaluating cells. 1 (default) runs the grid
+            serially in-process; N > 1 spreads workload-affine shards
+            over a process pool (give the runner a
+            ``trace_cache_dir`` so workers share traced streams).
+        share_prefixes: batch-simulate each workload's designs through
+            :meth:`Runner.simulate_designs` before evaluating cells,
+            so config-identical lower-level prefixes run once. Applied
+            whenever the default evaluation path is in use and no
+            per-cell deadline is set (a batched simulation cannot be
+            attributed to one cell's deadline); failures fall back to
+            per-cell simulation with full fault isolation.
     """
 
     def __init__(
@@ -217,9 +251,18 @@ class SweepExecutor:
         sleep: Callable[[float], None] = time.sleep,
         telemetry: Telemetry | NullTelemetry | None = None,
         progress: ProgressReporter | None = None,
+        workers: int = 1,
+        share_prefixes: bool = True,
     ) -> None:
         if cell_timeout_s is not None and cell_timeout_s <= 0:
             raise ConfigError("cell_timeout_s must be positive")
+        if workers < 1:
+            raise ConfigError("workers must be >= 1")
+        if workers > 1 and evaluate is not None:
+            raise ConfigError(
+                "a custom evaluate callable cannot cross the process "
+                "boundary; use workers=1 with evaluation overrides"
+            )
         self.runner = runner
         self.retry = retry if retry is not None else NO_RETRY
         self.cell_timeout_s = cell_timeout_s
@@ -229,9 +272,12 @@ class SweepExecutor:
         self.journal = journal
         self.resume = resume
         self._evaluate = evaluate or runner.evaluate
+        self._default_evaluate = evaluate is None
         self._sleep = sleep
         self.telemetry = telemetry
         self.progress = progress
+        self.workers = workers
+        self.share_prefixes = share_prefixes
 
     def _telemetry(self) -> Telemetry | NullTelemetry:
         """The explicit instance if one was given, else the active one."""
@@ -363,10 +409,11 @@ class SweepExecutor:
 
         tel = self._telemetry()
         progress = self.progress
+        drain = getattr(self.runner, "drain", False)
         grid = [
             (design, workload,
              cell_key_for(design, workload, self.runner.scale,
-                          self.runner.seed))
+                          self.runner.seed, drain))
             for design in designs
             for workload in workloads
         ]
@@ -395,6 +442,14 @@ class SweepExecutor:
         )
         pending = tel.gauge("repro_sweep_cells_pending")
         pending.set(total)
+
+        if self.workers > 1:
+            result = self._run_parallel(grid, journalled, tel, progress, pending)
+            tel.event("sweep_finished", cells=total, **result.counts())
+            tel.flush()
+            return result
+
+        self._presim_workloads(grid, journalled, tel)
 
         outcomes: list[CellOutcome] = []
         abort = False
@@ -480,3 +535,298 @@ class SweepExecutor:
                 outcome.design, outcome.workload, outcome.status,
                 outcome.duration_s, from_journal=outcome.from_journal,
             )
+
+    # -- shared-prefix batch simulation ---------------------------------
+
+    def _presim_workloads(self, grid, journalled, tel) -> None:
+        """Batch-simulate each workload's to-run designs (best effort).
+
+        A failure here is swallowed: the affected cells simply simulate
+        individually inside their own fault-isolated evaluation, where
+        errors are retried, journalled, and reported as usual.
+        """
+        if not (
+            self.share_prefixes
+            and self._default_evaluate
+            and self.cell_timeout_s is None
+            and hasattr(self.runner, "simulate_designs")
+        ):
+            return
+        by_workload: dict[str, tuple] = {}
+        for design, workload, key in grid:
+            prior = journalled.get(key)
+            if prior is not None and prior.status == STATUS_OK:
+                continue
+            entry = by_workload.setdefault(workload.name, (workload, []))
+            entry[1].append(design)
+        for workload, batch in by_workload.values():
+            if len(batch) < 2:
+                continue
+            try:
+                with tel.span(
+                    "sweep.plan_sim", workload=workload.name,
+                    designs=len(batch),
+                ):
+                    self.runner.simulate_designs(batch, workload)
+            except Exception as exc:
+                tel.event(
+                    "plan_sim_failed", workload=workload.name,
+                    error=format_exception_chain(exc),
+                )
+                logger.warning(
+                    "shared-prefix simulation failed for %s (%s); cells "
+                    "fall back to per-cell simulation",
+                    workload.name, format_exception_chain(exc),
+                )
+
+    # -- parallel campaign ----------------------------------------------
+
+    def _shards(self, cells: list) -> list[tuple]:
+        """Workload-affine shards in deterministic seeded order.
+
+        Cells group by workload so each worker traces and prepares a
+        workload at most once (and shared-prefix batching stays intact
+        within the shard). When there are fewer workloads than workers,
+        the largest shards split — duplicated workload preparation in
+        exchange for occupancy, a good trade once the trace cache is
+        shared on disk.
+        """
+        if not cells:
+            return []
+        by_workload: dict[str, list] = {}
+        order: list[str] = []
+        for cell in cells:
+            name = cell[1].name
+            if name not in by_workload:
+                by_workload[name] = []
+                order.append(name)
+            by_workload[name].append(cell)
+        shards = [by_workload[name] for name in order]
+        while len(shards) < self.workers:
+            largest = max(shards, key=len)
+            if len(largest) < 2:
+                break
+            shards.remove(largest)
+            half = len(largest) // 2
+            shards.extend([largest[:half], largest[half:]])
+        rng = random.Random(self.retry.seed)
+        rng.shuffle(shards)
+        return shards
+
+    def _run_parallel(
+        self, grid, journalled, tel, progress, pending
+    ) -> CampaignResult:
+        """Fan the grid out over a process pool, shard by shard."""
+        results: dict[str, CellOutcome] = {}
+        run_cells = []
+        for design, workload, key in grid:
+            prior = journalled.get(key)
+            if prior is not None and prior.status == STATUS_OK:
+                outcome = CellOutcome(
+                    key=key, design=design.name, workload=workload.name,
+                    status=STATUS_OK, attempts=0, duration_s=0.0,
+                    evaluation=prior.load_evaluation(), from_journal=True,
+                )
+                results[key] = outcome
+                self._record_outcome(tel, progress, pending, outcome)
+            else:
+                run_cells.append((design, workload, key))
+
+        shards = self._shards(run_cells)
+        telemetry_root = (
+            tel.directory if isinstance(tel, Telemetry) else None
+        )
+        payloads = []
+        for index, shard in enumerate(shards):
+            workload = shard[0][1]
+            worker_dir = (
+                str(telemetry_root / f"worker-{index}")
+                if telemetry_root is not None
+                else None
+            )
+            payloads.append({
+                "worker_index": index,
+                "runner_args": {
+                    "scale": self.runner.scale,
+                    "seed": self.runner.seed,
+                    "reference": getattr(self.runner, "reference", None),
+                    "local_factor": getattr(
+                        self.runner, "local_factor", 0.0
+                    ),
+                    "trace_cache_dir": getattr(
+                        self.runner, "trace_cache_dir", None
+                    ),
+                    "drain": getattr(self.runner, "drain", False),
+                },
+                "retry": self.retry,
+                "cell_timeout_s": self.cell_timeout_s,
+                "share_prefixes": self.share_prefixes,
+                "telemetry_dir": worker_dir,
+                "workload": workload,
+                "cells": [(design, key) for design, _, key in shard],
+            })
+        tel.event(
+            "sweep_parallel", workers=self.workers, shards=len(payloads),
+            cells=len(run_cells),
+        )
+
+        abort = False
+        if not payloads:
+            return CampaignResult(
+                outcomes=[results[key] for _, _, key in grid],
+                seed=self.retry.seed,
+            )
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = {
+                pool.submit(_run_shard, payload): payload
+                for payload in payloads
+            }
+            for future in as_completed(futures):
+                payload = futures[future]
+                if future.cancelled():
+                    continue
+                error: BaseException | None = None
+                try:
+                    records = future.result()
+                except Exception as exc:
+                    error = exc
+                    records = [
+                        {
+                            "key": key, "design": design.name,
+                            "workload": payload["workload"].name,
+                            "status": STATUS_FAILED, "attempts": 1,
+                            "duration_s": 0.0,
+                            "error": "worker process failed: "
+                            + format_exception_chain(exc),
+                            "evaluation": None,
+                        }
+                        for design, key in payload["cells"]
+                    ]
+                shard_failed = False
+                for record in records:
+                    outcome = _outcome_from_record(record)
+                    results[outcome.key] = outcome
+                    self._record_outcome(tel, progress, pending, outcome)
+                    if self.journal is not None:
+                        self.journal.append(
+                            JournalEntry(
+                                key=outcome.key, design=outcome.design,
+                                workload=outcome.workload,
+                                scale=self.runner.scale,
+                                seed=self.runner.seed,
+                                status=outcome.status,
+                                attempts=outcome.attempts,
+                                duration_s=outcome.duration_s,
+                                error=outcome.error,
+                                evaluation=record["evaluation"],
+                            )
+                        )
+                    if not outcome.ok:
+                        shard_failed = True
+                tel.event(
+                    "worker_finished",
+                    worker=payload["worker_index"],
+                    workload=payload["workload"].name,
+                    cells=len(records), crashed=error is not None,
+                )
+                if shard_failed and not self.keep_going and not abort:
+                    abort = True
+                    for other in futures:
+                        other.cancel()
+
+        outcomes: list[CellOutcome] = []
+        for design, workload, key in grid:
+            outcome = results.get(key)
+            if outcome is None:
+                outcome = CellOutcome(
+                    key=key, design=design.name, workload=workload.name,
+                    status=STATUS_SKIPPED, attempts=0, duration_s=0.0,
+                    error="skipped: an earlier cell failed and "
+                          "keep_going is off",
+                )
+                self._record_outcome(tel, progress, pending, outcome)
+            outcomes.append(outcome)
+        return CampaignResult(outcomes=outcomes, seed=self.retry.seed)
+
+
+def _outcome_from_record(record: dict) -> CellOutcome:
+    """Rebuild a :class:`CellOutcome` from a worker's serialized record."""
+    evaluation = record.get("evaluation")
+    if evaluation is not None:
+        evaluation = Evaluation(**evaluation)
+    return CellOutcome(
+        key=record["key"], design=record["design"],
+        workload=record["workload"], status=record["status"],
+        attempts=record["attempts"], duration_s=record["duration_s"],
+        error=record.get("error"), evaluation=evaluation,
+    )
+
+
+def _run_shard(payload: dict) -> list[dict]:
+    """Evaluate one workload-affine shard in a worker process.
+
+    Builds a fresh :class:`~repro.experiments.runner.Runner` from the
+    parent's parameters (workers share the on-disk trace cache, not
+    in-memory state), batch-simulates the shard's designs with shared
+    prefixes, then runs each cell under the parent's retry policy and
+    deadline with full fault isolation. Returns JSON-serializable
+    records; live exception objects stay in the worker.
+    """
+    from repro.experiments.runner import Runner
+
+    telemetry: Telemetry | NullTelemetry = (
+        Telemetry(payload["telemetry_dir"])
+        if payload["telemetry_dir"]
+        else NULL_TELEMETRY
+    )
+    # The fork start method inherits the parent's active telemetry,
+    # which must not be shared across processes (torn event lines,
+    # clobbered snapshots); each worker writes its own directory or
+    # nothing.
+    set_active(telemetry)
+    try:
+        runner = Runner(telemetry=telemetry, **payload["runner_args"])
+        child = SweepExecutor(
+            runner,
+            retry=payload["retry"],
+            cell_timeout_s=payload["cell_timeout_s"],
+            keep_going=True,
+            journal=None,
+            resume=False,
+            telemetry=telemetry,
+            share_prefixes=payload["share_prefixes"],
+        )
+        workload = payload["workload"]
+        cells = payload["cells"]
+        if payload["share_prefixes"] and payload["cell_timeout_s"] is None:
+            try:
+                runner.simulate_designs(
+                    [design for design, _ in cells], workload
+                )
+            except Exception:
+                # Cells fall back to per-cell simulation below, where
+                # failures are retried and recorded properly.
+                pass
+        records = []
+        for design, key in cells:
+            with telemetry.span(
+                "sweep.cell", design=design.name, workload=workload.name
+            ):
+                outcome = child._run_cell(design, workload, key)
+            records.append({
+                "key": outcome.key,
+                "design": outcome.design,
+                "workload": outcome.workload,
+                "status": outcome.status,
+                "attempts": outcome.attempts,
+                "duration_s": outcome.duration_s,
+                "error": outcome.error,
+                "evaluation": (
+                    None if outcome.evaluation is None
+                    else dataclasses.asdict(outcome.evaluation)
+                ),
+            })
+        return records
+    finally:
+        set_active(None)
+        telemetry.close()

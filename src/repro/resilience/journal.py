@@ -41,26 +41,37 @@ def cell_key(
     workload_name: str,
     scale: float,
     seed: int,
+    drain: bool = False,
 ) -> str:
-    """Content hash identifying one (design, workload, scale, seed) cell."""
-    canonical = json.dumps(
-        {
-            "design": design_name,
-            "sim_key": sim_key,
-            "workload": workload_name,
-            "scale": scale,
-            "seed": seed,
-        },
-        sort_keys=True,
-    )
+    """Content hash identifying one (design, workload, scale, seed) cell.
+
+    ``drain`` enters the hash only when True, so journals written
+    before drain-mode existed keep their keys and resume cleanly.
+    """
+    payload = {
+        "design": design_name,
+        "sim_key": sim_key,
+        "workload": workload_name,
+        "scale": scale,
+        "seed": seed,
+    }
+    if drain:
+        payload["drain"] = True
+    canonical = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(canonical.encode()).hexdigest()[:24]
 
 
 def cell_key_for(
-    design: "MemoryDesign", workload: "Workload", scale: float, seed: int
+    design: "MemoryDesign",
+    workload: "Workload",
+    scale: float,
+    seed: int,
+    drain: bool = False,
 ) -> str:
     """:func:`cell_key` from live design/workload objects."""
-    return cell_key(design.name, design.sim_key(), workload.name, scale, seed)
+    return cell_key(
+        design.name, design.sim_key(), workload.name, scale, seed, drain
+    )
 
 
 @dataclass(frozen=True)

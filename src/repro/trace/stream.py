@@ -191,6 +191,18 @@ class AddressStream:
     def __len__(self) -> int:
         return self._events
 
+    @property
+    def nbytes(self) -> int:
+        """Resident memory of the stored arrays (flushed chunks plus the
+        live write buffer) — what a captured stream costs to keep around."""
+        total = sum(
+            c.addresses.nbytes + c.sizes.nbytes + c.is_store.nbytes
+            for c in self._chunks
+        )
+        return total + (
+            self._buf_addr.nbytes + self._buf_size.nbytes + self._buf_kind.nbytes
+        )
+
     def chunks(self) -> Iterator[AccessBatch]:
         """Iterate over the stream's batches in order.
 
