@@ -32,6 +32,13 @@ class CacheConfig:
             behaviour faithful when capacity scaling collapses the set
             count.
         policy: replacement policy name ("lru", "fifo", "random").
+        engine: simulation engine for this level. ``"auto"`` (the
+            default) picks the set-parallel vectorized engine for
+            non-sectored LRU levels and the scalar loop otherwise;
+            ``"scalar"`` forces the reference Python loop; ``"setpar"``
+            asserts the vectorized engine (invalid for levels it cannot
+            simulate). Engines are bit-identical — the knob only affects
+            speed, never statistics or emitted requests.
     """
 
     name: str
@@ -41,6 +48,7 @@ class CacheConfig:
     sector_size: int | None = None
     hashed_sets: bool = False
     policy: str = "lru"
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -73,6 +81,16 @@ class CacheConfig:
             )
         if self.policy not in ("lru", "fifo", "random"):
             raise ConfigError(f"{self.name}: unknown replacement policy {self.policy!r}")
+        if self.engine not in ("auto", "scalar", "setpar"):
+            raise ConfigError(
+                f"{self.name}: unknown engine {self.engine!r} "
+                "(expected 'auto', 'scalar' or 'setpar')"
+            )
+        if self.engine == "setpar" and not supports_setpar(self):
+            raise ConfigError(
+                f"{self.name}: engine='setpar' requires a non-sectored LRU "
+                "level (use engine='auto' to fall back where unsupported)"
+            )
 
     @property
     def num_blocks(self) -> int:
@@ -110,3 +128,34 @@ class CacheConfig:
             f"{self.name} {format_bytes(self.capacity)} "
             f"{self.associativity}-way {format_bytes(self.block_size)} {self.policy}"
         )
+
+
+def supports_setpar(config: CacheConfig) -> bool:
+    """True iff the set-parallel engine can simulate this level.
+
+    The vectorized rounds implement exact MRU promotion over whole-block
+    dirty state, so only non-sectored LRU levels qualify; FIFO/Random go
+    through pluggable policy objects and sectored levels track per-sector
+    dirty state, both of which stay on the scalar loop.
+    """
+    sectored = (
+        config.sector_size is not None
+        and config.sector_size < config.block_size
+    )
+    return config.policy == "lru" and not sectored
+
+
+def with_engine(config: CacheConfig, engine: str) -> CacheConfig:
+    """``config`` with the engine knob applied where the level supports it.
+
+    Forcing ``"setpar"`` on a level the vectorized engine cannot simulate
+    (sectored or non-LRU) keeps that level on ``"auto"`` — which resolves
+    to the scalar loop there — instead of raising, so a design- or
+    sweep-wide ``--engine setpar`` remains usable on hierarchies that mix
+    SRAM levels with sectored page caches.
+    """
+    if engine == "setpar" and not supports_setpar(config):
+        engine = "auto"
+    if engine == config.engine:
+        return config
+    return replace(config, engine=engine)

@@ -8,8 +8,6 @@ to the NVM performance/energy asymmetry model.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.cache.stats import LevelStats
 from repro.trace.events import AccessBatch
 
@@ -31,14 +29,7 @@ class MainMemory:
         if n == 0:
             return AccessBatch.empty()
         stats = self.stats
-        n_stores = int(np.count_nonzero(batch.is_store))
-        n_loads = n - n_stores
-        stats.loads += n_loads
-        stats.stores += n_stores
-        sizes64 = batch.sizes.astype(np.int64)
-        store_bytes = int(sizes64[batch.is_store != 0].sum())
-        stats.store_bits += 8 * store_bytes
-        stats.load_bits += 8 * (int(sizes64.sum()) - store_bytes)
+        n_loads, n_stores = stats.account_batch(batch)
         # Memory always "hits".
         stats.load_hits += n_loads
         stats.store_hits += n_stores

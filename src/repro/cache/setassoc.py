@@ -16,6 +16,24 @@ Design notes (performance):
 - LRU (the paper's policy) is specialized inline with per-set Python
   lists; other policies go through the pluggable
   :mod:`~repro.cache.replacement` engines.
+- The serial dependence exists only *within* a set, which the
+  set-parallel engine (``engine="setpar"``, picked automatically for
+  non-sectored LRU levels) exploits: runs are stable-sorted by set
+  index and simulated in *rounds* — round ``r`` takes the ``r``-th run
+  of every active set and advances all of them at once against a
+  ``(touched_sets x ways)`` matrix of packed tags
+  (``block << 1 | dirty``) plus a timestamp matrix. LRU order is kept
+  as timestamps (a way touched in round ``r`` is stamped ``r``;
+  pre-batch residents carry their list position as a negative stamp,
+  empty ways even more negative ones), so a broadcast tag compare
+  yields hits, ``argmin`` over the stamps yields the exact LRU victim,
+  and promotion is a single stamp scatter instead of a permutation.
+  Emitted fills/writebacks are scattered back into original occurrence
+  order via the runs' source indices, so the engine is bit-identical
+  to the scalar loop — statistics, emitted batches, and end state.
+  Rounds with fewer than ``SETPAR_MIN_LANES`` active sets (skewed
+  tails, tiny scaled caches) are handed back to the scalar loop, which
+  is faster at low lane counts.
 
 Semantics: write-back, write-allocate. A store to an absent block
 fills it (counted as a miss of store kind) and marks it dirty; evicting
@@ -29,12 +47,31 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cache.config import CacheConfig
+from repro.cache.config import CacheConfig, supports_setpar
 from repro.cache.replacement import make_policy
 from repro.cache.stats import LevelStats
 from repro.errors import SimulationError
+from repro.telemetry.core import get_active
 from repro.trace.events import ADDR_DTYPE, KIND_DTYPE, SIZE_DTYPE, AccessBatch
 from repro.units import log2_int
+
+#: Minimum active sets per round for the vectorized step to beat the
+#: scalar loop (each round costs ~two dozen small numpy calls, so thin
+#: rounds lose). Rounds below this lane count — and whole batches on
+#: caches with fewer sets — fall back to the scalar loop. Module-level
+#: so tests can force the vector path on tiny caches.
+SETPAR_MIN_LANES = 32
+
+#: Empty-way marker in the packed tag matrix (``block << 1 | dirty``).
+#: Unambiguous as long as every block number stays below
+#: ``2**63 - 1``; the engine flips itself to the scalar loop for good
+#: the moment a batch violates that (see ``_setpar_unsafe``).
+_SENTINEL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: Largest block number the packed-tag scheme can represent. Blocks at
+#: or above this (possible only with sub-2-byte block sizes, or literal
+#: all-ones addresses) would collide with the sentinel once packed.
+_MAX_PACKABLE = np.uint64(0x7FFFFFFFFFFFFFFE)
 
 
 class SetAssociativeCache:
@@ -68,6 +105,18 @@ class SetAssociativeCache:
             self._policy = make_policy(
                 config.policy, config.num_sets, config.associativity
             )
+        if config.engine == "scalar":
+            self._engine = "scalar"
+        else:
+            # "setpar" is validated against the config; "auto" picks it
+            # wherever it is supported (it degrades to the scalar loop
+            # per batch when set-parallelism cannot pay off).
+            self._engine = "setpar" if supports_setpar(config) else "scalar"
+        self._engine_announced = False
+        # Sticky safety latch: once a block number too large for the
+        # packed-tag scheme has been seen (and may therefore be
+        # resident), every later batch must take the scalar loop too.
+        self._setpar_unsafe = False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -83,10 +132,23 @@ class SetAssociativeCache:
         """Allocation granularity in bytes."""
         return self.config.block_size
 
+    @property
+    def engine(self) -> str:
+        """Resolved simulation engine ("scalar" or "setpar")."""
+        return self._engine
+
     def _set_index(self, block: int) -> int:
-        """Set index of a block (bit-sliced, or multiplicative hash)."""
+        """Set index of a block (bit-sliced, or multiplicative hash).
+
+        The hashed form masks the product to 64 bits *before* shifting:
+        the masked set bits live in bits 15..15+set_bits, so this is
+        bit-identical to the vectorized uint64 wrap-around form, and it
+        keeps scalar probes off Python's big-int allocator.
+        """
         if self._hashed:
-            return ((block * 2654435761) >> 15) & self._set_mask
+            return (
+                ((block * 2654435761) & 0xFFFFFFFFFFFFFFFF) >> 15
+            ) & self._set_mask
         return block & self._set_mask
 
     def resident_blocks(self) -> int:
@@ -119,6 +181,7 @@ class SetAssociativeCache:
         self.stats = LevelStats(name=self.config.name)
         self._dirty.clear()
         self._dirty_sectors.clear()
+        self._setpar_unsafe = False
         if self._is_lru:
             self._sets = [[] for _ in range(self.config.num_sets)]
         else:
@@ -146,15 +209,21 @@ class SetAssociativeCache:
         if n == 0:
             return AccessBatch.empty()
 
+        tel = get_active()
+        if tel.enabled and not self._engine_announced:
+            self._engine_announced = True
+            tel.event(
+                "engine_selected",
+                level=self.config.name,
+                engine=self._engine,
+                policy=self.config.policy,
+                sets=self.config.num_sets,
+                ways=self.config.associativity,
+            )
+
         stats = self.stats
         is_store = batch.is_store
-        n_stores = int(np.count_nonzero(is_store))
-        stats.loads += n - n_stores
-        stats.stores += n_stores
-        sizes64 = batch.sizes.astype(np.int64)
-        store_bytes = int(sizes64[is_store != 0].sum())
-        stats.store_bits += 8 * store_bytes
-        stats.load_bits += 8 * (int(sizes64.sum()) - store_bytes)
+        n_loads, n_stores = stats.account_batch(batch)
 
         # Run-length collapse: one probe per run of equal units. The
         # unit is the block, or the sector for sectored caches (so the
@@ -164,15 +233,37 @@ class SetAssociativeCache:
         change = np.empty(n, dtype=bool)
         change[0] = True
         np.not_equal(units[1:], units[:-1], out=change[1:])
-        starts = np.flatnonzero(change)
-        counts = np.diff(starts, append=n)
-        store_cum = np.concatenate(
-            [[0], np.cumsum(is_store, dtype=np.int64)]
-        )
-        run_stores = store_cum[starts + counts] - store_cum[starts]
-        run_units = units[starts]
-        first_store = is_store[starts]
-        run_loads = counts - run_stores
+        n_runs = int(np.count_nonzero(change))
+        if n_runs == n or (
+            not self._sectored
+            and self._is_lru
+            and self._engine == "setpar"
+            and n_runs * 4 > 3 * n
+        ):
+            # Every access (or nearly every access — random-access
+            # traffic) is its own run. The run arrays are the event
+            # arrays themselves, no gathers needed. For the set-
+            # parallel engine this is exact even when short runs
+            # remain: simulating a run's accesses one by one gives the
+            # identical fill, writeback, dirty, and per-type hit/miss
+            # outcome — the first access misses or hits for the run,
+            # the rest hit and promote — so collapse is purely a
+            # throughput lever, worthwhile only when it shrinks the
+            # batch substantially.
+            run_units = units
+            run_stores = is_store
+            first_store = is_store
+            run_loads = np.subtract(1, is_store, dtype=np.int64)
+        else:
+            starts = np.flatnonzero(change)
+            counts = np.diff(starts, append=n)
+            store_cum = np.empty(n + 1, dtype=np.int64)
+            store_cum[0] = 0
+            np.cumsum(is_store, dtype=np.int64, out=store_cum[1:])
+            run_stores = store_cum[starts + counts] - store_cum[starts]
+            run_units = units[starts]
+            first_store = is_store[starts]
+            run_loads = counts - run_stores
 
         # Set indices, vectorized. The serial loops used to evaluate
         # ``(blk * 2654435761) >> 15 & mask`` per run in Python — the
@@ -207,6 +298,23 @@ class SetAssociativeCache:
                 np.asarray(out_units, dtype=ADDR_DTYPE),
                 np.asarray(out_sizes, dtype=SIZE_DTYPE),
                 np.asarray(out_kinds, dtype=KIND_DTYPE),
+            )
+
+        if self._is_lru and self._engine == "setpar":
+            out_blocks_arr, out_kinds_arr = self._process_runs_setpar(
+                run_units, run_sets, run_loads, run_stores, first_store,
+                n_loads, n_stores, tel,
+            )
+            if not len(out_blocks_arr):
+                return AccessBatch.empty()
+            return AccessBatch(
+                out_blocks_arr << np.uint64(self._block_bits),
+                np.full(
+                    len(out_blocks_arr),
+                    self.config.block_size,
+                    dtype=SIZE_DTYPE,
+                ),
+                out_kinds_arr,
             )
 
         if self._is_lru:
@@ -380,6 +488,393 @@ class SetAssociativeCache:
         stats.store_misses += sm
         stats.writebacks += wb
         stats.fills += fills
+        return out_blocks, out_kinds
+
+    def _setpar_fallback(self, run_blocks, run_sets, run_loads, run_stores,
+                         first_store):
+        """Whole-batch scalar fallback for the setpar engine (list args
+        converted once; stats handled by the scalar loop)."""
+        out_blocks, out_kinds = self._process_runs_lru(
+            run_blocks.tolist(),
+            run_sets.tolist(),
+            run_loads.tolist(),
+            run_stores.tolist(),
+            first_store.tolist(),
+        )
+        return (
+            np.asarray(out_blocks, dtype=ADDR_DTYPE),
+            np.asarray(out_kinds, dtype=KIND_DTYPE),
+        )
+
+    def _process_runs_setpar(
+        self, run_blocks, run_sets, run_loads, run_stores, first_store,
+        n_loads, n_stores, tel,
+    ):
+        """Set-parallel LRU rounds (see the module docstring).
+
+        Arguments arrive as the vectorized arrays from :meth:`process`.
+        Returns ``(blocks, kinds)`` arrays in the exact emission order
+        of the scalar loop: each run's fill precedes the writeback of
+        the victim it displaced, and runs emit in occurrence order.
+        """
+        n = len(run_blocks)
+        min_lanes = SETPAR_MIN_LANES
+        # Latch unsafety first: a too-large block can become resident
+        # through the fallback batch that carries it, so every later
+        # batch must stay scalar too, not just this one.
+        if not self._setpar_unsafe and bool(
+            (run_blocks > _MAX_PACKABLE).any()
+        ):
+            self._setpar_unsafe = True
+        # A cache with fewer sets than the lane floor can never fill a
+        # profitable round; neither can a batch with fewer runs.
+        if (
+            self._setpar_unsafe
+            or self.config.num_sets < min_lanes
+            or n < min_lanes
+        ):
+            if tel.enabled:
+                tel.counter(
+                    "repro_engine_runs", level=self.config.name, path="scalar"
+                ).inc(n)
+            return self._setpar_fallback(
+                run_blocks, run_sets, run_loads, run_stores, first_store
+            )
+
+        # Group runs by set. Double stable argsort — by set, then by
+        # within-set rank — makes round r the contiguous slice
+        # [seg[r], seg[r+1]) of `orig`, ordered by ascending set index,
+        # holding the r-th run of every set that has one. 16-bit set
+        # keys take numpy's radix path (~6x faster than the comparison
+        # sort on wider keys); setpar caches rarely exceed a few
+        # thousand sets, so the wide fallback is cold.
+        num_sets = self.config.num_sets
+        key_dtype = np.int16 if num_sets <= (1 << 15) else np.int32
+        rs = run_sets.astype(key_dtype)
+        order = np.argsort(rs, kind="stable")
+        counts_all = np.bincount(rs, minlength=num_sets)
+        touched = np.flatnonzero(counts_all)
+        m = len(touched)
+        counts = counts_all[touched]
+        starts = np.zeros(m, dtype=np.int64)
+        np.cumsum(counts[:-1], out=starts[1:])
+        ranks = np.arange(n, dtype=np.int32)
+        ranks -= np.repeat(starts.astype(np.int32), counts)
+        lanes = np.bincount(ranks)
+        # lanes[r] (active sets in round r) is non-increasing, so the
+        # profitable prefix of rounds is a binary search away.
+        vec_rounds = int(np.searchsorted(-lanes, -min_lanes, side="right"))
+        if vec_rounds == 0:
+            if tel.enabled:
+                tel.counter(
+                    "repro_engine_runs", level=self.config.name, path="scalar"
+                ).inc(n)
+            return self._setpar_fallback(
+                run_blocks, run_sets, run_loads, run_stores, first_store
+            )
+
+        orig = order[np.argsort(ranks, kind="stable")]
+        seg = np.zeros(len(lanes) + 1, dtype=np.int64)
+        np.cumsum(lanes, out=seg[1:])
+        n_vec = int(seg[vec_rounds])
+        orig_v = orig[:n_vec]
+        blks = run_blocks[orig_v]
+        # Per-lane store bit, widened once to uint64 so the round
+        # loop's bitwise ops never pay a per-call bool cast.
+        hs = (run_stores[orig_v] != 0).astype(np.uint64)
+        # Packed per-lane query (block << 1) and fill value (query with
+        # the has-store dirty bit folded in).
+        b2s = blks << np.uint64(1)
+        b2h = b2s | hs
+        ways = self.config.associativity
+        # Rounds where every touched set is active use the matrices
+        # unsliced; only the partial-round suffix of lanes needs the
+        # set-id -> matrix-row mapping, built via a small scatter table
+        # (cheaper than a searchsorted over every lane).
+        full_rounds = int(np.searchsorted(-lanes, -m, side="right"))
+        full_rounds = min(full_rounds, vec_rounds)
+        p0 = int(seg[full_rounds])
+        if p0 < n_vec:
+            remap = np.empty(num_sets, dtype=np.intp)
+            remap[touched] = np.arange(m, dtype=np.intp)
+            rows_part = remap[rs[orig_v[p0:]]]
+            rowsW_part = rows_part * ways
+        else:
+            rows_part = rowsW_part = None
+
+        sets = self._sets
+        dirty = self._dirty
+        touched_list = touched.tolist()
+
+        # Gather the touched rows into a packed tag matrix
+        # (block << 1 | dirty; sentinel pads the empty ways) and seed
+        # the timestamp matrix: resident way j carries stamp -(j+1), so
+        # stamps decrease from MRU to LRU, and the unused suffix
+        # continues the pattern — always more negative than any
+        # resident, so argmin fills empty ways before evicting, exactly
+        # like the scalar loop.
+        pad = [0xFFFFFFFFFFFFFFFF] * ways
+        packed = []
+        old_dirty: list[int] = []
+        if dirty:
+            for sidx in touched_list:
+                prow = []
+                ap = prow.append
+                for b in sets[sidx]:
+                    if b in dirty:
+                        ap((b << 1) | 1)
+                        old_dirty.append(b)
+                    else:
+                        ap(b << 1)
+                packed.append(prow + pad[len(prow):])
+        else:
+            for sidx in touched_list:
+                row = sets[sidx]
+                packed.append([b << 1 for b in row] + pad[len(row):])
+        tags = np.array(packed, dtype=np.uint64)
+        tags_f = tags.reshape(-1)
+        # int32 stamps: rounds per batch stay far below 2**31, and the
+        # narrower rows compare/scan faster.
+        stamp = np.empty((m, ways), dtype=np.int32)
+        stamp[:] = np.arange(-1, -ways - 1, -1, dtype=np.int32)
+        stamp_f = stamp.reshape(-1)
+
+        # Round loop. Every numpy call here costs ~1 us regardless of
+        # lane count, so the loop body is op-count-austere and works on
+        # packed tags only: a way matches its lane's block iff
+        # tag XOR (block << 1) <= 1 (equal up to the dirty bit; the
+        # sentinel XORs to at least 3 against any packable query). Hit
+        # way and LRU victim collapse into ONE argmin over a score
+        # matrix (the stamps, with matching ways dropped far below
+        # every real stamp): a hit way, when present, always scores
+        # lowest; otherwise argmin lands on the scalar loop's victim —
+        # the emptiest or least-recent way. The chosen way's old tag
+        # then yields the miss flag by the same XOR test, and the
+        # promoted/filled value builds hit-first (old tag OR store bit,
+        # overwritten with the fill value on miss lanes). Every op
+        # writes into a preallocated buffer, and per-lane miss flags
+        # and packed victims land in batch-long arrays so fills,
+        # writebacks, and miss counts reduce to single vectorized
+        # passes afterward. Rounds where every touched set is active —
+        # the whole prefix under uniform traffic — iterate reshaped
+        # (rounds x m) views via zip, skipping per-round slicing and
+        # the row gathers entirely.
+        one_u = np.uint64(1)
+        # Scalar-operand ufunc calls pay a per-call boxing cost, so the
+        # masked-minimum source and the comparison threshold are small
+        # preallocated arrays instead.
+        neg_big = np.full((m, ways), -(1 << 30), dtype=np.int32)
+        ones_v = np.full(m, 1, dtype=np.uint64)
+        xm = np.empty((m, ways), dtype=np.uint64)
+        eq = np.empty((m, ways), dtype=bool)
+        bg = np.empty((m, ways), dtype=np.uint64)
+        sg = np.empty((m, ways), dtype=np.int32)
+        cw = np.empty(m, dtype=np.intp)
+        gi = np.empty(m, dtype=np.intp)
+        pv = np.empty(m, dtype=np.uint64)
+        tq = np.empty(m, dtype=np.uint64)
+        localoff = np.arange(m, dtype=np.intp) * ways
+        miss_all = np.empty(n_vec, dtype=bool)
+        victims_all = np.empty(n_vec, dtype=np.uint64)
+        add = np.add
+        xor = np.bitwise_xor
+        less_equal = np.less_equal
+        greater = np.greater
+        copyto = np.copyto
+        bor = np.bitwise_or
+        take_t = tags_f.take
+        if full_rounds:
+            nf = full_rounds
+            # The poison below lands only on the matched way of hit
+            # lanes — exactly the way argmin then chooses — so the
+            # end-of-round stamp scatter heals every poisoned entry and
+            # the persistent stamp matrix needs no scratch copy.
+            for b2d, b2sv, hsv, bhv, msv, vvv, rv in zip(
+                b2s[:p0].reshape(nf, m, 1),
+                b2s[:p0].reshape(nf, m),
+                hs[:p0].reshape(nf, m),
+                b2h[:p0].reshape(nf, m),
+                miss_all[:p0].reshape(nf, m),
+                victims_all[:p0].reshape(nf, m),
+                np.arange(nf, dtype=np.int32).reshape(nf, 1),
+            ):
+                xor(tags, b2d, out=xm)
+                less_equal(xm, one_u, out=eq)
+                copyto(stamp, neg_big, where=eq)
+                stamp.argmin(axis=1, out=cw)
+                add(cw, localoff, out=gi)
+                take_t(gi, out=vvv)
+                xor(vvv, b2sv, out=tq)
+                greater(tq, ones_v, out=msv)
+                bor(vvv, hsv, out=pv)
+                copyto(pv, bhv, where=msv)
+                tags_f[gi] = pv
+                stamp_f[gi] = rv
+        b2s2d = b2s[:, None]
+        seg_l = seg.tolist()
+        for r in range(full_rounds, vec_rounds):
+            lo = seg_l[r]
+            hi = seg_l[r + 1]
+            L = hi - lo
+            lr = rows_part[lo - p0:hi - p0]
+            tg = tags.take(lr, axis=0, out=bg[:L])
+            sm = stamp.take(lr, axis=0, out=sg[:L])
+            xmv = xm[:L]
+            eqv = eq[:L]
+            cwv = cw[:L]
+            giv = gi[:L]
+            pvv = pv[:L]
+            tqv = tq[:L]
+            msv = miss_all[lo:hi]
+            vvv = victims_all[lo:hi]
+            xor(tg, b2s2d[lo:hi], out=xmv)
+            less_equal(xmv, one_u, out=eqv)
+            # sm is already a gathered copy, so poisoning it in place
+            # needs no heal.
+            copyto(sm, neg_big[:L], where=eqv)
+            sm.argmin(axis=1, out=cwv)
+            add(cwv, rowsW_part[lo - p0:hi - p0], out=giv)
+            take_t(giv, out=vvv)
+            xor(vvv, b2s[lo:hi], out=tqv)
+            greater(tqv, ones_v[:L], out=msv)
+            bor(vvv, hs[lo:hi], out=pvv)
+            copyto(pvv, b2h[lo:hi], where=msv)
+            tags_f[giv] = pvv
+            stamp_f[giv] = r
+
+        one = np.uint64(1)
+        # Index-based compaction: flatnonzero + take walk the mask once,
+        # where boolean fancy indexing would re-scan it per gather.
+        mi = np.flatnonzero(miss_all)
+        fill_v = orig_v.take(mi)
+        # A writeback needs a real (non-sentinel) victim whose packed
+        # dirty bit is set; the sentinel's low bit is 1, so both checks
+        # are required. Misses are typically a small fraction of lanes,
+        # so reduce over the compacted victims rather than every lane.
+        vmiss = victims_all.take(mi)
+        wbm = vmiss != _SENTINEL
+        wbm &= (vmiss & one) != 0
+        wi = np.flatnonzero(wbm)
+        wb_v = fill_v.take(wi)
+        wb_blocks_v = vmiss.take(wi) >> one
+        n_sm = int(np.count_nonzero(first_store.take(fill_v)))
+
+        # Write the touched rows back to the canonical per-set lists
+        # before the scalar tail resumes mutating them in place. Stamps
+        # are unique per row (each round touches a set at most once),
+        # so descending-stamp order is the exact MRU-to-LRU list, with
+        # empty ways (most negative) sorted to the end.
+        ordw = np.argsort(stamp, axis=1)[:, ::-1]
+        t_sorted = np.take_along_axis(tags, ordw, axis=1)
+        occ = (t_sorted != _SENTINEL).sum(axis=1)
+        blocks_out = (t_sorted >> one).tolist()
+        for sidx, brow, o in zip(touched_list, blocks_out, occ.tolist()):
+            sets[sidx] = brow[:o]
+        dirty.difference_update(old_dirty)
+        db = (tags & one) != 0
+        db &= tags != _SENTINEL
+        dd = tags[db]
+        if len(dd):
+            dirty.update((dd >> one).tolist())
+
+        # Skewed tail: the remaining runs (rank >= vec_rounds) have too
+        # few active sets per round to vectorize. Global original-index
+        # order preserves per-set rank order (sets are independent), so
+        # the scalar loop below is exact.
+        tail_fill: list[int] = []
+        tail_wb: list[int] = []
+        tail_wb_blk: list[int] = []
+        if n_vec < n:
+            tail = np.sort(orig[n_vec:])
+            for j, blk, sidx, nst, fs in zip(
+                tail.tolist(),
+                run_blocks[tail].tolist(),
+                run_sets[tail].tolist(),
+                run_stores[tail].tolist(),
+                first_store[tail].tolist(),
+            ):
+                s = sets[sidx]
+                if blk in s:
+                    if s[0] != blk:
+                        s.remove(blk)
+                        s.insert(0, blk)
+                else:
+                    if fs:
+                        n_sm += 1
+                    tail_fill.append(j)
+                    s.insert(0, blk)
+                    if len(s) > ways:
+                        victim = s.pop()
+                        if victim in dirty:
+                            dirty.discard(victim)
+                            tail_wb.append(j)
+                            tail_wb_blk.append(victim)
+                if nst:
+                    dirty.add(blk)
+
+        fill_j = np.concatenate(
+            [fill_v, np.asarray(tail_fill, dtype=np.int64)]
+        )
+        wb_j = np.concatenate([wb_v, np.asarray(tail_wb, dtype=np.int64)])
+        wb_blocks = np.concatenate(
+            [wb_blocks_v, np.asarray(tail_wb_blk, dtype=np.uint64)]
+        )
+
+        n_fill = len(fill_j)
+        n_wb = len(wb_j)
+        lm = n_fill - n_sm
+        stats = self.stats
+        stats.load_hits += n_loads - lm
+        stats.load_misses += lm
+        stats.store_hits += n_stores - n_sm
+        stats.store_misses += n_sm
+        stats.writebacks += n_wb
+        stats.fills += n_fill
+
+        if tel.enabled:
+            name = self.config.name
+            tel.counter("repro_engine_rounds", level=name).inc(vec_rounds)
+            tel.counter("repro_engine_runs", level=name, path="vector").inc(n_vec)
+            tel.counter("repro_engine_runs", level=name, path="scalar").inc(
+                n - n_vec
+            )
+            tel.gauge("repro_engine_occupancy", level=name).set(
+                n_vec / vec_rounds
+            )
+
+        # Scatter emissions back into occurrence order. Every writeback
+        # rides on a fill of the same run, so an exclusive cumsum of
+        # per-run emission counts (0, 1, or 2) hands each run its first
+        # output slot: the fill lands there, the writeback right after.
+        # When emissions are dense (miss-heavy batches) this O(n)
+        # counting scatter beats the argsort; when they are sparse the
+        # argsort over just the emissions wins.
+        if (n_fill + n_wb) * 4 > n:
+            cnt = np.zeros(n, dtype=np.int8)
+            cnt[fill_j] = 1
+            cnt[wb_j] = 2
+            base = np.empty(n, dtype=np.int64)
+            base[0] = 0
+            np.cumsum(cnt[:-1], dtype=np.int64, out=base[1:])
+            out_blocks = np.empty(n_fill + n_wb, dtype=ADDR_DTYPE)
+            out_kinds = np.zeros(n_fill + n_wb, dtype=KIND_DTYPE)
+            fpos = base.take(fill_j)
+            wpos = base.take(wb_j) + 1
+            out_blocks[fpos] = run_blocks.take(fill_j)
+            out_blocks[wpos] = wb_blocks
+            out_kinds[wpos] = 1
+            return out_blocks, out_kinds
+        pos = np.concatenate([2 * fill_j, 2 * wb_j + 1])
+        emit_order = np.argsort(pos)
+        out_blocks = np.concatenate(
+            [run_blocks[fill_j].astype(ADDR_DTYPE, copy=False), wb_blocks]
+        )[emit_order]
+        out_kinds = np.concatenate(
+            [
+                np.zeros(n_fill, dtype=KIND_DTYPE),
+                np.ones(n_wb, dtype=KIND_DTYPE),
+            ]
+        )[emit_order]
         return out_blocks, out_kinds
 
     def _process_runs_generic(

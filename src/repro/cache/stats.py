@@ -9,6 +9,12 @@ per-bit dynamic energy model (Eq. 3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.trace.events import AccessBatch
 
 
 @dataclass
@@ -46,6 +52,33 @@ class LevelStats:
     store_misses: int = 0
     writebacks: int = 0
     fills: int = 0
+
+    def account_batch(self, batch: "AccessBatch") -> tuple[int, int]:
+        """Count an arriving request batch (demand accounting).
+
+        Adds the batch's load/store request counts and bit volumes to
+        the counters — the part of per-level accounting every device
+        shares, regardless of how it then simulates the requests.
+
+        Returns:
+            ``(n_loads, n_stores)`` of the batch, for the caller's own
+            hit/miss attribution.
+        """
+        is_store = batch.is_store
+        n_stores = int(np.count_nonzero(is_store))
+        n_loads = len(batch) - n_stores
+        self.loads += n_loads
+        self.stores += n_stores
+        sizes = batch.sizes
+        total_bytes = int(sizes.sum(dtype=np.int64))
+        # is_store is strictly 0/1 (see AccessBatch), so a multiply is
+        # an exact masked sum without the boolean-index copy.
+        store_bytes = int(
+            np.multiply(sizes, is_store, dtype=np.int64).sum(dtype=np.int64)
+        )
+        self.store_bits += 8 * store_bytes
+        self.load_bits += 8 * (total_bytes - store_bytes)
+        return n_loads, n_stores
 
     @property
     def accesses(self) -> int:

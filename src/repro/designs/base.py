@@ -14,7 +14,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
-from repro.cache.config import CacheConfig
+from repro.cache.config import CacheConfig, with_engine
 from repro.cache.hierarchy import Hierarchy
 from repro.cache.mainmem import MainMemory
 from repro.cache.partition import PartitionedMemory
@@ -88,9 +88,22 @@ class ReferenceSystem:
             l1c = l1c.scaled(0.5)
         return [l1c, l2c, l3c]
 
-    def build_caches(self, scale: float) -> list[SetAssociativeCache]:
-        """Fresh (cold) scaled SRAM cache instances."""
-        return [SetAssociativeCache(c) for c in self.scaled_configs(scale)]
+    def build_caches(
+        self, scale: float, engine: str = "auto"
+    ) -> list[SetAssociativeCache]:
+        """Fresh (cold) scaled SRAM cache instances.
+
+        Args:
+            scale: capacity scale (see :meth:`scaled_configs`).
+            engine: simulation engine request applied to every level
+                (``"setpar"`` degrades to ``"auto"`` where unsupported;
+                both engines are bit-identical, so this never changes
+                results — only speed).
+        """
+        return [
+            SetAssociativeCache(with_engine(c, engine))
+            for c in self.scaled_configs(scale)
+        ]
 
     def bindings(self) -> dict[str, LevelBinding]:
         """mini-CACTI bindings for the full-size SRAM levels.
@@ -130,6 +143,11 @@ class MemoryDesign(ABC):
         scale: capacity scale applied to every simulated cache (see
             DESIGN.md §4); bindings always use full-size capacities.
         reference: the SRAM pyramid (defaults to Sandy Bridge).
+        engine: cache simulation engine request (``"auto"``,
+            ``"scalar"`` or ``"setpar"``), applied to every level the
+            design builds. Engines are bit-identical — this knob only
+            affects simulation speed, never statistics — so it is
+            deliberately *not* part of :meth:`sim_key`.
     """
 
     def __init__(
@@ -137,12 +155,19 @@ class MemoryDesign(ABC):
         name: str,
         scale: float = 1.0,
         reference: ReferenceSystem | None = None,
+        engine: str = "auto",
     ) -> None:
         if scale <= 0 or scale > 1:
             raise ConfigError(f"scale must be in (0, 1], got {scale}")
+        if engine not in ("auto", "scalar", "setpar"):
+            raise ConfigError(
+                f"unknown engine {engine!r}; expected 'auto', 'scalar' "
+                f"or 'setpar'"
+            )
         self.name = name
         self.scale = scale
         self.reference = reference or ReferenceSystem.sandy_bridge()
+        self.engine = engine
 
     # -- design-specific pieces -----------------------------------------
 
@@ -176,10 +201,20 @@ class MemoryDesign(ABC):
 
     # -- common machinery -------------------------------------------------
 
+    def make_cache(self, config: CacheConfig) -> SetAssociativeCache:
+        """A fresh cache for ``config`` honouring the design's engine.
+
+        ``with_engine`` downgrades an unsupported ``"setpar"`` request
+        (sectored or non-LRU levels) back to ``"auto"`` so sectored L4
+        page caches keep their scalar loop without the caller caring.
+        """
+        return SetAssociativeCache(with_engine(config, self.engine))
+
     def build(self) -> Hierarchy:
         """A fresh, cold, fully-assembled scaled hierarchy."""
         return Hierarchy(
-            self.reference.build_caches(self.scale) + self.lower_caches(),
+            self.reference.build_caches(self.scale, engine=self.engine)
+            + self.lower_caches(),
             self.memory(),
         )
 

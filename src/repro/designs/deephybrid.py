@@ -52,12 +52,14 @@ class DeepHybridDesign(MemoryDesign):
         dram_config: NConfig,
         scale: float = 1.0,
         reference: ReferenceSystem | None = None,
+        engine: str = "auto",
     ) -> None:
         super().__init__(
             f"DEEP-{cache_tech.name}-{nvm_tech.name}-"
             f"{l4_config.name}-{dram_config.name}",
             scale=scale,
             reference=reference,
+            engine=engine,
         )
         if not cache_tech.volatile:
             raise ConfigError(
@@ -98,8 +100,8 @@ class DeepHybridDesign(MemoryDesign):
             hashed_sets=True,
         )
         return [
-            SetAssociativeCache(l4.scaled(self.scale)),
-            SetAssociativeCache(dram_cache.scaled(self.scale)),
+            self.make_cache(l4.scaled(self.scale)),
+            self.make_cache(dram_cache.scaled(self.scale)),
         ]
 
     def memory(self) -> MainMemory:

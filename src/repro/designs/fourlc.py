@@ -35,9 +35,13 @@ class FourLCDesign(MemoryDesign):
         config: EHConfig,
         scale: float = 1.0,
         reference: ReferenceSystem | None = None,
+        engine: str = "auto",
     ) -> None:
         super().__init__(
-            f"4LC-{cache_tech.name}-{config.name}", scale=scale, reference=reference
+            f"4LC-{cache_tech.name}-{config.name}",
+            scale=scale,
+            reference=reference,
+            engine=engine,
         )
         if not cache_tech.volatile:
             raise ConfigError(
@@ -64,7 +68,7 @@ class FourLCDesign(MemoryDesign):
         )
 
     def lower_caches(self) -> list[SetAssociativeCache]:
-        return [SetAssociativeCache(self.l4_config().scaled(self.scale))]
+        return [self.make_cache(self.l4_config().scaled(self.scale))]
 
     def memory(self) -> MainMemory:
         return MainMemory(self.MEMORY_LEVEL)

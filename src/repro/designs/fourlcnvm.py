@@ -38,11 +38,13 @@ class FourLCNVMDesign(MemoryDesign):
         config: EHConfig,
         scale: float = 1.0,
         reference: ReferenceSystem | None = None,
+        engine: str = "auto",
     ) -> None:
         super().__init__(
             f"4LCNVM-{cache_tech.name}-{nvm_tech.name}-{config.name}",
             scale=scale,
             reference=reference,
+            engine=engine,
         )
         if not cache_tech.volatile:
             raise ConfigError(
@@ -70,7 +72,7 @@ class FourLCNVMDesign(MemoryDesign):
         )
 
     def lower_caches(self) -> list[SetAssociativeCache]:
-        return [SetAssociativeCache(self.l4_config().scaled(self.scale))]
+        return [self.make_cache(self.l4_config().scaled(self.scale))]
 
     def memory(self) -> MainMemory:
         return MainMemory(self.MEMORY_LEVEL)

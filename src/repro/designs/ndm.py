@@ -43,9 +43,13 @@ class NDMDesign(MemoryDesign):
         scale: float = 1.0,
         reference: ReferenceSystem | None = None,
         name: str | None = None,
+        engine: str = "auto",
     ) -> None:
         super().__init__(
-            name or f"NDM-{nvm_tech.name}", scale=scale, reference=reference
+            name or f"NDM-{nvm_tech.name}",
+            scale=scale,
+            reference=reference,
+            engine=engine,
         )
         self.nvm_tech = nvm_tech
         self.nvm_ranges = list(nvm_ranges)

@@ -38,9 +38,13 @@ class NMMDesign(MemoryDesign):
         config: NConfig,
         scale: float = 1.0,
         reference: ReferenceSystem | None = None,
+        engine: str = "auto",
     ) -> None:
         super().__init__(
-            f"NMM-{nvm_tech.name}-{config.name}", scale=scale, reference=reference
+            f"NMM-{nvm_tech.name}-{config.name}",
+            scale=scale,
+            reference=reference,
+            engine=engine,
         )
         if config.page_size < self.reference.line_size:
             raise ConfigError("DRAM cache page size must be >= the SRAM line size")
@@ -67,7 +71,7 @@ class NMMDesign(MemoryDesign):
         )
 
     def lower_caches(self) -> list[SetAssociativeCache]:
-        return [SetAssociativeCache(self.dram_cache_config().scaled(self.scale))]
+        return [self.make_cache(self.dram_cache_config().scaled(self.scale))]
 
     def memory(self) -> MainMemory:
         return MainMemory(self.MEMORY_LEVEL)

@@ -24,8 +24,9 @@ class ReferenceDesign(MemoryDesign):
         self,
         scale: float = 1.0,
         reference: ReferenceSystem | None = None,
+        engine: str = "auto",
     ) -> None:
-        super().__init__("REF", scale=scale, reference=reference)
+        super().__init__("REF", scale=scale, reference=reference, engine=engine)
 
     def lower_caches(self) -> list[SetAssociativeCache]:
         return []

@@ -66,7 +66,7 @@ def _parse_workloads(spec: str | None):
 DEFAULT_SWEEP_DESIGNS = "REF,NMM:PCM:N6,NMM:STTRAM:N6,4LC:EDRAM:EH4"
 
 
-def _parse_designs(spec: str, scale: float, reference):
+def _parse_designs(spec: str, scale: float, reference, engine: str = "auto"):
     """Build designs from a comma-separated spec.
 
     Grammar per item: ``REF`` | ``NMM:<TECH>:<N#>`` |
@@ -102,22 +102,24 @@ def _parse_designs(spec: str, scale: float, reference):
         kind = parts[0].upper()
         try:
             if kind == "REF" and len(parts) == 1:
-                designs.append(ReferenceDesign(scale=scale, reference=reference))
+                designs.append(ReferenceDesign(
+                    scale=scale, reference=reference, engine=engine,
+                ))
             elif kind == "NMM" and len(parts) == 3:
                 designs.append(NMMDesign(
                     tech(parts[1]), config(N_CONFIGS, parts[2].upper(), "N"),
-                    scale=scale, reference=reference,
+                    scale=scale, reference=reference, engine=engine,
                 ))
             elif kind == "4LC" and len(parts) == 3:
                 designs.append(FourLCDesign(
                     tech(parts[1]), config(EH_CONFIGS, parts[2].upper(), "EH"),
-                    scale=scale, reference=reference,
+                    scale=scale, reference=reference, engine=engine,
                 ))
             elif kind == "4LCNVM" and len(parts) == 4:
                 designs.append(FourLCNVMDesign(
                     tech(parts[1]), tech(parts[2]),
                     config(EH_CONFIGS, parts[3].upper(), "EH"),
-                    scale=scale, reference=reference,
+                    scale=scale, reference=reference, engine=engine,
                 ))
             else:
                 raise SystemExit(
@@ -148,7 +150,9 @@ def _run_resilient_sweep(args, runner: Runner, workloads) -> int:
                 f"error: journal {args.journal} already exists; pass "
                 f"--resume to continue that campaign or delete the file"
             )
-    designs = _parse_designs(args.designs, args.scale, runner.reference)
+    designs = _parse_designs(
+        args.designs, args.scale, runner.reference, engine=args.engine
+    )
     if workloads is None:
         workloads = [get_workload(name) for name in suite_names]
     from repro.telemetry.progress import ProgressReporter
@@ -274,6 +278,15 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="directory for persistent trace caching (repeat runs skip "
         "workload re-execution)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("auto", "scalar", "setpar"),
+        default="auto",
+        help="cache simulation engine: 'setpar' is the set-parallel "
+        "vectorized LRU fast path, 'scalar' the per-request loop, "
+        "'auto' (default) picks setpar where supported; results are "
+        "bit-identical either way",
     )
     parser.add_argument(
         "-v", "--verbose", action="store_true",
@@ -424,7 +437,7 @@ def _dispatch(args, workloads) -> int:
 
     runner = Runner(
         scale=args.scale, seed=args.seed, trace_cache_dir=args.trace_cache,
-        drain=args.drain,
+        drain=args.drain, engine=args.engine,
     )
     if args.command == "figure":
         _print_figure(args.number, runner, workloads,

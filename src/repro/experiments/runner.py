@@ -120,6 +120,10 @@ class Runner:
         reference: the SRAM pyramid (defaults to Sandy Bridge).
         local_factor: L1-hitting local references injected per traced
             data reference (see :data:`DEFAULT_LOCAL_FACTOR`).
+        engine: cache simulation engine (``"auto"``, ``"scalar"`` or
+            ``"setpar"``) applied to every cache the runner builds —
+            the shared upper pyramid and each design's lower levels.
+            Engines are bit-identical; this only changes speed.
         drain: when True, every simulation — the shared upper-level
             prefix *and* each design's lower levels — flushes dirty
             blocks at end of stream, so writebacks propagate all the
@@ -146,14 +150,21 @@ class Runner:
         trace_cache_dir: str | None = None,
         drain: bool = False,
         telemetry: Telemetry | NullTelemetry | None = None,
+        engine: str = "auto",
     ) -> None:
         if local_factor < 0:
             raise ValueError("local_factor must be non-negative")
+        if engine not in ("auto", "scalar", "setpar"):
+            raise ValueError(
+                f"unknown engine {engine!r}; expected 'auto', 'scalar' "
+                f"or 'setpar'"
+            )
         self.scale = scale
         self.seed = seed
         self.reference = reference or ReferenceSystem.sandy_bridge()
         self.local_factor = local_factor
         self.drain = drain
+        self.engine = engine
         self.telemetry = telemetry
         #: Optional directory for persistent trace caching across
         #: processes: traced streams and region maps are saved after the
@@ -264,7 +275,7 @@ class Runner:
                     workload.name, f"{len(result.stream):,}",
                     trace_span.duration_s,
                 )
-            upper = self.reference.build_caches(self.scale)
+            upper = self.reference.build_caches(self.scale, engine=self.engine)
             capture = CapturingMemory()
             hierarchy = Hierarchy(upper, capture)
             collector = None
@@ -290,7 +301,7 @@ class Runner:
 
             # The reference design's DRAM sees exactly the post-L3 stream.
             ref_design = ReferenceDesign(
-                scale=self.scale, reference=self.reference
+                scale=self.scale, reference=self.reference, engine=self.engine
             )
             dram = ref_design.memory()
             for chunk in capture.captured.chunks():

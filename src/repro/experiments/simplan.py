@@ -56,9 +56,12 @@ def config_key(config: CacheConfig) -> tuple:
     Two levels with equal keys produce identical statistics and emit
     identical downstream batches on identical input streams (the config
     fully determines geometry, sectoring, set hashing, and replacement
-    policy).
+    policy). The ``engine`` field is deliberately normalized out: the
+    scalar and set-parallel engines are bit-identical, so designs that
+    differ only in engine choice share a simulation node (the node runs
+    with whichever engine the first-attached design requested).
     """
-    return dataclasses.astuple(config)
+    return dataclasses.astuple(dataclasses.replace(config, engine="auto"))
 
 
 class CapturingCache(SetAssociativeCache):

@@ -657,6 +657,7 @@ class SweepExecutor:
                         self.runner, "trace_cache_dir", None
                     ),
                     "drain": getattr(self.runner, "drain", False),
+                    "engine": getattr(self.runner, "engine", "auto"),
                 },
                 "retry": self.retry,
                 "cell_timeout_s": self.cell_timeout_s,

@@ -9,6 +9,7 @@ demanded bandwidth). Pure reader: it never mutates the directory.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -78,6 +79,41 @@ class StageWindows:
 
 
 @dataclass
+class EngineDigest:
+    """Per-level cache-engine activity digest.
+
+    Built from ``engine_selected`` events (which engine each level
+    resolved to) joined with the ``repro_engine_*`` counters/gauges in
+    the Prometheus snapshot (how much work the set-parallel fast path
+    actually absorbed).
+
+    Attributes:
+        level: hierarchy level name.
+        engine: resolved engine (``"scalar"`` or ``"setpar"``).
+        policy: the level's replacement policy.
+        rounds: total vectorized rounds executed.
+        runs_vector / runs_scalar: collapsed runs taken by the
+            vectorized rounds vs the scalar loop (fallbacks + tails).
+        occupancy: mean active lanes per round of the last batch
+            (0.0 when the level never went vectorized).
+    """
+
+    level: str
+    engine: str = "?"
+    policy: str = ""
+    rounds: int = 0
+    runs_vector: int = 0
+    runs_scalar: int = 0
+    occupancy: float = 0.0
+
+    @property
+    def vector_fraction(self) -> float:
+        """Fraction of collapsed runs handled by vectorized rounds."""
+        total = self.runs_vector + self.runs_scalar
+        return self.runs_vector / total if total else 0.0
+
+
+@dataclass
 class TelemetrySummary:
     """Everything :func:`summarize_directory` extracts.
 
@@ -86,6 +122,7 @@ class TelemetrySummary:
         events_by_kind: event counts from ``events.jsonl``.
         spans: per-name span digests, by descending total time.
         stages: per-stage window digests, by context.
+        engines: per-level cache-engine digests, by level name.
         metrics_lines: number of lines in the Prometheus snapshot.
     """
 
@@ -93,6 +130,7 @@ class TelemetrySummary:
     events_by_kind: dict[str, int] = field(default_factory=dict)
     spans: list[SpanDigest] = field(default_factory=list)
     stages: list[StageWindows] = field(default_factory=list)
+    engines: list[EngineDigest] = field(default_factory=list)
     metrics_lines: int = 0
 
 
@@ -114,6 +152,62 @@ def _digest_windows(context: str, records: list[WindowRecord]) -> StageWindows:
     )
 
 
+#: ``name{label="a",other="b"} value`` — the exposition-format shape
+#: :meth:`MetricsRegistry.render_prometheus` writes for scalars.
+_PROM_LINE = re.compile(r"^(\w+)(?:\{([^}]*)\})?\s+(\S+)$")
+_PROM_LABEL = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_prom_line(line: str) -> tuple[str, dict[str, str], float] | None:
+    """``(name, labels, value)`` of one exposition line, else None."""
+    match = _PROM_LINE.match(line.strip())
+    if not match:
+        return None
+    name, label_body, raw = match.groups()
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    labels = {
+        k: v.replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\")
+        for k, v in _PROM_LABEL.findall(label_body or "")
+    }
+    return name, labels, value
+
+
+def _digest_engines(
+    events: list[dict], metrics_text: str
+) -> list[EngineDigest]:
+    by_level: dict[str, EngineDigest] = {}
+
+    def digest(level: str) -> EngineDigest:
+        return by_level.setdefault(level, EngineDigest(level))
+
+    for event in events:
+        d = digest(str(event.get("level", "?")))
+        d.engine = str(event.get("engine", "?"))
+        d.policy = str(event.get("policy", ""))
+
+    for line in metrics_text.splitlines():
+        parsed = _parse_prom_line(line)
+        if parsed is None:
+            continue
+        name, labels, value = parsed
+        if not name.startswith("repro_engine_") or "level" not in labels:
+            continue
+        d = digest(labels["level"])
+        if name == "repro_engine_rounds":
+            d.rounds = int(value)
+        elif name == "repro_engine_occupancy":
+            d.occupancy = value
+        elif name == "repro_engine_runs":
+            if labels.get("path") == "vector":
+                d.runs_vector = int(value)
+            else:
+                d.runs_scalar = int(value)
+    return sorted(by_level.values(), key=lambda d: d.level)
+
+
 def summarize_directory(directory: str | Path) -> TelemetrySummary:
     """Read a telemetry directory into a :class:`TelemetrySummary`.
 
@@ -127,6 +221,7 @@ def summarize_directory(directory: str | Path) -> TelemetrySummary:
 
     events_path = directory / EVENTS_FILE
     spans: dict[str, SpanDigest] = {}
+    engine_events: list[dict] = []
     if events_path.exists():
         for event in read_jsonl(events_path):
             kind = str(event.get("kind", "event"))
@@ -141,6 +236,8 @@ def summarize_directory(directory: str | Path) -> TelemetrySummary:
                 digest.count += 1
                 digest.total_s += duration
                 digest.max_s = max(digest.max_s, duration)
+            elif kind == "engine_selected":
+                engine_events.append(event)
     summary.spans = sorted(
         spans.values(), key=lambda d: d.total_s, reverse=True
     )
@@ -151,11 +248,14 @@ def summarize_directory(directory: str | Path) -> TelemetrySummary:
             _digest_windows(context, read_windows_csv(csv_path))
         )
 
+    metrics_text = ""
     metrics_path = directory / METRICS_FILE
     if metrics_path.exists():
+        metrics_text = metrics_path.read_text()
         summary.metrics_lines = len(
-            [l for l in metrics_path.read_text().splitlines() if l.strip()]
+            [l for l in metrics_text.splitlines() if l.strip()]
         )
+    summary.engines = _digest_engines(engine_events, metrics_text)
     return summary
 
 
@@ -217,6 +317,26 @@ def render_summary(summary: TelemetrySummary) -> str:
             f"{stage.refs:,} refs\n"
             + _table(
                 ["level", "accesses", "hit_rate", "bytes", "writebacks"],
+                rows,
+            )
+        )
+
+    if summary.engines:
+        rows = [
+            [
+                d.level, d.engine, d.policy, str(d.rounds),
+                str(d.runs_vector), str(d.runs_scalar),
+                f"{d.vector_fraction:.3f}", f"{d.occupancy:.1f}",
+            ]
+            for d in summary.engines
+        ]
+        sections.append(
+            "cache engines\n"
+            + _table(
+                [
+                    "level", "engine", "policy", "rounds", "vec_runs",
+                    "scalar_runs", "vec_frac", "occupancy",
+                ],
                 rows,
             )
         )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cache.config import CacheConfig
+from repro.cache.config import CacheConfig, supports_setpar, with_engine
 from repro.errors import ConfigError
 from repro.units import KiB, MiB
 
@@ -78,3 +78,47 @@ class TestScaling:
     def test_describe(self):
         text = CacheConfig("L3", 20 * MiB, 20, 64).describe()
         assert "L3" in text and "20MB" in text and "20-way" in text
+
+
+class TestEngineField:
+    def test_default_engine_is_auto(self):
+        assert CacheConfig("L1", 32 * KiB, 8, 64).engine == "auto"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("L1", 32 * KiB, 8, 64, engine="simd")
+
+    def test_setpar_on_unsupported_level_rejected(self):
+        # Sectored: per-sector dirty state keeps it on the scalar loop.
+        with pytest.raises(ConfigError):
+            CacheConfig("L4", 256 * KiB, 8, 4096, sector_size=64,
+                        engine="setpar")
+        with pytest.raises(ConfigError):
+            CacheConfig("L1", 32 * KiB, 8, 64, policy="fifo",
+                        engine="setpar")
+
+    def test_supports_setpar(self):
+        assert supports_setpar(CacheConfig("L1", 32 * KiB, 8, 64))
+        assert not supports_setpar(
+            CacheConfig("L4", 256 * KiB, 8, 4096, sector_size=64)
+        )
+        assert not supports_setpar(
+            CacheConfig("L1", 32 * KiB, 8, 64, policy="random")
+        )
+        # A sector size equal to the block size is not sectoring.
+        assert supports_setpar(
+            CacheConfig("L1", 32 * KiB, 8, 64, sector_size=64)
+        )
+
+    def test_with_engine_applies_and_downgrades(self):
+        plain = CacheConfig("L1", 32 * KiB, 8, 64)
+        assert with_engine(plain, "setpar").engine == "setpar"
+        assert with_engine(plain, "scalar").engine == "scalar"
+        assert with_engine(plain, "auto") is plain
+        sectored = CacheConfig("L4", 256 * KiB, 8, 4096, sector_size=64)
+        assert with_engine(sectored, "setpar").engine == "auto"
+        assert with_engine(sectored, "scalar").engine == "scalar"
+
+    def test_scaled_preserves_engine(self):
+        cfg = CacheConfig("L1", 32 * KiB, 8, 64, engine="setpar")
+        assert cfg.scaled(0.5).engine == "setpar"

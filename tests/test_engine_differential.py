@@ -1,0 +1,202 @@
+"""Scalar vs set-parallel engine: full-hierarchy differential tests.
+
+The setpar engine promises bit-identical *hierarchy* behaviour, not
+just per-level agreement: identical :class:`HierarchyStats` for every
+built-in design family, identical downstream request order (so every
+lower level sees the exact same stream), and identical results through
+the SimPlan shared-prefix capture and a process-parallel sweep resume.
+These tests pin that promise on real traced workloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.designs.configs import EH_CONFIGS, N_CONFIGS
+from repro.designs.deephybrid import DeepHybridDesign
+from repro.designs.fourlc import FourLCDesign
+from repro.designs.fourlcnvm import FourLCNVMDesign
+from repro.designs.ndm import NDMDesign
+from repro.designs.nmm import NMMDesign
+from repro.designs.reference import ReferenceDesign
+from repro.errors import ConfigError
+from repro.experiments.runner import CapturingMemory, Runner
+from repro.experiments.sweep import run_sweep
+from repro.cache.hierarchy import Hierarchy
+from repro.partition.ranges import AddressRange
+from repro.resilience import Journal, SweepExecutor
+from repro.tech.params import EDRAM, PCM
+from repro.trace.stream import AddressStream
+from repro.workloads.registry import get_workload
+
+SCALE = 1.0 / 8192
+
+ENGINES = ("scalar", "setpar")
+
+
+def all_designs(reference, engine):
+    """One member of every built-in design family."""
+    return [
+        ReferenceDesign(scale=SCALE, reference=reference, engine=engine),
+        NMMDesign(PCM, N_CONFIGS["N6"], scale=SCALE, reference=reference,
+                  engine=engine),
+        FourLCDesign(EDRAM, EH_CONFIGS["EH4"], scale=SCALE,
+                     reference=reference, engine=engine),
+        FourLCNVMDesign(EDRAM, PCM, EH_CONFIGS["EH4"], scale=SCALE,
+                        reference=reference, engine=engine),
+        DeepHybridDesign(EDRAM, PCM, EH_CONFIGS["EH1"], N_CONFIGS["N6"],
+                         scale=SCALE, reference=reference, engine=engine),
+        NDMDesign(PCM, [AddressRange(0x1000_0000, 0x2000_0000, "hot")],
+                  scale=SCALE, reference=reference, engine=engine),
+    ]
+
+
+@pytest.fixture(scope="module")
+def trace_cache(tmp_path_factory):
+    """Shared on-disk trace cache so every runner reuses one tracing."""
+    return str(tmp_path_factory.mktemp("traces"))
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return [get_workload("CG"), get_workload("SP")]
+
+
+def make_runner(trace_cache, engine, drain=False):
+    return Runner(scale=SCALE, seed=5, trace_cache_dir=trace_cache,
+                  drain=drain, engine=engine)
+
+
+class TestEngineValidation:
+    def test_runner_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            Runner(engine="simd")
+
+    def test_design_rejects_unknown_engine(self):
+        with pytest.raises(ConfigError):
+            ReferenceDesign(scale=SCALE, engine="simd")
+
+    def test_setpar_request_downgrades_on_sectored_lower_levels(self):
+        """Sectored page caches cannot run setpar; a design-level
+        request must quietly fall back instead of raising."""
+        design = NMMDesign(PCM, N_CONFIGS["N6"], engine="setpar")
+        for cache in design.lower_caches():
+            if cache.config.sector_size != cache.config.block_size:
+                assert cache.engine == "scalar"
+
+
+class TestHierarchyStatsIdentical:
+    @pytest.mark.parametrize("drain", [False, True])
+    def test_every_family_both_drain_modes(self, trace_cache, workloads,
+                                           drain):
+        """Every design family, two workloads, both drain modes:
+        HierarchyStats must match field-for-field."""
+        runners = {
+            eng: make_runner(trace_cache, eng, drain=drain)
+            for eng in ENGINES
+        }
+        for workload in workloads:
+            stats = {
+                eng: [
+                    runner.stats_for(design, workload).as_dict()
+                    for design in all_designs(runner.reference, eng)
+                ]
+                for eng, runner in runners.items()
+            }
+            assert stats["scalar"] == stats["setpar"]
+
+
+class TestEmissionOrderIdentical:
+    def test_post_hierarchy_stream_identical(self, workloads):
+        """The request stream reaching the terminal memory — contents
+        and order — must not depend on the engine."""
+        rng = np.random.default_rng(11)
+        n = 20_000
+        addrs = rng.integers(0, 1 << 14, size=n).astype(np.uint64) * 64
+        kinds = (rng.random(n) < 0.3).astype(np.uint8)
+        stream = AddressStream.from_arrays(addrs, 8, kinds)
+
+        captured = {}
+        for eng in ENGINES:
+            design = NMMDesign(PCM, N_CONFIGS["N6"], scale=SCALE,
+                               engine=eng)
+            memory = CapturingMemory()
+            hierarchy = Hierarchy(
+                design.reference.build_caches(SCALE, engine=eng)
+                + design.lower_caches(),
+                memory,
+            )
+            hierarchy.run(stream, drain=True)
+            captured[eng] = list(memory.captured.chunks())
+
+        assert len(captured["scalar"]) == len(captured["setpar"])
+        for a, b in zip(captured["scalar"], captured["setpar"]):
+            assert np.array_equal(a.addresses, b.addresses)
+            assert np.array_equal(a.sizes, b.sizes)
+            assert np.array_equal(a.is_store, b.is_store)
+
+
+class TestSimPlanIdentical:
+    def test_plan_prefix_capture_matches_scalar(self, trace_cache,
+                                                workloads):
+        """simulate_designs (shared-prefix SimPlan execution) under
+        setpar equals per-design scalar simulation."""
+        workload = workloads[0]
+        scalar = make_runner(trace_cache, "scalar")
+        setpar = make_runner(trace_cache, "setpar")
+        designs_sp = all_designs(setpar.reference, "setpar")
+        setpar.simulate_designs(designs_sp, workload)
+        for d_sc, d_sp in zip(
+            all_designs(scalar.reference, "scalar"), designs_sp
+        ):
+            assert (
+                scalar.stats_for(d_sc, workload).as_dict()
+                == setpar.stats_for(d_sp, workload).as_dict()
+            )
+
+
+@pytest.mark.resilience
+class TestSweepResumeAcrossEngines:
+    def test_parallel_sweep_and_cross_engine_resume(self, trace_cache,
+                                                    workloads, tmp_path):
+        """A --workers sweep run with setpar matches scalar, and a
+        journal written by a scalar run resumes cleanly under a setpar
+        runner (engine choice is deliberately not part of the cell
+        key — the engines are bit-identical)."""
+        designs = lambda runner, eng: [
+            NMMDesign(PCM, N_CONFIGS["N6"], scale=SCALE,
+                      reference=runner.reference, engine=eng),
+            FourLCDesign(EDRAM, EH_CONFIGS["EH4"], scale=SCALE,
+                         reference=runner.reference, engine=eng),
+        ]
+        journal = Journal(tmp_path / "engines.jsonl")
+        sc_runner = make_runner(trace_cache, "scalar")
+        sc = SweepExecutor(sc_runner, journal=journal, workers=2).run(
+            designs(sc_runner, "scalar"), workloads
+        )
+        assert all(o.ok for o in sc.outcomes)
+
+        sp_runner = make_runner(trace_cache, "setpar")
+        resumed = SweepExecutor(sp_runner, journal=journal, workers=2).run(
+            designs(sp_runner, "setpar"), workloads
+        )
+        assert all(o.from_journal for o in resumed.outcomes)
+        assert [o.key for o in resumed.outcomes] == [
+            o.key for o in sc.outcomes
+        ]
+
+        fresh = run_sweep(
+            make_runner(trace_cache, "setpar"),
+            designs(sp_runner, "setpar"), workloads, workers=2,
+        )
+        sc_fresh = run_sweep(
+            make_runner(trace_cache, "scalar"),
+            designs(sc_runner, "scalar"), workloads,
+        )
+        for a, b in zip(sc_fresh, fresh):
+            assert dataclasses.asdict(a.evaluation) == dataclasses.asdict(
+                b.evaluation
+            )

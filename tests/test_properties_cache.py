@@ -240,3 +240,139 @@ def test_fifo_engine_matches_fifo_oracle(pattern):
     assert engine.stats.hits == oracle.hits
     assert engine.stats.misses == oracle.misses
     assert engine.stats.writebacks == oracle.writebacks
+
+
+# ----------------------------------------------------------------------
+# Scalar vs set-parallel engine differential
+# ----------------------------------------------------------------------
+#
+# The setpar engine's contract is bit-identical behaviour, not
+# approximate agreement: same LevelStats, same emitted requests in the
+# same order, same resident/dirty end state. These tests drive random
+# mixes of streaming runs and random addresses through both engines and
+# compare everything observable.
+
+import pytest
+
+import repro.cache.setassoc as setassoc_mod
+
+
+def _random_batch(rng, n_events, block, store_frac):
+    """A mixed streaming/random batch (runs of 1-4 equal blocks)."""
+    base = rng.integers(0, 1 << 20, size=n_events).astype(np.uint64)
+    rep = rng.integers(1, 5, size=n_events)
+    addrs = np.repeat(base * np.uint64(block), rep).astype(np.uint64)
+    sizes = np.full(len(addrs), max(1, min(8, block)), dtype=np.uint32)
+    stores = (rng.random(len(addrs)) < store_frac).astype(np.uint8)
+    return addrs, sizes, stores
+
+
+def _engine_pair(ways, nsets, block, hashed):
+    cap = nsets * ways * block
+    scalar = SetAssociativeCache(
+        CacheConfig("D", cap, ways, block, hashed_sets=hashed,
+                    engine="scalar")
+    )
+    setpar = SetAssociativeCache(
+        CacheConfig("D", cap, ways, block, hashed_sets=hashed,
+                    engine="setpar")
+    )
+    return scalar, setpar
+
+
+def _assert_batches_equal(a, b):
+    assert np.array_equal(a.addresses, b.addresses)
+    assert np.array_equal(a.sizes, b.sizes)
+    assert np.array_equal(a.is_store, b.is_store)
+
+
+@pytest.mark.parametrize("ways", [1, 2, 4, 8])
+@pytest.mark.parametrize("store_frac", [0.0, 0.3, 1.0])
+@pytest.mark.parametrize("hashed", [False, True])
+def test_setpar_differential_single_chunk(
+    monkeypatch, ways, store_frac, hashed
+):
+    """One chunk: identical stats, emissions (content AND order), and
+    resident/dirty end state across both engines."""
+    monkeypatch.setattr(setassoc_mod, "SETPAR_MIN_LANES", 2)
+    rng = np.random.default_rng(1000 * ways + int(store_frac * 10))
+    scalar, setpar = _engine_pair(ways, 64, 64, hashed)
+    addrs, sizes, stores = _random_batch(rng, 400, 64, store_frac)
+    out_sc = scalar.process(AccessBatch(addrs, sizes, stores))
+    out_sp = setpar.process(
+        AccessBatch(addrs.copy(), sizes.copy(), stores.copy())
+    )
+    _assert_batches_equal(out_sc, out_sp)
+    assert scalar.stats.as_dict() == setpar.stats.as_dict()
+    assert scalar._sets == setpar._sets
+    assert scalar._dirty == setpar._dirty
+    assert scalar.resident_blocks() == setpar.resident_blocks()
+
+
+@pytest.mark.parametrize("drain", [False, True])
+@pytest.mark.parametrize("min_lanes", [1, 4, 32])
+def test_setpar_differential_multi_chunk(monkeypatch, drain, min_lanes):
+    """Multiple chunks carry warm state across process() calls; an
+    optional flush at the end must drain identical dirty lines in
+    identical order. Sweeping SETPAR_MIN_LANES moves the hybrid
+    vector/scalar cutoff so skewed tails land on both paths."""
+    monkeypatch.setattr(setassoc_mod, "SETPAR_MIN_LANES", min_lanes)
+    rng = np.random.default_rng(7 + min_lanes)
+    scalar, setpar = _engine_pair(4, 32, 64, True)
+    for _ in range(4):
+        addrs, sizes, stores = _random_batch(rng, 300, 64, 0.3)
+        out_sc = scalar.process(AccessBatch(addrs, sizes, stores))
+        out_sp = setpar.process(
+            AccessBatch(addrs.copy(), sizes.copy(), stores.copy())
+        )
+        _assert_batches_equal(out_sc, out_sp)
+    if drain:
+        _assert_batches_equal(scalar.flush_dirty(), setpar.flush_dirty())
+    assert scalar.stats.as_dict() == setpar.stats.as_dict()
+    assert scalar._sets == setpar._sets
+    assert scalar._dirty == setpar._dirty
+
+
+def test_setpar_near_max_address_latch(monkeypatch):
+    """Blocks too large for the packed-tag scheme flip the sticky
+    scalar latch; behaviour must stay identical before, during, and
+    after the latch trips (and reset() must clear it)."""
+    monkeypatch.setattr(setassoc_mod, "SETPAR_MIN_LANES", 1)
+    rng = np.random.default_rng(99)
+    # Byte-granularity blocks: the block number IS the address, so a
+    # near-2^64 address exceeds the packable range (2^63 - 2).
+    scalar, setpar = _engine_pair(2, 8, 1, False)
+    for chunk in range(3):
+        addrs, sizes, stores = _random_batch(rng, 150, 1, 0.5)
+        if chunk == 1:
+            addrs[len(addrs) // 2] = np.uint64(2**64 - 1)
+        out_sc = scalar.process(AccessBatch(addrs, sizes, stores))
+        out_sp = setpar.process(
+            AccessBatch(addrs.copy(), sizes.copy(), stores.copy())
+        )
+        _assert_batches_equal(out_sc, out_sp)
+    assert setpar._setpar_unsafe
+    assert scalar.stats.as_dict() == setpar.stats.as_dict()
+    setpar.reset()
+    assert not setpar._setpar_unsafe
+
+
+@given(accesses)
+@settings(max_examples=60, deadline=None)
+def test_setpar_differential_hypothesis(pattern):
+    """Arbitrary hypothesis-generated patterns agree bit-exactly
+    (vector path forced by the tiny-lane threshold)."""
+    old = setassoc_mod.SETPAR_MIN_LANES
+    setassoc_mod.SETPAR_MIN_LANES = 1
+    try:
+        addrs = np.array([a for a, _ in pattern], dtype=np.uint64)
+        kinds = np.array([int(s) for _, s in pattern], dtype=np.uint8)
+        scalar, setpar = _engine_pair(2, 8, 64, False)
+        out_sc = scalar.process(AccessBatch.from_lists(addrs, 8, kinds))
+        out_sp = setpar.process(AccessBatch.from_lists(addrs, 8, kinds))
+        _assert_batches_equal(out_sc, out_sp)
+        assert scalar.stats.as_dict() == setpar.stats.as_dict()
+        assert scalar._sets == setpar._sets
+        assert scalar._dirty == setpar._dirty
+    finally:
+        setassoc_mod.SETPAR_MIN_LANES = old
