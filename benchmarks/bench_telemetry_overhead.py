@@ -11,6 +11,12 @@ Two jobs in one harness:
    was before the observer hook existed (no ``observer`` check, no
    span) against today's ``Hierarchy.run`` with telemetry disabled,
    and assert the overhead is below 2%.
+3. **Price run correlation** — time the enabled event path with and
+   without a :class:`RunContext` (which stamps ``run`` / ``worker`` /
+   ``seq`` onto every JSONL line), reporting per-event microseconds
+   for both so the correlation labels' cost stays visible. This is an
+   enabled-path measurement, not a gate: the hard assertion stays on
+   the disabled path, which is the one production sweeps pay for.
 
 Run from the repo root::
 
@@ -37,7 +43,7 @@ from repro.designs.fourlc import FourLCDesign
 from repro.designs.nmm import NMMDesign
 from repro.experiments.runner import Runner
 from repro.tech.params import get_technology
-from repro.telemetry.core import Telemetry, activate
+from repro.telemetry.core import RunContext, Telemetry, activate, new_run_id
 from repro.workloads.registry import get_workload
 
 DEFAULT_SCALE = 1.0 / 1024
@@ -119,6 +125,49 @@ def measure_overhead(stream, reference: ReferenceSystem, scale: float,
     }
 
 
+def measure_context_stamping(reps: int, events: int = 4000) -> dict:
+    """Per-event cost of the correlated vs the plain enabled path.
+
+    Both variants write real JSONL lines to a temp directory; the
+    correlated one additionally stamps ``run`` / ``worker`` / ``seq``
+    and resolves the thread-local cell scope. ABBA pairing as in
+    :func:`measure_overhead`; min-of-reps is the reported floor.
+    """
+    import shutil
+    import tempfile
+
+    def timed(run_context) -> float:
+        directory = tempfile.mkdtemp(prefix="bench-telemetry-")
+        telemetry = Telemetry(directory, run_context=run_context)
+        with telemetry.cell_scope("bench-cell"):
+            start = time.perf_counter()
+            for index in range(events):
+                telemetry.event("bench", index=index)
+            elapsed = time.perf_counter() - start
+        telemetry.close()
+        shutil.rmtree(directory, ignore_errors=True)
+        return elapsed
+
+    context = RunContext(new_run_id(), "worker-0")
+    plain_times, labelled_times = [], []
+    for _ in range(reps):
+        a1 = timed(None)
+        b1 = timed(context)
+        b2 = timed(context)
+        a2 = timed(None)
+        plain_times += [a1, a2]
+        labelled_times += [b1, b2]
+    plain = min(plain_times)
+    labelled = min(labelled_times)
+    return {
+        "events": events,
+        "plain_event_us": round(plain / events * 1e6, 3),
+        "labelled_event_us": round(labelled / events * 1e6, 3),
+        "overhead_pct": round((labelled / plain - 1.0) * 100.0, 3),
+        "reps": reps,
+    }
+
+
 def span_totals(registry) -> dict[str, float]:
     """Per-span-name total seconds from a registry snapshot."""
     totals: dict[str, float] = {}
@@ -185,6 +234,9 @@ def main(argv=None) -> int:
     result["overhead"] = measure_overhead(
         stream, ReferenceSystem.sandy_bridge(), scale, reps
     )
+
+    print("run-context stamping cost ...", flush=True)
+    result["run_context"] = measure_context_stamping(reps)
     result["scale"] = scale
 
     Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
@@ -197,6 +249,12 @@ def main(argv=None) -> int:
         f"(no-hook {overhead['no_hook_s']:.3f}s, "
         f"hooked {overhead['hooked_disabled_s']:.3f}s, "
         f"limit {OVERHEAD_LIMIT_PCT:g}%)"
+    )
+    stamping = result["run_context"]
+    print(
+        f"  correlated event path: {stamping['plain_event_us']:.1f}us -> "
+        f"{stamping['labelled_event_us']:.1f}us per event "
+        f"({stamping['overhead_pct']:+.1f}% with run/worker/seq stamping)"
     )
     if overhead["overhead_pct"] >= OVERHEAD_LIMIT_PCT:
         print("FAIL: observer hook is not free", file=sys.stderr)

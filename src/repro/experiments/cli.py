@@ -18,7 +18,14 @@ Subcommands:
 
 - ``telemetry report DIR`` — summarize a telemetry directory written
   by a previous ``--telemetry DIR`` run (span digests, window files,
-  event counts).
+  event counts); a multi-worker run root is aggregated first.
+- ``telemetry merge DIR [--out DIR]`` — merge a run root plus its
+  ``worker-N/`` directories into one ordered run log, one summed
+  ``metrics.prom``, and a provenance-stamped windows CSV.
+- ``telemetry trace DIR [--out FILE]`` — export a Chrome trace_event
+  JSON timeline (Perfetto / chrome://tracing).
+- ``telemetry diff BASELINE CANDIDATE`` — run-to-run regression diff
+  with configurable thresholds; exits 1 on regressions.
 
 Common options: ``--scale`` (capacity/footprint scale), ``--seed``,
 ``--workloads`` (comma-separated subset of the suite), ``--drain``
@@ -30,6 +37,7 @@ and windowed time-series for the whole invocation).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from repro.designs.configs import DEFAULT_SCALE
@@ -39,7 +47,13 @@ from repro.experiments import heatmap as heatmap_mod
 from repro.experiments import tables as tables_mod
 from repro.experiments.render import ascii_table, render_figure, render_heatmap
 from repro.experiments.runner import Runner
-from repro.telemetry.core import Telemetry, get_active, set_active
+from repro.telemetry.core import (
+    RunContext,
+    Telemetry,
+    get_active,
+    new_run_id,
+    set_active,
+)
 from repro.workloads.registry import SUITE, get_workload
 
 
@@ -381,11 +395,69 @@ def main(argv: list[str] | None = None) -> int:
     )
     telem = sub.add_parser(
         "telemetry",
-        help="inspect a telemetry directory from a --telemetry run",
+        help="inspect, merge, export, or diff telemetry from "
+        "--telemetry runs",
     )
-    telem.add_argument("action", choices=["report"])
-    telem.add_argument("dir", type=str,
-                       help="telemetry directory to summarize")
+    telem_sub = telem.add_subparsers(dest="action", required=True)
+    telem_report = telem_sub.add_parser(
+        "report",
+        help="summarize a telemetry directory (run-aware: a sweep root "
+        "with worker-N/ subdirectories is aggregated first)",
+    )
+    telem_report.add_argument("dir", type=str,
+                              help="telemetry directory to summarize")
+    telem_merge = telem_sub.add_parser(
+        "merge",
+        help="merge a run root plus its worker-N/ telemetry into one "
+        "ordered events.jsonl, summed metrics.prom, and a combined "
+        "windows CSV with provenance columns",
+    )
+    telem_merge.add_argument("dir", type=str, help="run root to merge")
+    telem_merge.add_argument(
+        "--out", type=str, default=None,
+        help="output directory (default DIR/merged)",
+    )
+    telem_trace = telem_sub.add_parser(
+        "trace",
+        help="export a Chrome trace_event JSON timeline (one track per "
+        "worker, async slices per sweep cell); open in Perfetto or "
+        "chrome://tracing",
+    )
+    telem_trace.add_argument("dir", type=str,
+                             help="run root or merged directory")
+    telem_trace.add_argument(
+        "--out", type=str, default=None,
+        help="output file (default DIR/trace.json)",
+    )
+    telem_diff = telem_sub.add_parser(
+        "diff",
+        help="compare two runs (span durations, hit rates, engine "
+        "vector fractions, cell failures); exits 1 on regressions",
+    )
+    telem_diff.add_argument("baseline", type=str,
+                            help="baseline run root or merged directory")
+    telem_diff.add_argument("candidate", type=str,
+                            help="candidate run root or merged directory")
+    telem_diff.add_argument(
+        "--span-pct", type=float, default=None, metavar="PCT",
+        help="span regression: grew by more than PCT percent "
+        "(default 25)",
+    )
+    telem_diff.add_argument(
+        "--span-min-s", type=float, default=None, metavar="S",
+        help="span regression: and grew by more than S seconds "
+        "(default 0.05)",
+    )
+    telem_diff.add_argument(
+        "--hit-rate-abs", type=float, default=None, metavar="D",
+        help="hit-rate regression: absolute change above D "
+        "(default 0.005)",
+    )
+    telem_diff.add_argument(
+        "--vector-frac-abs", type=float, default=None, metavar="D",
+        help="engine regression: vectorized fraction dropped by more "
+        "than D (default 0.05)",
+    )
 
     args = parser.parse_args(argv)
     if args.verbose:
@@ -397,7 +469,9 @@ def main(argv: list[str] | None = None) -> int:
 
     telemetry = None
     if args.telemetry:
-        telemetry = Telemetry(args.telemetry)
+        telemetry = Telemetry(
+            args.telemetry, run_context=RunContext(new_run_id())
+        )
         set_active(telemetry)
     try:
         return _dispatch(args, workloads)
@@ -408,13 +482,77 @@ def main(argv: list[str] | None = None) -> int:
             print(f"telemetry: {args.telemetry}", file=sys.stderr)
 
 
+def _telemetry_command(args) -> int:
+    """Handler for the ``telemetry`` subcommand family."""
+    from pathlib import Path
+
+    from repro.errors import TelemetryError
+    from repro.telemetry import observatory
+    from repro.telemetry.report import render_summary, summarize_directory
+
+    try:
+        if args.action == "report":
+            root = Path(args.dir)
+            if any(
+                observatory.worker_index(child) is not None
+                for child in root.iterdir() if child.is_dir()
+            ):
+                aggregate = observatory.aggregate_run(root)
+                print(observatory.render_run_overview(aggregate))
+                print()
+                print(render_summary(
+                    observatory.summary_from_aggregate(aggregate)
+                ))
+            else:
+                print(render_summary(summarize_directory(root)))
+            return 0
+
+        if args.action == "merge":
+            root = Path(args.dir)
+            out_dir = Path(args.out) if args.out else root / "merged"
+            aggregate = observatory.aggregate_run(root)
+            written = observatory.write_merged(aggregate, out_dir)
+            print(observatory.render_run_overview(aggregate))
+            for path in written.values():
+                print(f"wrote {path}")
+            return 0
+
+        if args.action == "trace":
+            root = Path(args.dir)
+            out = Path(args.out) if args.out else root / observatory.TRACE_FILE
+            aggregate = observatory.aggregate_run(root)
+            path = observatory.write_chrome_trace(aggregate, out)
+            print(f"wrote {path} "
+                  f"(open in https://ui.perfetto.dev or chrome://tracing)")
+            return 0
+
+        # diff
+        thresholds = observatory.DiffThresholds()
+        if args.span_pct is not None:
+            thresholds = dataclasses.replace(
+                thresholds, span_pct=args.span_pct)
+        if args.span_min_s is not None:
+            thresholds = dataclasses.replace(
+                thresholds, span_min_s=args.span_min_s)
+        if args.hit_rate_abs is not None:
+            thresholds = dataclasses.replace(
+                thresholds, hit_rate_abs=args.hit_rate_abs)
+        if args.vector_frac_abs is not None:
+            thresholds = dataclasses.replace(
+                thresholds, vector_fraction_abs=args.vector_frac_abs)
+        baseline = observatory.aggregate_run(args.baseline)
+        candidate = observatory.aggregate_run(args.candidate)
+        diff = observatory.diff_runs(baseline, candidate, thresholds)
+        print(observatory.render_diff(diff))
+        return 0 if diff.ok else 1
+    except TelemetryError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+
 def _dispatch(args, workloads) -> int:
     """Run the selected subcommand (telemetry already activated)."""
     if args.command == "telemetry":
-        from repro.telemetry.report import render_summary, summarize_directory
-
-        print(render_summary(summarize_directory(args.dir)))
-        return 0
+        return _telemetry_command(args)
 
     if args.command == "tables":
         _print_tables()

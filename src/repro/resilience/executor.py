@@ -49,8 +49,10 @@ from repro.resilience.retry import NO_RETRY, RetryPolicy
 from repro.telemetry.core import (
     NULL_TELEMETRY,
     NullTelemetry,
+    RunContext,
     Telemetry,
     get_active,
+    new_run_id,
     set_active,
 )
 from repro.telemetry.progress import ProgressReporter
@@ -408,6 +410,15 @@ class SweepExecutor:
             journalled = self.journal.load()
 
         tel = self._telemetry()
+        # Every campaign gets a run-scoped correlation id: recording
+        # telemetry without one would leave the worker directories and
+        # journal entries unjoinable afterwards. A caller-provided
+        # context (e.g. the CLI's) wins; resumes therefore reuse the
+        # caller's id or mint a fresh one per resumed execution.
+        if isinstance(tel, Telemetry) and tel.run_context is None:
+            tel.run_context = RunContext(new_run_id())
+        run_context = getattr(tel, "run_context", None)
+        run_id = run_context.run_id if run_context is not None else None
         progress = self.progress
         drain = getattr(self.runner, "drain", False)
         grid = [
@@ -444,7 +455,9 @@ class SweepExecutor:
         pending.set(total)
 
         if self.workers > 1:
-            result = self._run_parallel(grid, journalled, tel, progress, pending)
+            result = self._run_parallel(
+                grid, journalled, tel, progress, pending, run_id
+            )
             tel.event("sweep_finished", cells=total, **result.counts())
             tel.flush()
             return result
@@ -478,7 +491,7 @@ class SweepExecutor:
                 continue
             if progress is not None:
                 progress.cell_started(design.name, workload.name)
-            with tel.span(
+            with tel.cell_scope(key), tel.span(
                 "sweep.cell", design=design.name, workload=workload.name
             ):
                 outcome = self._run_cell(design, workload, key)
@@ -497,6 +510,7 @@ class SweepExecutor:
                             None if outcome.evaluation is None
                             else dataclasses.asdict(outcome.evaluation)
                         ),
+                        run_id=run_id,
                     )
                 )
             if not outcome.ok and not self.keep_going:
@@ -525,7 +539,7 @@ class SweepExecutor:
                 outcome.attempts - 1
             )
         tel.event(
-            "cell_finished", design=outcome.design,
+            "cell_finished", cell=outcome.key, design=outcome.design,
             workload=outcome.workload, status=outcome.status,
             attempts=outcome.attempts, duration_s=outcome.duration_s,
             from_journal=outcome.from_journal,
@@ -614,7 +628,7 @@ class SweepExecutor:
         return shards
 
     def _run_parallel(
-        self, grid, journalled, tel, progress, pending
+        self, grid, journalled, tel, progress, pending, run_id=None
     ) -> CampaignResult:
         """Fan the grid out over a process pool, shard by shard."""
         results: dict[str, CellOutcome] = {}
@@ -646,6 +660,7 @@ class SweepExecutor:
             )
             payloads.append({
                 "worker_index": index,
+                "run_id": run_id,
                 "runner_args": {
                     "scale": self.runner.scale,
                     "seed": self.runner.seed,
@@ -720,6 +735,7 @@ class SweepExecutor:
                                 duration_s=outcome.duration_s,
                                 error=outcome.error,
                                 evaluation=record["evaluation"],
+                                run_id=run_id,
                             )
                         )
                     if not outcome.ok:
@@ -775,8 +791,13 @@ def _run_shard(payload: dict) -> list[dict]:
     """
     from repro.experiments.runner import Runner
 
+    worker_context = (
+        RunContext(payload["run_id"], f"worker-{payload['worker_index']}")
+        if payload.get("run_id")
+        else None
+    )
     telemetry: Telemetry | NullTelemetry = (
-        Telemetry(payload["telemetry_dir"])
+        Telemetry(payload["telemetry_dir"], run_context=worker_context)
         if payload["telemetry_dir"]
         else NULL_TELEMETRY
     )
@@ -810,7 +831,7 @@ def _run_shard(payload: dict) -> list[dict]:
                 pass
         records = []
         for design, key in cells:
-            with telemetry.span(
+            with telemetry.cell_scope(key), telemetry.span(
                 "sweep.cell", design=design.name, workload=workload.name
             ):
                 outcome = child._run_cell(design, workload, key)

@@ -87,6 +87,11 @@ class JournalEntry:
         duration_s: wall-clock spent on the cell (all attempts).
         error: formatted exception chain for non-ok cells, else None.
         evaluation: the serialized :class:`Evaluation` for ok cells.
+        run_id: telemetry run that produced the entry (None for
+            entries written before run correlation existed, or with
+            telemetry disabled) — joins the journal to the run's
+            telemetry tree. Optional with a default so pre-observatory
+            journals keep loading under the same schema version.
     """
 
     key: str
@@ -99,6 +104,7 @@ class JournalEntry:
     duration_s: float
     error: str | None = None
     evaluation: dict | None = None
+    run_id: str | None = None
 
     def to_json(self) -> str:
         """The journal line (no trailing newline)."""

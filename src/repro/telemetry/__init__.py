@@ -27,10 +27,12 @@ from repro.telemetry.core import (
     METRICS_FILE,
     NULL_TELEMETRY,
     NullTelemetry,
+    RunContext,
     Span,
     Telemetry,
     activate,
     get_active,
+    new_run_id,
     set_active,
     slugify,
 )
@@ -41,6 +43,25 @@ from repro.telemetry.exporters import (
     read_windows_csv,
     write_prometheus,
     write_windows_csv,
+)
+from repro.telemetry.observatory import (
+    MERGED_WINDOWS_FILE,
+    TRACE_FILE,
+    DiffEntry,
+    DiffThresholds,
+    RunAggregate,
+    RunDiff,
+    WindowRow,
+    aggregate_run,
+    chrome_trace,
+    diff_runs,
+    discover_sources,
+    render_diff,
+    render_run_overview,
+    summary_from_aggregate,
+    worker_index,
+    write_chrome_trace,
+    write_merged,
 )
 from repro.telemetry.progress import ProgressReporter, format_duration
 from repro.telemetry.registry import (
@@ -68,11 +89,30 @@ __all__ = [
     "Telemetry",
     "NullTelemetry",
     "NULL_TELEMETRY",
+    "RunContext",
     "Span",
     "activate",
     "get_active",
+    "new_run_id",
     "set_active",
     "slugify",
+    "MERGED_WINDOWS_FILE",
+    "TRACE_FILE",
+    "DiffEntry",
+    "DiffThresholds",
+    "RunAggregate",
+    "RunDiff",
+    "WindowRow",
+    "aggregate_run",
+    "chrome_trace",
+    "diff_runs",
+    "discover_sources",
+    "render_diff",
+    "render_run_overview",
+    "summary_from_aggregate",
+    "worker_index",
+    "write_chrome_trace",
+    "write_merged",
     "EVENTS_FILE",
     "METRICS_FILE",
     "MetricsRegistry",

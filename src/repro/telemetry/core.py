@@ -25,7 +25,9 @@ from __future__ import annotations
 import re
 import threading
 import time
+import uuid
 from contextlib import contextmanager
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Iterator, Sequence
 
@@ -57,6 +59,51 @@ METRICS_FILE = "metrics.prom"
 def slugify(context: str) -> str:
     """A context label reduced to a safe file-name fragment."""
     return re.sub(r"[^A-Za-z0-9_.-]+", "-", context).strip("-") or "unnamed"
+
+
+def new_run_id(wall_clock: Callable[[], float] = time.time) -> str:
+    """A fresh run identifier: UTC timestamp + random suffix.
+
+    The timestamp prefix keeps directory listings chronological; the
+    random suffix keeps two campaigns started in the same second
+    distinct.
+    """
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(wall_clock()))
+    return f"{stamp}-{uuid.uuid4().hex[:8]}"
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Correlation identity stamped into a run's artifacts.
+
+    One sweep campaign is one *run*; with ``workers=N`` it spans N+1
+    processes, each writing its own telemetry directory. A
+    :class:`RunContext` makes those artifacts joinable afterwards:
+    every event (and span event) carries ``run`` / ``worker`` / ``seq``
+    fields, the Prometheus snapshot carries ``run`` / ``worker``
+    sample labels, and journal entries record the ``run_id`` that
+    produced them.
+
+    Attributes:
+        run_id: campaign identifier, shared by every process of the
+            run (see :func:`new_run_id`).
+        worker_id: which process wrote the artifact — ``"root"`` for
+            the coordinating process, ``"worker-N"`` for pool workers.
+        cell_key: the sweep cell being evaluated, when inside one
+            (stamped via :meth:`Telemetry.cell_scope`).
+    """
+
+    run_id: str
+    worker_id: str = "root"
+    cell_key: str | None = None
+
+    def child(self, worker_id: str) -> "RunContext":
+        """The same run as seen by one worker process."""
+        return replace(self, worker_id=worker_id, cell_key=None)
+
+    def labels(self) -> dict[str, str]:
+        """The ``run`` / ``worker`` label pair for metric samples."""
+        return {"run": self.run_id, "worker": self.worker_id}
 
 
 class Span:
@@ -112,6 +159,9 @@ class Telemetry:
         window_refs: default epoch width for window collectors.
         clock: monotonic clock for durations (tests inject a fake).
         wall_clock: wall time for event timestamps.
+        run_context: correlation identity stamped into every event
+            (``run`` / ``worker`` / ``seq``) and into the Prometheus
+            snapshot's sample labels. None records nothing extra.
     """
 
     enabled: bool = True
@@ -124,16 +174,27 @@ class Telemetry:
         window_refs: int = DEFAULT_WINDOW_REFS,
         clock: Callable[[], float] = time.perf_counter,
         wall_clock: Callable[[], float] = time.time,
+        run_context: RunContext | None = None,
     ) -> None:
         self.directory = Path(directory) if directory is not None else None
         self.registry = registry if registry is not None else MetricsRegistry()
         self.window_refs = int(window_refs)
+        self.run_context = run_context
         self._clock = clock
         self._wall_clock = wall_clock
         self._events: JsonlEventLog | None = None
+        self._seq = 0
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
-            self._events = JsonlEventLog(self.directory / EVENTS_FILE)
+            events_path = self.directory / EVENTS_FILE
+            self._events = JsonlEventLog(events_path)
+            # A resumed campaign appends to the same event log; seq
+            # numbers continue past the existing lines so the
+            # (run, worker, seq) key stays unique across resumes (a
+            # torn trailing line still consumes its number).
+            if events_path.exists():
+                with open(events_path, "rb") as handle:
+                    self._seq = sum(1 for _ in handle)
         self._stack = threading.local()
         self._collectors: list[WindowedCollector] = []
         self._lock = threading.Lock()
@@ -176,12 +237,45 @@ class Telemetry:
     # -- events ---------------------------------------------------------
 
     def event(self, kind: str = "event", **fields) -> None:
-        """Append one timestamped event to the JSONL log (if any)."""
+        """Append one timestamped event to the JSONL log (if any).
+
+        With a :class:`RunContext`, every event is stamped with the
+        correlation triple ``run`` / ``worker`` / ``seq`` (``seq`` is a
+        per-directory monotone counter, continued across resumes) and,
+        inside a :meth:`cell_scope`, with the active ``cell`` key.
+        Explicit fields of the same name win.
+        """
         if self._events is None:
             return
         payload = {"ts": self._wall_clock(), "kind": kind}
+        context = self.run_context
+        if context is not None:
+            payload["run"] = context.run_id
+            payload["worker"] = context.worker_id
+        cell = getattr(self._stack, "cell", None)
+        if cell is None and context is not None:
+            cell = context.cell_key
+        if cell is not None:
+            payload["cell"] = cell
+        with self._lock:
+            payload["seq"] = self._seq
+            self._seq += 1
         payload.update(fields)
         self._events.append(payload)
+
+    @contextmanager
+    def cell_scope(self, cell_key: str) -> Iterator[None]:
+        """Stamp ``cell`` into every event emitted inside the block.
+
+        Thread-local, so parallel in-process cells (deadline threads)
+        never cross-stamp each other's events.
+        """
+        previous = getattr(self._stack, "cell", None)
+        self._stack.cell = cell_key
+        try:
+            yield
+        finally:
+            self._stack.cell = previous
 
     # -- metrics passthrough --------------------------------------------
 
@@ -264,9 +358,23 @@ class Telemetry:
     # -- lifecycle ------------------------------------------------------
 
     def flush(self) -> None:
-        """Write the Prometheus snapshot (if a directory is configured)."""
+        """Write the Prometheus snapshot (if a directory is configured).
+
+        The snapshot goes through the same atomic write-and-rename
+        helper as ``windows_*.csv``, so a worker killed mid-flush
+        leaves the previous complete snapshot, never a torn one. With a
+        :class:`RunContext` every sample carries ``run`` / ``worker``
+        labels so cross-worker aggregation can join and sum snapshots.
+        """
         if self.directory is not None:
-            write_prometheus(self.registry, self.directory / METRICS_FILE)
+            extra = (
+                self.run_context.labels()
+                if self.run_context is not None else None
+            )
+            write_prometheus(
+                self.registry, self.directory / METRICS_FILE,
+                extra_labels=extra,
+            )
 
     def close(self) -> None:
         """Finish pending collectors, flush metrics, close the event log."""
@@ -297,12 +405,17 @@ class NullTelemetry:
     enabled: bool = False
     directory = None
     registry = NULL_REGISTRY
+    run_context = None
 
     def span(self, name: str, **meta) -> Span:
         return Span(name, meta, None)
 
     def event(self, kind: str = "event", **fields) -> None:
         pass
+
+    @contextmanager
+    def cell_scope(self, cell_key: str) -> Iterator[None]:
+        yield
 
     def counter(self, name: str, /, **labels):
         return NULL_REGISTRY.counter(name, **labels)

@@ -184,6 +184,14 @@ def read_windows_csv(path: str | Path) -> list[WindowRecord]:
 # ----------------------------------------------------------------------
 
 
-def write_prometheus(registry, path: str | Path) -> Path:
-    """Write a registry's Prometheus text snapshot, atomically."""
-    return atomic_write_text(path, registry.render_prometheus())
+def write_prometheus(
+    registry, path: str | Path, extra_labels: dict[str, str] | None = None
+) -> Path:
+    """Write a registry's Prometheus text snapshot, atomically.
+
+    ``extra_labels`` are stamped onto every sample at render time (run
+    correlation labels; see :meth:`MetricsRegistry.render_prometheus`).
+    """
+    return atomic_write_text(
+        path, registry.render_prometheus(extra_labels)
+    )

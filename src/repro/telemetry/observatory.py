@@ -1,0 +1,930 @@
+"""The run observatory: correlate, merge, visualize, and diff runs.
+
+Since sweeps went process-parallel, one campaign ("run") writes N+1
+telemetry directories — the coordinating process's root directory plus
+one ``worker-K/`` subdirectory per pool worker — and a resumed
+campaign appends to the same tree. This module turns that tree back
+into one coherent story:
+
+- :func:`aggregate_run` discovers a run's sources and merges them in
+  memory: ``events.jsonl`` streams become a single ordered run log
+  (torn-tolerant, deduplicated by the ``(run, worker, seq)``
+  correlation triple), Prometheus snapshots are summed sample-by-
+  sample with the per-worker ``run``/``worker`` labels stripped, and
+  window CSVs are concatenated with provenance.
+- :func:`write_merged` persists that view as a directory that is
+  itself readable by every telemetry tool (``events.jsonl``,
+  ``metrics.prom``, plus ``run_windows.csv`` with ``run`` / ``worker``
+  / ``context`` provenance columns).
+- :func:`chrome_trace` renders the merged spans as a Chrome
+  ``trace_event`` timeline (``chrome://tracing`` / Perfetto): one
+  process track per worker, complete slices for spans, async slices
+  for sweep cells, counter tracks for per-window hit rates.
+- :func:`diff_runs` compares two aggregated runs — per-span-name
+  duration deltas, per-level hit-rate deltas, engine vector-fraction
+  deltas, and cell-failure counts — against configurable regression
+  thresholds, the contract behind ``repro telemetry diff``'s nonzero
+  CI exit code.
+
+Merging is **conservative by construction**: events are concatenated
+(never rewritten), and metric sums over workers equal the merged
+values exactly — the same conservation discipline the window
+time-series already guarantee against ``HierarchyStats``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import TelemetryError
+from repro.telemetry.core import EVENTS_FILE, METRICS_FILE
+from repro.telemetry.exporters import (
+    CSV_COLUMNS,
+    atomic_write_text,
+    read_jsonl,
+    read_windows_csv,
+)
+from repro.telemetry.registry import _escape, _render_value
+from repro.telemetry.report import (
+    LevelDigest,
+    SpanDigest,
+    TelemetrySummary,
+    _digest_engines,
+    _digest_windows,
+    _parse_prom_line,
+)
+from repro.telemetry.windows import WINDOW_FIELDS, WindowRecord
+
+#: Provenance label of the coordinating process's directory.
+ROOT_WORKER = "root"
+
+#: Merged window CSV (deliberately *not* matching ``windows_*.csv``,
+#: so a merged directory's combined file is never re-read as a stage).
+MERGED_WINDOWS_FILE = "run_windows.csv"
+
+#: Default Chrome-trace output name.
+TRACE_FILE = "trace.json"
+
+#: Labels stripped (and thereby summed over) when merging metrics.
+_PROVENANCE_LABELS = ("run", "worker")
+
+_WORKER_DIR = re.compile(r"^worker-(\d+)$")
+
+
+def worker_index(path: str | Path) -> int | None:
+    """The worker number of a ``worker-K`` directory name, else None."""
+    match = _WORKER_DIR.match(Path(path).name)
+    return int(match.group(1)) if match else None
+
+
+# ----------------------------------------------------------------------
+# Discovery and aggregation
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WindowRow:
+    """One window record with its run provenance.
+
+    Attributes:
+        run: run id the record belongs to ("" when unknown).
+        worker: source directory label (``root`` / ``worker-K``).
+        context: stage label (from the CSV file name).
+        record: the raw :class:`WindowRecord`.
+    """
+
+    run: str
+    worker: str
+    context: str
+    record: WindowRecord
+
+
+@dataclass
+class RunAggregate:
+    """One run's telemetry, merged across its worker directories.
+
+    Attributes:
+        root: the aggregated run root (or merged directory).
+        run_ids: distinct run ids seen, in first-seen event order.
+        sources: provenance labels aggregated (``root``, ``worker-0``,
+            ...), in discovery order.
+        events: the merged run log — ordered by ``(ts, worker, seq)``
+            and deduplicated by ``(run, worker, seq)``.
+        metric_kinds: Prometheus base-metric name -> kind.
+        metrics: sample name -> {label tuple -> summed value}; bucket/
+            sum/count samples of histograms appear under their
+            exposition names.
+        windows: every window record with provenance.
+    """
+
+    root: Path
+    run_ids: list[str] = field(default_factory=list)
+    sources: list[str] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
+    metric_kinds: dict[str, str] = field(default_factory=dict)
+    metrics: dict[str, dict[tuple, float]] = field(default_factory=dict)
+    windows: list[WindowRow] = field(default_factory=list)
+
+    @property
+    def run_id(self) -> str | None:
+        """The run id (last seen wins; None for pre-observatory runs)."""
+        return self.run_ids[-1] if self.run_ids else None
+
+    def metric_value(self, name: str, /, **labels: str) -> float:
+        """One merged sample's value (0.0 when absent)."""
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        return self.metrics.get(name, {}).get(key, 0.0)
+
+    # -- digests used by report/diff ------------------------------------
+
+    def span_digests(self) -> list[SpanDigest]:
+        """Per-span-name duration digests over the merged run log."""
+        spans: dict[str, SpanDigest] = {}
+        for event in self.events:
+            if event.get("kind") != "span" or "name" not in event:
+                continue
+            digest = spans.setdefault(
+                event["name"], SpanDigest(event["name"])
+            )
+            duration = float(event.get("duration_s", 0.0))
+            digest.count += 1
+            digest.total_s += duration
+            digest.max_s = max(digest.max_s, duration)
+        return sorted(spans.values(), key=lambda d: d.total_s, reverse=True)
+
+    def level_digests(self) -> list[LevelDigest]:
+        """Per-level window sums across every stage and worker."""
+        by_level: dict[str, LevelDigest] = {}
+        for row in self.windows:
+            digest = by_level.setdefault(
+                row.record.level, LevelDigest(row.record.level)
+            )
+            digest.accesses += row.record.accesses
+            digest.hits += row.record.hits
+            digest.bytes_moved += row.record.bytes_moved
+            digest.writebacks += row.record.writebacks
+        return sorted(by_level.values(), key=lambda d: d.level)
+
+    def vector_fractions(self) -> dict[str, float]:
+        """Per-level engine vector fraction from the merged metrics."""
+        runs: dict[str, dict[str, float]] = {}
+        for key, value in self.metrics.get("repro_engine_runs", {}).items():
+            labels = dict(key)
+            level = labels.get("level")
+            if level is None:
+                continue
+            path = "vector" if labels.get("path") == "vector" else "scalar"
+            runs.setdefault(level, {})[path] = (
+                runs.setdefault(level, {}).get(path, 0.0) + value
+            )
+        fractions = {}
+        for level, paths in runs.items():
+            total = paths.get("vector", 0.0) + paths.get("scalar", 0.0)
+            if total:
+                fractions[level] = paths.get("vector", 0.0) / total
+        return fractions
+
+    def cell_status_counts(self) -> dict[str, float]:
+        """Finished-cell counts by status from the merged metrics."""
+        counts: dict[str, float] = {}
+        for key, value in self.metrics.get(
+            "repro_sweep_cells_total", {}
+        ).items():
+            status = dict(key).get("status", "?")
+            counts[status] = counts.get(status, 0.0) + value
+        return counts
+
+
+def discover_sources(root: str | Path) -> list[tuple[str, Path]]:
+    """A run's telemetry sources: the root itself plus ``worker-K/``.
+
+    Worker directories sort numerically (worker-2 before worker-10).
+
+    Raises:
+        TelemetryError: when ``root`` is not a directory or holds no
+            telemetry artifacts at all.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        raise TelemetryError(f"no telemetry directory at {root}")
+    sources: list[tuple[str, Path]] = []
+    root_has_artifacts = (
+        (root / EVENTS_FILE).exists()
+        or (root / METRICS_FILE).exists()
+        or (root / MERGED_WINDOWS_FILE).exists()
+        or any(root.glob("windows_*.csv"))
+    )
+    if root_has_artifacts:
+        sources.append((ROOT_WORKER, root))
+    workers = []
+    for child in root.iterdir():
+        match = _WORKER_DIR.match(child.name)
+        if match and child.is_dir():
+            workers.append((int(match.group(1)), child))
+    for _, directory in sorted(workers):
+        sources.append((directory.name, directory))
+    if not sources:
+        raise TelemetryError(
+            f"no telemetry artifacts under {root} (expected "
+            f"{EVENTS_FILE}, {METRICS_FILE}, windows_*.csv, or "
+            f"worker-*/ directories)"
+        )
+    return sources
+
+
+def _source_events(label: str, directory: Path) -> list[dict]:
+    """One source's events with provenance defaults for legacy logs.
+
+    Events written before run contexts existed carry no ``worker`` /
+    ``seq`` fields; the source directory and line index stand in so
+    the merge key stays unique without rewriting anything recorded.
+    """
+    path = directory / EVENTS_FILE
+    if not path.exists():
+        return []
+    events = read_jsonl(path)  # drops a kill-torn trailing line
+    for index, event in enumerate(events):
+        event.setdefault("worker", label)
+        event.setdefault("seq", index)
+    return events
+
+
+def _merge_events(per_source: Iterable[list[dict]]) -> list[dict]:
+    """Concatenate, deduplicate by (run, worker, seq), order by time.
+
+    Ordering is ``(ts, worker, seq)``: wall-clock first (out-of-order
+    appends within a file sort into place), provenance as a stable
+    tiebreak so equal timestamps never shuffle between merges.
+    """
+    seen: set[tuple] = set()
+    merged: list[dict] = []
+    for events in per_source:
+        for event in events:
+            key = (
+                event.get("run"),
+                str(event.get("worker", "")),
+                event.get("seq"),
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            merged.append(event)
+    merged.sort(
+        key=lambda e: (
+            float(e.get("ts", 0.0)),
+            str(e.get("worker", "")),
+            int(e.get("seq", 0)),
+        )
+    )
+    return merged
+
+
+def _read_metrics(path: Path) -> tuple[dict[str, str], list[tuple]]:
+    """Parse one exposition file into (kinds, [(name, labels, value)])."""
+    kinds: dict[str, str] = {}
+    samples: list[tuple] = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) == 4 and parts[1] == "TYPE":
+                kinds[parts[2]] = parts[3]
+            continue
+        parsed = _parse_prom_line(line)
+        if parsed is None:
+            raise TelemetryError(
+                f"unparseable metrics line in {path}: {line!r}"
+            )
+        samples.append(parsed)
+    return kinds, samples
+
+
+def _merge_metrics(
+    sources: Sequence[tuple[str, Path]],
+) -> tuple[dict[str, str], dict[str, dict[tuple, float]]]:
+    """Sum every source's samples with provenance labels stripped.
+
+    Counters, histogram buckets, histogram sums/counts, and gauges all
+    sum — cross-worker gauges in this codebase are additive queue
+    depths, and summing keeps the conservation property exact:
+    ``merged == sum(workers)`` for every sample.
+    """
+    kinds: dict[str, str] = {}
+    merged: dict[str, dict[tuple, float]] = {}
+    for _, directory in sources:
+        path = directory / METRICS_FILE
+        if not path.exists():
+            continue
+        file_kinds, samples = _read_metrics(path)
+        for name, kind in file_kinds.items():
+            previous = kinds.setdefault(name, kind)
+            if previous != kind:
+                raise TelemetryError(
+                    f"metric {name} is a {previous} in one worker and "
+                    f"a {kind} in another; refusing to merge {path}"
+                )
+        for name, labels, value in samples:
+            stripped = {
+                k: v for k, v in labels.items()
+                if k not in _PROVENANCE_LABELS
+            }
+            key = tuple(sorted(stripped.items()))
+            bucket = merged.setdefault(name, {})
+            bucket[key] = bucket.get(key, 0.0) + value
+    return kinds, merged
+
+
+def _read_merged_windows(path: Path) -> list[WindowRow]:
+    """Load a ``run_windows.csv`` written by :func:`write_merged`."""
+    expected = ["run", "worker", "context"] + list(
+        CSV_COLUMNS + WINDOW_FIELDS
+    )
+    rows: list[WindowRow] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise TelemetryError(f"empty merged windows CSV {path}") from None
+        if header != expected:
+            raise TelemetryError(
+                f"unexpected merged windows CSV header in {path}: {header!r}"
+            )
+        for number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            try:
+                record = WindowRecord(
+                    index=int(row[3]), start_refs=int(row[4]),
+                    end_refs=int(row[5]), level=row[6],
+                    **{
+                        f: int(v)
+                        for f, v in zip(WINDOW_FIELDS, row[7:])
+                    },
+                )
+            except (ValueError, TypeError) as exc:
+                raise TelemetryError(
+                    f"bad merged windows CSV row {number} in {path}: {exc}"
+                ) from exc
+            rows.append(
+                WindowRow(run=row[0], worker=row[1], context=row[2],
+                          record=record)
+            )
+    return rows
+
+
+def aggregate_run(root: str | Path) -> RunAggregate:
+    """Merge one run's telemetry tree into a :class:`RunAggregate`.
+
+    Accepts either a live run root (root artifacts + ``worker-K/``
+    subdirectories) or a directory previously written by
+    :func:`write_merged` — aggregation is idempotent across the two.
+    """
+    root = Path(root)
+    sources = discover_sources(root)
+    aggregate = RunAggregate(root=root, sources=[s for s, _ in sources])
+
+    per_source = [
+        _source_events(label, directory) for label, directory in sources
+    ]
+    aggregate.events = _merge_events(per_source)
+    for event in aggregate.events:
+        run = event.get("run")
+        if run is not None and run not in aggregate.run_ids:
+            aggregate.run_ids.append(str(run))
+
+    aggregate.metric_kinds, aggregate.metrics = _merge_metrics(sources)
+
+    default_run = aggregate.run_id or ""
+    for label, directory in sources:
+        merged_csv = directory / MERGED_WINDOWS_FILE
+        if merged_csv.exists():
+            aggregate.windows.extend(_read_merged_windows(merged_csv))
+        for csv_path in sorted(directory.glob("windows_*.csv")):
+            context = csv_path.stem[len("windows_"):]
+            for record in read_windows_csv(csv_path):
+                aggregate.windows.append(
+                    WindowRow(run=default_run, worker=label,
+                              context=context, record=record)
+                )
+    return aggregate
+
+
+# ----------------------------------------------------------------------
+# Merged-directory output
+# ----------------------------------------------------------------------
+
+
+def _render_merged_metrics(
+    kinds: dict[str, str], metrics: dict[str, dict[tuple, float]]
+) -> str:
+    """Merged samples back in exposition format (stable order)."""
+
+    def base_name(sample: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            stem = sample[: -len(suffix)] if sample.endswith(suffix) else None
+            if stem and kinds.get(stem) == "histogram":
+                return stem
+        return sample
+
+    def le_rank(labels: tuple) -> tuple:
+        le = dict(labels).get("le")
+        if le is None:
+            return (0, 0.0)
+        return (1, float("inf") if le == "+Inf" else float(le))
+
+    by_base: dict[str, list[tuple[str, tuple, float]]] = {}
+    for sample, entries in metrics.items():
+        for labels, value in entries.items():
+            by_base.setdefault(base_name(sample), []).append(
+                (sample, labels, value)
+            )
+
+    lines: list[str] = []
+    for base in sorted(by_base):
+        kind = kinds.get(base)
+        if kind is not None:
+            lines.append(f"# TYPE {base} {kind}")
+        suffix_rank = {base: 0, f"{base}_bucket": 1, f"{base}_sum": 2,
+                       f"{base}_count": 3}
+        for sample, labels, value in sorted(
+            by_base[base],
+            key=lambda entry: (
+                suffix_rank.get(entry[0], 9),
+                tuple((k, v) for k, v in entry[1] if k != "le"),
+                le_rank(entry[1]),
+            ),
+        ):
+            body = ",".join(f'{k}="{_escape(str(v))}"' for k, v in labels)
+            rendered = "{" + body + "}" if body else ""
+            lines.append(f"{sample}{rendered} {_render_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_merged(
+    aggregate: RunAggregate, out_dir: str | Path
+) -> dict[str, Path]:
+    """Persist an aggregate as a merged telemetry directory.
+
+    Writes ``events.jsonl`` (the ordered run log), ``metrics.prom``
+    (summed snapshot), and ``run_windows.csv`` (all window records
+    with ``run`` / ``worker`` / ``context`` provenance columns). The
+    result is itself a valid input to :func:`aggregate_run`,
+    :func:`chrome_trace`, :func:`diff_runs`, and ``telemetry report``.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths: dict[str, Path] = {}
+
+    events_text = "".join(
+        json.dumps(event, sort_keys=True, default=str) + "\n"
+        for event in aggregate.events
+    )
+    paths["events"] = atomic_write_text(out_dir / EVENTS_FILE, events_text)
+
+    paths["metrics"] = atomic_write_text(
+        out_dir / METRICS_FILE,
+        _render_merged_metrics(aggregate.metric_kinds, aggregate.metrics),
+    )
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["run", "worker", "context"] + list(CSV_COLUMNS + WINDOW_FIELDS)
+    )
+    for row in aggregate.windows:
+        writer.writerow(
+            [row.run, row.worker, row.context, row.record.index,
+             row.record.start_refs, row.record.end_refs, row.record.level]
+            + [getattr(row.record, f) for f in WINDOW_FIELDS]
+        )
+    paths["windows"] = atomic_write_text(
+        out_dir / MERGED_WINDOWS_FILE, buffer.getvalue()
+    )
+    return paths
+
+
+def summary_from_aggregate(aggregate: RunAggregate) -> TelemetrySummary:
+    """A merged-view :class:`TelemetrySummary` (for ``telemetry report``).
+
+    Window stages merge by context across workers; engine digests come
+    from the merged metrics and ``engine_selected`` events.
+    """
+    summary = TelemetrySummary(directory=aggregate.root)
+    engine_events: list[dict] = []
+    for event in aggregate.events:
+        kind = str(event.get("kind", "event"))
+        summary.events_by_kind[kind] = summary.events_by_kind.get(kind, 0) + 1
+        if kind == "engine_selected":
+            engine_events.append(event)
+    summary.spans = aggregate.span_digests()
+
+    by_context: dict[str, list[WindowRecord]] = {}
+    for row in aggregate.windows:
+        by_context.setdefault(row.context, []).append(row.record)
+    summary.stages = [
+        _digest_windows(context, records)
+        for context, records in sorted(by_context.items())
+    ]
+
+    metrics_text = _render_merged_metrics(
+        aggregate.metric_kinds, aggregate.metrics
+    )
+    summary.metrics_lines = len(
+        [line for line in metrics_text.splitlines() if line.strip()]
+    )
+    summary.engines = _digest_engines(engine_events, metrics_text)
+    return summary
+
+
+def render_run_overview(aggregate: RunAggregate) -> str:
+    """The run header ``telemetry report`` prints for multi-worker runs."""
+    lines = [f"run overview: {aggregate.root}"]
+    lines.append(
+        f"  run id: {aggregate.run_id or '(none recorded)'}"
+        + (
+            f" (+{len(aggregate.run_ids) - 1} earlier resume(s))"
+            if len(aggregate.run_ids) > 1 else ""
+        )
+    )
+    lines.append(f"  sources: {', '.join(aggregate.sources)}")
+    per_worker: dict[str, dict[str, float]] = {}
+    for event in aggregate.events:
+        worker = str(event.get("worker", "?"))
+        stats = per_worker.setdefault(
+            worker, {"events": 0, "span_s": 0.0, "cells": 0}
+        )
+        stats["events"] += 1
+        if event.get("kind") == "span":
+            stats["span_s"] += float(event.get("duration_s", 0.0))
+        elif event.get("kind") == "cell_finished":
+            stats["cells"] += 1
+    for worker in aggregate.sources:
+        stats = per_worker.get(
+            worker, {"events": 0, "span_s": 0.0, "cells": 0}
+        )
+        lines.append(
+            f"    {worker}: {int(stats['events'])} event(s), "
+            f"{int(stats['cells'])} cell(s), "
+            f"{stats['span_s']:.3f}s in spans"
+        )
+    counts = aggregate.cell_status_counts()
+    if counts:
+        tally = ", ".join(
+            f"{int(counts[status])} {status}" for status in sorted(counts)
+        )
+        lines.append(f"  cells: {tally}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace export
+# ----------------------------------------------------------------------
+
+#: Event fields never copied into a trace slice's args.
+_TRACE_META_EXCLUDE = frozenset(
+    {"ts", "kind", "name", "duration_s", "seq", "run", "worker", "parent"}
+)
+
+
+def chrome_trace(aggregate: RunAggregate) -> dict:
+    """The merged run as Chrome ``trace_event`` JSON (object format).
+
+    Layout: one *process* (``pid``) per worker, named via metadata
+    events; spans as complete (``ph: "X"``) slices reconstructed from
+    each span event's end timestamp and duration; sweep cells as async
+    (``ph: "b"``/``"e"``) slices so overlapping cells of one worker
+    stay distinct; per-window hit rates as counter (``ph: "C"``)
+    series; remaining lifecycle events as instants (``ph: "i"``).
+    Timestamps are microseconds from the earliest slice start, which
+    both ``chrome://tracing`` and Perfetto accept.
+    """
+    pids = {
+        worker: index + 1 for index, worker in enumerate(aggregate.sources)
+    }
+
+    def pid_for(event: dict) -> int:
+        worker = str(event.get("worker", ROOT_WORKER))
+        if worker not in pids:
+            pids[worker] = len(pids) + 1
+        return pids[worker]
+
+    spans: list[tuple[float, float, int, dict]] = []
+    cells: list[tuple[float, float, int, dict]] = []
+    instants: list[tuple[float, int, dict]] = []
+    counters: list[tuple[float, int, dict]] = []
+    origin: float | None = None
+
+    for event in aggregate.events:
+        kind = event.get("kind")
+        ts = float(event.get("ts", 0.0))
+        pid = pid_for(event)
+        if kind == "span" and "name" in event:
+            duration = float(event.get("duration_s", 0.0))
+            begin = ts - duration
+            spans.append((begin, duration, pid, event))
+            origin = begin if origin is None else min(origin, begin)
+        elif kind == "cell_finished":
+            duration = float(event.get("duration_s", 0.0))
+            begin = ts - duration
+            cells.append((begin, duration, pid, event))
+            origin = begin if origin is None else min(origin, begin)
+        elif kind == "window":
+            counters.append((ts, pid, event))
+            origin = ts if origin is None else min(origin, ts)
+        else:
+            instants.append((ts, pid, event))
+            origin = ts if origin is None else min(origin, ts)
+    origin = origin or 0.0
+
+    def us(seconds: float) -> int:
+        return max(0, int(round((seconds - origin) * 1e6)))
+
+    trace_events: list[dict] = []
+    for worker, pid in sorted(pids.items(), key=lambda kv: kv[1]):
+        trace_events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "ts": 0, "args": {"name": f"{worker}"},
+        })
+
+    for begin, duration, pid, event in spans:
+        args = {
+            k: v for k, v in event.items() if k not in _TRACE_META_EXCLUDE
+        }
+        trace_events.append({
+            "ph": "X", "name": str(event["name"]), "cat": "span",
+            "ts": us(begin), "dur": max(0, int(round(duration * 1e6))),
+            "pid": pid, "tid": 1, "args": args,
+        })
+
+    for index, (begin, duration, pid, event) in enumerate(cells):
+        name = f"{event.get('design', '?')}/{event.get('workload', '?')}"
+        args = {
+            k: v for k, v in event.items() if k not in _TRACE_META_EXCLUDE
+        }
+        for ph, when in (("b", begin), ("e", begin + duration)):
+            trace_events.append({
+                "ph": ph, "name": name, "cat": "cell", "id": index + 1,
+                "ts": us(when), "pid": pid, "tid": 1,
+                "args": args if ph == "b" else {},
+            })
+
+    for ts, pid, event in counters:
+        levels = event.get("levels")
+        if not isinstance(levels, dict):
+            continue
+        context = str(event.get("context", "?"))
+        values = {
+            str(level): float(data.get("hit_rate", 0.0))
+            for level, data in levels.items()
+            if isinstance(data, dict)
+        }
+        if not values:
+            continue
+        trace_events.append({
+            "ph": "C", "name": f"hit_rate {context}", "ts": us(ts),
+            "pid": pid, "tid": 0, "args": values,
+        })
+
+    for ts, pid, event in instants:
+        args = {
+            k: v for k, v in event.items() if k not in _TRACE_META_EXCLUDE
+        }
+        trace_events.append({
+            "ph": "i", "name": str(event.get("kind", "event")),
+            "cat": "event", "ts": us(ts), "pid": pid, "tid": 1, "s": "p",
+            "args": args,
+        })
+
+    other: dict[str, object] = {"source": str(aggregate.root)}
+    if aggregate.run_id is not None:
+        other["run_id"] = aggregate.run_id
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(
+    aggregate: RunAggregate, path: str | Path
+) -> Path:
+    """Write :func:`chrome_trace` output as JSON, atomically."""
+    return atomic_write_text(
+        path, json.dumps(chrome_trace(aggregate), default=str) + "\n"
+    )
+
+
+# ----------------------------------------------------------------------
+# Run-to-run diffing
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DiffThresholds:
+    """Regression thresholds for :func:`diff_runs`.
+
+    Attributes:
+        span_pct: a span name regresses when its total duration grows
+            by more than this percentage *and* by more than
+            ``span_min_s`` seconds (both gates, so microsecond spans
+            cannot trip a percentage alone).
+        span_min_s: absolute floor for span regressions, seconds.
+        hit_rate_abs: a level regresses when its overall hit rate
+            moves by more than this (either direction — a simulation
+            behaviour change, not just a slowdown).
+        vector_fraction_abs: a level regresses when the engine's
+            vectorized-run fraction *drops* by more than this.
+    """
+
+    span_pct: float = 25.0
+    span_min_s: float = 0.05
+    hit_rate_abs: float = 0.005
+    vector_fraction_abs: float = 0.05
+
+    def validate(self) -> "DiffThresholds":
+        """Self with sanity checks applied."""
+        if self.span_pct < 0 or self.span_min_s < 0:
+            raise TelemetryError("span thresholds must be non-negative")
+        if not 0 <= self.hit_rate_abs <= 1:
+            raise TelemetryError("hit_rate_abs must be within [0, 1]")
+        if not 0 <= self.vector_fraction_abs <= 1:
+            raise TelemetryError(
+                "vector_fraction_abs must be within [0, 1]"
+            )
+        return self
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One compared quantity between two runs.
+
+    Attributes:
+        kind: ``span`` / ``hit_rate`` / ``vector_fraction`` / ``cells``.
+        name: span name, level name, or cell status.
+        baseline / candidate: the two values compared.
+        regression: whether the delta crossed its threshold.
+        detail: human-readable context for the report line.
+    """
+
+    kind: str
+    name: str
+    baseline: float
+    candidate: float
+    regression: bool
+    detail: str = ""
+
+    @property
+    def delta(self) -> float:
+        """candidate - baseline."""
+        return self.candidate - self.baseline
+
+
+@dataclass
+class RunDiff:
+    """The outcome of comparing two aggregated runs.
+
+    Attributes:
+        baseline / candidate: the aggregates compared.
+        thresholds: thresholds applied.
+        entries: every compared quantity (regressions and passes).
+    """
+
+    baseline: RunAggregate
+    candidate: RunAggregate
+    thresholds: DiffThresholds
+    entries: list[DiffEntry] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[DiffEntry]:
+        """Entries that crossed a threshold."""
+        return [e for e in self.entries if e.regression]
+
+    @property
+    def ok(self) -> bool:
+        """True when no quantity regressed."""
+        return not self.regressions
+
+
+def diff_runs(
+    baseline: RunAggregate,
+    candidate: RunAggregate,
+    thresholds: DiffThresholds | None = None,
+) -> RunDiff:
+    """Compare two aggregated runs against regression thresholds.
+
+    Two aggregates of the *same* run (or of two identical runs) always
+    produce zero regressions: every comparison is a pure function of
+    the merged artifacts.
+    """
+    thresholds = (thresholds or DiffThresholds()).validate()
+    diff = RunDiff(baseline=baseline, candidate=candidate,
+                   thresholds=thresholds)
+
+    base_spans = {d.name: d for d in baseline.span_digests()}
+    cand_spans = {d.name: d for d in candidate.span_digests()}
+    for name in sorted(set(base_spans) | set(cand_spans)):
+        base_s = base_spans[name].total_s if name in base_spans else 0.0
+        cand_s = cand_spans[name].total_s if name in cand_spans else 0.0
+        grew_s = cand_s - base_s
+        grew_pct = (
+            (cand_s / base_s - 1.0) * 100.0 if base_s > 0
+            else (float("inf") if cand_s > 0 else 0.0)
+        )
+        regression = (
+            grew_s > thresholds.span_min_s
+            and grew_pct > thresholds.span_pct
+        )
+        diff.entries.append(DiffEntry(
+            kind="span", name=name, baseline=base_s, candidate=cand_s,
+            regression=regression,
+            detail=(
+                f"total {base_s:.3f}s -> {cand_s:.3f}s "
+                f"({grew_pct:+.1f}%, limit +{thresholds.span_pct:g}% "
+                f"and +{thresholds.span_min_s:g}s)"
+            ),
+        ))
+
+    base_levels = {d.level: d for d in baseline.level_digests()}
+    cand_levels = {d.level: d for d in candidate.level_digests()}
+    for level in sorted(set(base_levels) | set(cand_levels)):
+        base_rate = (
+            base_levels[level].hit_rate if level in base_levels else 0.0
+        )
+        cand_rate = (
+            cand_levels[level].hit_rate if level in cand_levels else 0.0
+        )
+        delta = cand_rate - base_rate
+        regression = abs(delta) > thresholds.hit_rate_abs
+        diff.entries.append(DiffEntry(
+            kind="hit_rate", name=level, baseline=base_rate,
+            candidate=cand_rate, regression=regression,
+            detail=(
+                f"hit rate {base_rate:.4f} -> {cand_rate:.4f} "
+                f"({delta:+.4f}, limit ±{thresholds.hit_rate_abs:g})"
+            ),
+        ))
+
+    base_vec = baseline.vector_fractions()
+    cand_vec = candidate.vector_fractions()
+    for level in sorted(set(base_vec) | set(cand_vec)):
+        base_f = base_vec.get(level, 0.0)
+        cand_f = cand_vec.get(level, 0.0)
+        drop = base_f - cand_f
+        regression = drop > thresholds.vector_fraction_abs
+        diff.entries.append(DiffEntry(
+            kind="vector_fraction", name=level, baseline=base_f,
+            candidate=cand_f, regression=regression,
+            detail=(
+                f"vector fraction {base_f:.3f} -> {cand_f:.3f} "
+                f"(drop limit {thresholds.vector_fraction_abs:g})"
+            ),
+        ))
+
+    base_cells = baseline.cell_status_counts()
+    cand_cells = candidate.cell_status_counts()
+    for status in sorted(set(base_cells) | set(cand_cells)):
+        base_n = base_cells.get(status, 0.0)
+        cand_n = cand_cells.get(status, 0.0)
+        bad = status in ("failed", "timed_out")
+        regression = bad and cand_n > base_n
+        diff.entries.append(DiffEntry(
+            kind="cells", name=status, baseline=base_n, candidate=cand_n,
+            regression=regression,
+            detail=f"{int(base_n)} -> {int(cand_n)} cell(s) {status}",
+        ))
+
+    return diff
+
+
+def render_diff(diff: RunDiff) -> str:
+    """The diff as a plain-text report (regressions first)."""
+    lines = [
+        "telemetry diff",
+        f"  baseline:  {diff.baseline.root} "
+        f"(run {diff.baseline.run_id or '?'})",
+        f"  candidate: {diff.candidate.root} "
+        f"(run {diff.candidate.run_id or '?'})",
+    ]
+    if diff.regressions:
+        lines.append(f"  REGRESSIONS ({len(diff.regressions)}):")
+        for entry in diff.regressions:
+            lines.append(f"    [{entry.kind}] {entry.name}: {entry.detail}")
+    else:
+        lines.append("  no regressions")
+    compared = {}
+    for entry in diff.entries:
+        compared[entry.kind] = compared.get(entry.kind, 0) + 1
+    summary = ", ".join(
+        f"{count} {kind}" for kind, count in sorted(compared.items())
+    )
+    lines.append(f"  compared: {summary or 'nothing'}")
+    return "\n".join(lines)

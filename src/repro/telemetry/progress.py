@@ -45,6 +45,8 @@ class ProgressReporter:
         self._done = 0
         self._evaluated = 0
         self._evaluated_s = 0.0
+        self._expected_reused = 0
+        self._reused_done = 0
 
     def _print(self, line: str) -> None:
         print(line, file=self.out, flush=True)
@@ -54,7 +56,13 @@ class ProgressReporter:
     def resume_summary(
         self, *, reused: int, to_run: int, abandoned: int
     ) -> None:
-        """One line, before the first cell, on what resume reclaimed."""
+        """One line, before the first cell, on what resume reclaimed.
+
+        Also primes the ETA: the ``reused`` cells will be replayed from
+        the journal at effectively zero cost, so the estimate must not
+        price them like fresh evaluations.
+        """
+        self._expected_reused = int(reused)
         line = (
             f"resume: {reused} cell(s) reused from journal, "
             f"{to_run} to run"
@@ -78,19 +86,33 @@ class ProgressReporter:
         *,
         from_journal: bool = False,
     ) -> None:
-        """Record and print one finished cell with the updated ETA."""
+        """Record and print one finished cell with the updated ETA.
+
+        Journal-reused cells cost ~nothing, so the ETA prices only the
+        cells that still need evaluation: pending reuses (announced by
+        :meth:`resume_summary` but not yet replayed) are subtracted
+        from the remaining count before multiplying by the mean.
+        """
         self._done += 1
-        if not from_journal and status != "skipped":
+        if from_journal:
+            self._reused_done += 1
+        elif status != "skipped":
             self._evaluated += 1
             self._evaluated_s += duration_s
         remaining = max(0, self.total - self._done)
+        pending_reused = max(0, self._expected_reused - self._reused_done)
+        to_evaluate = max(0, remaining - pending_reused)
         if remaining == 0:
             eta = "done"
         elif self._evaluated:
             mean = self._evaluated_s / self._evaluated
-            eta = f"ETA {format_duration(remaining * mean)}"
+            eta = f"ETA {format_duration(to_evaluate * mean)}"
+        elif to_evaluate == 0:
+            eta = "ETA 0.0s"
         else:
             eta = "ETA ?"
+        if self._reused_done:
+            eta += f", {self._reused_done} reused"
         source = " (journal)" if from_journal else ""
         self._print(
             f"[{self._done}/{self.total}] {design}/{workload}: "

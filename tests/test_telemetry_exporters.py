@@ -240,10 +240,26 @@ class TestKillDurability:
         lines = out.getvalue().splitlines()
         assert lines[0] == "resume: 2 cell(s) reused from journal, 2 to run"
 
+        # The executor auto-minted a run context for the resumed
+        # attempt, so every sample carries its provenance labels.
+        run_id = telemetry2.run_context.run_id
         metrics = (telemetry_dir / "resumed" / "metrics.prom").read_text()
-        assert 'repro_sweep_cells_total{status="ok"} 4' in metrics
-        assert "repro_sweep_cells_reused_total 2" in metrics
-        assert "repro_sweep_cells_pending 0" in metrics
+        assert (
+            f'repro_sweep_cells_total'
+            f'{{run="{run_id}",status="ok",worker="root"}} 4' in metrics
+        )
+        assert (
+            f'repro_sweep_cells_reused_total'
+            f'{{run="{run_id}",worker="root"}} 2' in metrics
+        )
+        assert (
+            f'repro_sweep_cells_pending'
+            f'{{run="{run_id}",worker="root"}} 0' in metrics
+        )
+
+        # The resumed attempt's journal lines join back to its run id.
+        resumed_entries = Journal(journal_path).entries()[2:]
+        assert [entry.run_id for entry in resumed_entries] == [run_id] * 2
 
     def test_abandoned_cells_reported_in_resume_summary(self, tmp_path):
         runner = FakeRunner()
@@ -282,9 +298,31 @@ class TestProgressReporter:
         reporter.cell_finished("D", "W1", "ok", 0.0, from_journal=True)
         reporter.cell_finished("D", "W2", "skipped", 0.0)
         lines = out.getvalue().splitlines()
-        assert "(ETA ?)" in lines[0]  # no evaluated cell to extrapolate
+        assert "(ETA ?, 1 reused)" in lines[0]  # nothing to extrapolate
         reporter.cell_finished("D", "W3", "ok", 10.0)
-        assert "(done)" in out.getvalue().splitlines()[-1]
+        assert "(done, 1 reused)" in out.getvalue().splitlines()[-1]
+
+    def test_eta_resume_prices_pending_reuses_at_zero(self):
+        # 6 cells, 4 journalled: after the first fresh 10s cell the
+        # naive estimate would charge the 4 pending reuses full price
+        # (ETA 50s); the reporter must only price the one fresh cell
+        # left (ETA 10s), then count replayed cells separately.
+        out = io.StringIO()
+        reporter = ProgressReporter(6, out=out)
+        reporter.resume_summary(reused=4, to_run=2, abandoned=0)
+        reporter.cell_finished("D", "W1", "ok", 10.0)
+        assert "(ETA 10s)" in out.getvalue().splitlines()[-1]
+        reporter.cell_finished("D", "W2", "ok", 0.0, from_journal=True)
+        assert "(ETA 10s, 1 reused)" in out.getvalue().splitlines()[-1]
+
+    def test_eta_resume_all_remaining_reused_is_zero(self):
+        # Nothing fresh has run yet, but every remaining cell is a
+        # journal replay — the ETA is known to be ~zero, not "?".
+        out = io.StringIO()
+        reporter = ProgressReporter(3, out=out)
+        reporter.resume_summary(reused=3, to_run=0, abandoned=0)
+        reporter.cell_finished("D", "W1", "ok", 0.0, from_journal=True)
+        assert "(ETA 0.0s, 1 reused)" in out.getvalue().splitlines()[-1]
 
     def test_eta_extrapolates_mean_cell_time(self):
         out = io.StringIO()

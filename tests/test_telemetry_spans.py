@@ -108,8 +108,11 @@ class TestEvents:
         telemetry.event("cell_finished", status="ok")
         telemetry.close()
         events = read_jsonl(tmp_path / "events.jsonl")
-        assert events[0] == {"ts": 111.0, "kind": "sweep_started", "cells": 4}
+        assert events[0] == {
+            "ts": 111.0, "kind": "sweep_started", "cells": 4, "seq": 0,
+        }
         assert events[1]["ts"] == 222.0
+        assert events[1]["seq"] == 1  # per-directory monotone counter
 
     def test_event_lines_are_valid_json_objects(self, tmp_path):
         telemetry = Telemetry(tmp_path)
