@@ -14,7 +14,12 @@ Subcommands:
   retries (``--max-retries``), per-cell deadlines (``--cell-timeout``),
   keep-going semantics (``--keep-going``), and process-parallel
   execution (``--workers N``; shared lower-level prefixes simulate
-  once per workload unless ``--no-share-prefixes``).
+  once per workload unless ``--no-share-prefixes``). Parallel runs use
+  the supervised worker pool by default — dead workers respawn up to
+  ``--max-worker-restarts``, cells that kill ``--poison-threshold``
+  successive workers are quarantined as ``poisoned``, and SIGINT or
+  SIGTERM drains gracefully to an exact-resume journal
+  (``--no-supervise`` restores the legacy shard pool).
 
 - ``telemetry report DIR`` — summarize a telemetry directory written
   by a previous ``--telemetry DIR`` run (span digests, window files,
@@ -180,6 +185,9 @@ def _run_resilient_sweep(args, runner: Runner, workloads) -> int:
         resume=args.resume,
         progress=ProgressReporter(len(designs) * len(workloads)),
         workers=args.workers,
+        supervise=args.supervise,
+        max_worker_restarts=args.max_worker_restarts,
+        poison_threshold=args.poison_threshold,
         share_prefixes=not args.no_share_prefixes,
     )
     result = executor.run(designs, workloads)
@@ -387,6 +395,23 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=int, default=1,
         help="worker processes evaluating cells (default 1: in-process; "
         "pair with --trace-cache so workers share traced streams)",
+    )
+    sweep.add_argument(
+        "--supervise", action=argparse.BooleanOptionalAction,
+        default=True,
+        help="with --workers N, run the supervised worker pool (crash "
+        "recovery, work stealing, graceful drain; default). "
+        "--no-supervise falls back to the legacy shard pool",
+    )
+    sweep.add_argument(
+        "--max-worker-restarts", type=int, default=3,
+        help="total respawn budget for dead pool workers before the "
+        "campaign degrades (default 3)",
+    )
+    sweep.add_argument(
+        "--poison-threshold", type=int, default=2,
+        help="successive worker deaths one cell may cause before it is "
+        "quarantined as poisoned (default 2)",
     )
     sweep.add_argument(
         "--no-share-prefixes", action="store_true",

@@ -55,16 +55,18 @@ def run_sweep(
     workloads: Sequence[Workload],
     *,
     workers: int = 1,
+    supervise: bool = True,
 ) -> list[SweepRecord]:
     """Evaluate every design on every workload.
 
     Thin fail-fast wrapper over
     :class:`repro.resilience.executor.SweepExecutor` (shared-prefix
     batching included): the first cell failure re-raises its original
-    exception. ``workers > 1`` runs the grid on a process pool; the
-    live exception object then cannot cross the process boundary, so
-    failures re-raise as :class:`~repro.errors.SweepError` carrying the
-    formatted chain. For journalling, retries, deadlines, and
+    exception. ``workers > 1`` runs the grid on the supervised worker
+    pool (``supervise=False`` falls back to the legacy shard pool);
+    the live exception object then cannot cross the process boundary,
+    so failures re-raise as :class:`~repro.errors.SweepError` carrying
+    the formatted chain. For journalling, retries, deadlines, and
     keep-going semantics, use the executor directly.
     """
     designs = list(designs)
@@ -75,13 +77,13 @@ def run_sweep(
     from repro.errors import SweepError
     from repro.resilience.executor import SweepExecutor
 
-    result = SweepExecutor(runner, keep_going=False, workers=workers).run(
-        designs, workloads
-    )
+    result = SweepExecutor(
+        runner, keep_going=False, workers=workers, supervise=supervise
+    ).run(designs, workloads)
     for outcome in result.outcomes:
         if outcome.exception is not None:
             raise outcome.exception
-        if outcome.status in ("failed", "timed_out"):
+        if outcome.status in ("failed", "timed_out", "poisoned"):
             raise SweepError(
                 f"cell {outcome.design}/{outcome.workload} "
                 f"{outcome.status}: {outcome.error}"

@@ -12,15 +12,21 @@ artifacts. This package provides the resilience layer:
 - :mod:`repro.resilience.executor` — the fault-isolated sweep executor
   with per-cell deadlines and a degradation report
   (:class:`SweepExecutor`, :class:`CampaignResult`).
+- :mod:`repro.resilience.pool` — the supervised persistent worker pool
+  behind ``workers > 1``: per-cell dispatch (work stealing),
+  heartbeats, dead-worker respawn, poison-cell quarantine, a
+  hung-worker watchdog, and graceful SIGINT/SIGTERM drain
+  (:class:`SupervisedPool`).
 - :mod:`repro.resilience.faults` — a deterministic fault-injection
-  harness (cell failures, slow cells, mid-campaign kills, artifact
-  corruption) so the resilience paths are themselves tested
-  (:class:`FaultInjector`).
+  harness (cell failures, slow cells, mid-campaign kills, worker
+  kills/hangs, artifact corruption) so the resilience paths are
+  themselves tested (:class:`FaultInjector`).
 """
 
 from repro.resilience.executor import (
     STATUS_FAILED,
     STATUS_OK,
+    STATUS_POISONED,
     STATUS_SKIPPED,
     STATUS_TIMED_OUT,
     CampaignResult,
@@ -32,6 +38,7 @@ from repro.resilience.faults import (
     CampaignKill,
     FaultInjector,
     InjectedFault,
+    acquire_latch,
     bitflip_file,
     truncate_file,
 )
@@ -42,6 +49,7 @@ from repro.resilience.journal import (
     cell_key,
     cell_key_for,
 )
+from repro.resilience.pool import PoolStats, PoolTuning, SupervisedPool
 from repro.resilience.retry import NO_RETRY, RetryPolicy, call_with_retries
 
 __all__ = [
@@ -52,18 +60,23 @@ __all__ = [
     "STATUS_FAILED",
     "STATUS_SKIPPED",
     "STATUS_TIMED_OUT",
+    "STATUS_POISONED",
     "format_exception_chain",
     "Journal",
     "JournalEntry",
     "SCHEMA_VERSION",
     "cell_key",
     "cell_key_for",
+    "SupervisedPool",
+    "PoolStats",
+    "PoolTuning",
     "RetryPolicy",
     "NO_RETRY",
     "call_with_retries",
     "FaultInjector",
     "InjectedFault",
     "CampaignKill",
+    "acquire_latch",
     "truncate_file",
     "bitflip_file",
 ]

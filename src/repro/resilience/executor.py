@@ -19,15 +19,23 @@ executor runs that grid so one bad cell can't sink the campaign:
   succeeded, which needed retries, which were abandoned, and the
   (seed, cell key) pair that reproduces each failure.
 
-With ``workers=N`` the grid runs on a **process pool**: cells are
-grouped into workload-affine shards (each worker traces and prepares a
-workload at most once, and all workers share the on-disk trace cache),
-shard order is deterministically seeded, and every worker evaluates its
-shard under the same retry policy and per-cell deadline in its own
-process. Results flow back through the same journal and telemetry
-paths — resume, fault isolation, and the degradation report are
-unchanged; only the live exception objects cannot cross the process
-boundary (the formatted error chains still do).
+With ``workers=N`` the grid runs on the **supervised worker pool**
+(:mod:`repro.resilience.pool`, the default): workers pull individual
+cells from the parent (work stealing), every result is journalled on
+arrival, and the supervisor survives worker *process* deaths —
+respawning killed workers up to a budget, requeueing their in-flight
+cells, quarantining "poison" cells that kill ``poison_threshold``
+successive workers (recorded as ``poisoned``), escalating hung workers
+soft-cancel → SIGTERM → SIGKILL past the cell deadline, and draining
+gracefully on SIGINT/SIGTERM with an exact-resume journal.
+``supervise=False`` falls back to the legacy workload-affine shard
+pool (one :class:`~concurrent.futures.ProcessPoolExecutor` future per
+shard); there, workers journal each cell to a per-worker sidecar so a
+mid-shard crash no longer discards the shard's finished cells. In both
+modes results flow back through the same journal and telemetry paths —
+resume, fault isolation, and the degradation report are unchanged;
+only live exception objects cannot cross the process boundary (the
+formatted error chains still do).
 """
 
 from __future__ import annotations
@@ -42,7 +50,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SweepError
 from repro.model.evaluate import Evaluation
 from repro.resilience.journal import Journal, JournalEntry, cell_key_for
 from repro.resilience.retry import NO_RETRY, RetryPolicy
@@ -69,6 +77,7 @@ STATUS_OK = "ok"
 STATUS_FAILED = "failed"
 STATUS_SKIPPED = "skipped"
 STATUS_TIMED_OUT = "timed_out"
+STATUS_POISONED = "poisoned"
 
 
 def format_exception_chain(exc: BaseException) -> str:
@@ -134,10 +143,17 @@ class CampaignResult:
     Attributes:
         outcomes: one entry per grid cell, in sweep order.
         seed: the retry policy's jitter seed (reproduction handle).
+        restarts: replacement workers the supervised pool spawned.
+        requeues: in-flight cells recovered from dead workers.
+        drained: a SIGINT/SIGTERM drain interrupted the campaign
+            (the skipped cells resume exactly from the journal).
     """
 
     outcomes: list[CellOutcome]
     seed: int = 0
+    restarts: int = 0
+    requeues: int = 0
+    drained: bool = False
 
     @property
     def evaluations(self) -> list[CellOutcome]:
@@ -146,10 +162,11 @@ class CampaignResult:
 
     @property
     def failures(self) -> list[CellOutcome]:
-        """Cells abandoned as failed or timed out."""
+        """Cells abandoned as failed, timed out, or poisoned."""
         return [
             o for o in self.outcomes
-            if o.status in (STATUS_FAILED, STATUS_TIMED_OUT)
+            if o.status in (STATUS_FAILED, STATUS_TIMED_OUT,
+                            STATUS_POISONED)
         ]
 
     @property
@@ -172,13 +189,24 @@ class CampaignResult:
         summary = ", ".join(
             f"{tally.get(status, 0)} {status}"
             for status in (STATUS_OK, STATUS_FAILED, STATUS_TIMED_OUT,
-                           STATUS_SKIPPED)
+                           STATUS_POISONED, STATUS_SKIPPED)
             if tally.get(status, 0)
         )
         lines.append(f"  {total} cells: {summary or 'none'}")
         reused = sum(1 for o in self.outcomes if o.from_journal)
         if reused:
             lines.append(f"  {reused} reused from journal (not re-evaluated)")
+        if self.restarts or self.requeues or tally.get(STATUS_POISONED):
+            lines.append(
+                f"  supervision: {self.restarts} worker restart(s), "
+                f"{self.requeues} requeue(s), "
+                f"{tally.get(STATUS_POISONED, 0)} poisoned"
+            )
+        if self.drained:
+            lines.append(
+                "  campaign drained by signal; skipped cells resume "
+                "exactly from the journal"
+            )
         if self.retried:
             lines.append("  retried cells:")
             for o in self.retried:
@@ -228,9 +256,26 @@ class SweepExecutor:
             :class:`~repro.telemetry.progress.ProgressReporter` for
             live per-cell lines, ETA, and the resume summary.
         workers: processes evaluating cells. 1 (default) runs the grid
-            serially in-process; N > 1 spreads workload-affine shards
-            over a process pool (give the runner a
-            ``trace_cache_dir`` so workers share traced streams).
+            serially in-process; N > 1 runs it on the supervised
+            worker pool (give the runner a ``trace_cache_dir`` so
+            workers share traced streams).
+        supervise: with ``workers > 1``, True (default) uses the
+            supervised persistent pool (crash recovery, work stealing,
+            graceful drain — see :mod:`repro.resilience.pool`); False
+            falls back to the legacy workload-affine shard pool.
+        max_worker_restarts: supervised mode's total respawn budget for
+            dead workers; past it the pool degrades (remaining cells
+            fail with a pool-exhausted error) instead of raising.
+        poison_threshold: successive worker deaths one cell may cause
+            before the supervisor quarantines it as ``poisoned``.
+        worker_faults: a picklable
+            :class:`~repro.resilience.faults.FaultInjector` that every
+            worker process wraps around its evaluate callable (chaos
+            testing for the supervisor itself). Requires
+            ``workers > 1``; in-process injection uses ``evaluate=``.
+        pool_tuning: supervision timing knobs
+            (:class:`~repro.resilience.pool.PoolTuning`); None uses
+            production defaults.
         share_prefixes: batch-simulate each workload's designs through
             :meth:`Runner.simulate_designs` before evaluating cells,
             so config-identical lower-level prefixes run once. Applied
@@ -254,6 +299,11 @@ class SweepExecutor:
         telemetry: Telemetry | NullTelemetry | None = None,
         progress: ProgressReporter | None = None,
         workers: int = 1,
+        supervise: bool = True,
+        max_worker_restarts: int = 3,
+        poison_threshold: int = 2,
+        worker_faults=None,
+        pool_tuning=None,
         share_prefixes: bool = True,
     ) -> None:
         if cell_timeout_s is not None and cell_timeout_s <= 0:
@@ -264,6 +314,15 @@ class SweepExecutor:
             raise ConfigError(
                 "a custom evaluate callable cannot cross the process "
                 "boundary; use workers=1 with evaluation overrides"
+            )
+        if max_worker_restarts < 0:
+            raise ConfigError("max_worker_restarts must be >= 0")
+        if poison_threshold < 1:
+            raise ConfigError("poison_threshold must be >= 1")
+        if worker_faults is not None and workers == 1:
+            raise ConfigError(
+                "worker_faults targets worker processes; with workers=1 "
+                "inject in-process via evaluate=injector.wrap(...)"
             )
         self.runner = runner
         self.retry = retry if retry is not None else NO_RETRY
@@ -279,6 +338,11 @@ class SweepExecutor:
         self.telemetry = telemetry
         self.progress = progress
         self.workers = workers
+        self.supervise = supervise
+        self.max_worker_restarts = max_worker_restarts
+        self.poison_threshold = poison_threshold
+        self.worker_faults = worker_faults
+        self.pool_tuning = pool_tuning
         self.share_prefixes = share_prefixes
 
     def _telemetry(self) -> Telemetry | NullTelemetry:
@@ -407,6 +471,7 @@ class SweepExecutor:
 
         journalled: dict[str, JournalEntry] = {}
         if self.journal is not None and self.resume:
+            self._absorb_sidecars()
             journalled = self.journal.load()
 
         tel = self._telemetry()
@@ -455,9 +520,14 @@ class SweepExecutor:
         pending.set(total)
 
         if self.workers > 1:
-            result = self._run_parallel(
-                grid, journalled, tel, progress, pending, run_id
-            )
+            if self.supervise:
+                result = self._run_supervised(
+                    grid, journalled, tel, progress, pending, run_id
+                )
+            else:
+                result = self._run_parallel(
+                    grid, journalled, tel, progress, pending, run_id
+                )
             tel.event("sweep_finished", cells=total, **result.counts())
             tel.flush()
             return result
@@ -550,6 +620,156 @@ class SweepExecutor:
                 outcome.duration_s, from_journal=outcome.from_journal,
             )
 
+    def _journal_entry(
+        self, outcome: CellOutcome, evaluation: dict | None,
+        run_id: str | None,
+    ) -> JournalEntry:
+        """The journal line for one finished cell."""
+        return JournalEntry(
+            key=outcome.key, design=outcome.design,
+            workload=outcome.workload,
+            scale=self.runner.scale, seed=self.runner.seed,
+            status=outcome.status, attempts=outcome.attempts,
+            duration_s=outcome.duration_s, error=outcome.error,
+            evaluation=evaluation, run_id=run_id,
+        )
+
+    def _absorb_sidecars(self) -> None:
+        """Fold stale worker sidecar journals into the main journal.
+
+        Legacy shard workers journal per cell to
+        ``<journal>.worker-K`` sidecars. Normally the parent merges
+        them in-line and deletes them; sidecars still on disk mean the
+        *parent* died mid-campaign, and the cells they hold must not
+        re-run on resume.
+        """
+        if self.journal is None:
+            return
+        pattern = f"{self.journal.path.name}.worker-*"
+        for path in sorted(self.journal.path.parent.glob(pattern)):
+            try:
+                entries = Journal(path).entries()
+            except SweepError:
+                logger.warning(
+                    "ignoring unreadable sidecar journal %s", path
+                )
+                entries = []
+            for entry in entries:
+                self.journal.append(entry)
+            path.unlink(missing_ok=True)
+
+    # -- supervised campaign --------------------------------------------
+
+    def _run_supervised(
+        self, grid, journalled, tel, progress, pending, run_id=None
+    ) -> CampaignResult:
+        """Run the grid on the supervised persistent worker pool.
+
+        Cells are dispatched individually (work stealing); every result
+        is journalled in the parent as it arrives — before the next
+        cell is dispatched to that worker — so a crash at any point
+        leaves an exact-resume journal. Worker deaths degrade the
+        campaign (requeue / poison / pool-exhausted failures) but never
+        abort it.
+        """
+        from repro.resilience.pool import SupervisedPool
+
+        results: dict[str, CellOutcome] = {}
+        run_cells = []
+        for design, workload, key in grid:
+            prior = journalled.get(key)
+            if prior is not None and prior.status == STATUS_OK:
+                outcome = CellOutcome(
+                    key=key, design=design.name, workload=workload.name,
+                    status=STATUS_OK, attempts=0, duration_s=0.0,
+                    evaluation=prior.load_evaluation(), from_journal=True,
+                )
+                results[key] = outcome
+                self._record_outcome(tel, progress, pending, outcome)
+            else:
+                run_cells.append((design, workload, key))
+
+        tel.event(
+            "sweep_supervised", workers=self.workers,
+            cells=len(run_cells),
+            max_worker_restarts=self.max_worker_restarts,
+            poison_threshold=self.poison_threshold,
+        )
+
+        def deliver(record: dict) -> None:
+            outcome = _outcome_from_record(record)
+            results[outcome.key] = outcome
+            self._record_outcome(tel, progress, pending, outcome)
+            if self.journal is not None:
+                self.journal.append(
+                    self._journal_entry(
+                        outcome, record.get("evaluation"), run_id
+                    )
+                )
+
+        pool = SupervisedPool(
+            workers=self.workers,
+            runner_args=self._runner_args(),
+            retry=self.retry,
+            cell_timeout_s=self.cell_timeout_s,
+            max_worker_restarts=self.max_worker_restarts,
+            poison_threshold=self.poison_threshold,
+            telemetry=tel,
+            telemetry_root=(
+                tel.directory if isinstance(tel, Telemetry) else None
+            ),
+            run_id=run_id,
+            worker_faults=self.worker_faults,
+            tuning=self.pool_tuning,
+        )
+        stats, leftover = pool.run(
+            run_cells, keep_going=self.keep_going, on_result=deliver
+        )
+
+        outcomes: list[CellOutcome] = []
+        for design, workload, key in grid:
+            outcome = results.get(key)
+            if outcome is None:
+                if stats.drained:
+                    error = (
+                        "skipped: campaign drained by signal before "
+                        "this cell ran (resume with the journal)"
+                    )
+                elif stats.exhausted:
+                    error = (
+                        f"skipped: worker pool exhausted after "
+                        f"{stats.respawns} respawn(s)"
+                    )
+                else:
+                    error = ("skipped: an earlier cell failed and "
+                             "keep_going is off")
+                outcome = CellOutcome(
+                    key=key, design=design.name, workload=workload.name,
+                    status=STATUS_SKIPPED, attempts=0, duration_s=0.0,
+                    error=error,
+                )
+                self._record_outcome(tel, progress, pending, outcome)
+            outcomes.append(outcome)
+        return CampaignResult(
+            outcomes=outcomes, seed=self.retry.seed,
+            restarts=stats.respawns, requeues=stats.requeues,
+            drained=stats.drained,
+        )
+
+    def _runner_args(self) -> dict:
+        """The picklable kwargs rebuilding the runner in a worker."""
+        return {
+            "scale": self.runner.scale,
+            "seed": self.runner.seed,
+            "reference": getattr(self.runner, "reference", None),
+            "local_factor": getattr(self.runner, "local_factor", 0.0),
+            "trace_cache_dir": getattr(
+                self.runner, "trace_cache_dir", None
+            ),
+            "drain": getattr(self.runner, "drain", False),
+            "engine": getattr(self.runner, "engine", "auto"),
+        }
+
     # -- shared-prefix batch simulation ---------------------------------
 
     def _presim_workloads(self, grid, journalled, tel) -> None:
@@ -627,6 +847,50 @@ class SweepExecutor:
         rng.shuffle(shards)
         return shards
 
+    def _recover_shard_records(
+        self, payload: dict, exc: BaseException
+    ) -> list[dict]:
+        """Salvage a crashed shard from its per-cell sidecar journal.
+
+        The worker journals each finished cell to its sidecar before
+        moving on, so a mid-shard crash (e.g. SIGKILL raising
+        ``BrokenProcessPool``) loses only the in-flight cell; every
+        completed cell's record is rebuilt from the sidecar and only
+        the rest are marked failed.
+        """
+        recovered: dict[str, JournalEntry] = {}
+        sidecar = payload.get("journal_sidecar")
+        if sidecar and Path(sidecar).exists():
+            try:
+                recovered = Journal(sidecar).load()
+            except SweepError:
+                logger.warning(
+                    "ignoring unreadable sidecar journal %s", sidecar
+                )
+        records = []
+        for design, key in payload["cells"]:
+            entry = recovered.get(key)
+            if entry is not None:
+                records.append({
+                    "key": entry.key, "design": entry.design,
+                    "workload": entry.workload, "status": entry.status,
+                    "attempts": entry.attempts,
+                    "duration_s": entry.duration_s,
+                    "error": entry.error,
+                    "evaluation": entry.evaluation,
+                })
+            else:
+                records.append({
+                    "key": key, "design": design.name,
+                    "workload": payload["workload"].name,
+                    "status": STATUS_FAILED, "attempts": 1,
+                    "duration_s": 0.0,
+                    "error": "worker process failed: "
+                    + format_exception_chain(exc),
+                    "evaluation": None,
+                })
+        return records
+
     def _run_parallel(
         self, grid, journalled, tel, progress, pending, run_id=None
     ) -> CampaignResult:
@@ -680,6 +944,12 @@ class SweepExecutor:
                 "telemetry_dir": worker_dir,
                 "workload": workload,
                 "cells": [(design, key) for design, _, key in shard],
+                "journal_sidecar": (
+                    f"{self.journal.path}.worker-{index}"
+                    if self.journal is not None
+                    else None
+                ),
+                "worker_faults": self.worker_faults,
             })
         tel.event(
             "sweep_parallel", workers=self.workers, shards=len(payloads),
@@ -706,18 +976,7 @@ class SweepExecutor:
                     records = future.result()
                 except Exception as exc:
                     error = exc
-                    records = [
-                        {
-                            "key": key, "design": design.name,
-                            "workload": payload["workload"].name,
-                            "status": STATUS_FAILED, "attempts": 1,
-                            "duration_s": 0.0,
-                            "error": "worker process failed: "
-                            + format_exception_chain(exc),
-                            "evaluation": None,
-                        }
-                        for design, key in payload["cells"]
-                    ]
+                    records = self._recover_shard_records(payload, exc)
                 shard_failed = False
                 for record in records:
                     outcome = _outcome_from_record(record)
@@ -750,6 +1009,14 @@ class SweepExecutor:
                     abort = True
                     for other in futures:
                         other.cancel()
+
+        # Every shard's results are now merged into the main journal;
+        # the worker sidecars are redundant (stale ones left by a dead
+        # *parent* are absorbed at the next run's start instead).
+        for payload in payloads:
+            sidecar = payload.get("journal_sidecar")
+            if sidecar:
+                Path(sidecar).unlink(missing_ok=True)
 
         outcomes: list[CellOutcome] = []
         for design, workload, key in grid:
@@ -808,6 +1075,10 @@ def _run_shard(payload: dict) -> list[dict]:
     set_active(telemetry)
     try:
         runner = Runner(telemetry=telemetry, **payload["runner_args"])
+        evaluate = None
+        faults = payload.get("worker_faults")
+        if faults is not None:
+            evaluate = faults.wrap(runner.evaluate)
         child = SweepExecutor(
             runner,
             retry=payload["retry"],
@@ -815,8 +1086,14 @@ def _run_shard(payload: dict) -> list[dict]:
             keep_going=True,
             journal=None,
             resume=False,
+            evaluate=evaluate,
             telemetry=telemetry,
             share_prefixes=payload["share_prefixes"],
+        )
+        sidecar = (
+            Journal(payload["journal_sidecar"])
+            if payload.get("journal_sidecar")
+            else None
         )
         workload = payload["workload"]
         cells = payload["cells"]
@@ -835,6 +1112,29 @@ def _run_shard(payload: dict) -> list[dict]:
                 "sweep.cell", design=design.name, workload=workload.name
             ):
                 outcome = child._run_cell(design, workload, key)
+            evaluation = (
+                None if outcome.evaluation is None
+                else dataclasses.asdict(outcome.evaluation)
+            )
+            if sidecar is not None:
+                # Journalled before the next cell starts: a mid-shard
+                # crash then loses only the in-flight cell, and the
+                # parent (or a resumed campaign) recovers the rest.
+                sidecar.append(
+                    JournalEntry(
+                        key=outcome.key, design=outcome.design,
+                        workload=outcome.workload,
+                        scale=payload["runner_args"]["scale"],
+                        seed=payload["runner_args"]["seed"],
+                        status=outcome.status,
+                        attempts=outcome.attempts,
+                        duration_s=outcome.duration_s,
+                        error=outcome.error,
+                        evaluation=evaluation,
+                        run_id=payload.get("run_id"),
+                    )
+                )
+                telemetry.flush()
             records.append({
                 "key": outcome.key,
                 "design": outcome.design,
@@ -843,10 +1143,7 @@ def _run_shard(payload: dict) -> list[dict]:
                 "attempts": outcome.attempts,
                 "duration_s": outcome.duration_s,
                 "error": outcome.error,
-                "evaluation": (
-                    None if outcome.evaluation is None
-                    else dataclasses.asdict(outcome.evaluation)
-                ),
+                "evaluation": evaluation,
             })
         return records
     finally:

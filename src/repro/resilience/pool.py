@@ -1,0 +1,852 @@
+"""Supervised persistent worker pool with work stealing.
+
+The shard-based pool in :mod:`repro.resilience.executor` has one blind
+spot: a worker *process* dying (OOM killer, scheduler SIGKILL) used to
+surface as ``BrokenProcessPool`` and abort the whole campaign — the
+one failure mode per-cell fault isolation cannot catch from inside the
+process. This module supervises the processes themselves:
+
+- **work stealing** — workers pull *individual cells* from the
+  parent's dispatch queue over per-worker pipes, so a fast worker
+  drains the tail instead of idling behind a static shard split;
+- **heartbeats** — each worker emits a heartbeat from a dedicated
+  thread; silence past a timeout marks the process wedged even when
+  the OS still reports it alive;
+- **crash recovery** — a dead worker's in-flight cell is requeued and
+  the worker respawned (up to ``max_worker_restarts``); a cell that
+  kills ``poison_threshold`` successive workers is quarantined as
+  ``poisoned`` and the campaign continues;
+- **hung-worker watchdog** — a cell past its deadline escalates
+  soft-cancel (cooperative event) → SIGTERM → SIGKILL, de-escalating
+  if the cell finishes inside a grace window;
+- **graceful drain** — SIGINT/SIGTERM on the parent stops dispatch,
+  waits for in-flight cells, flushes journal and telemetry, and leaves
+  an exact-resume journal (a second signal force-kills).
+
+One duplex pipe per worker — never a shared queue — so a SIGKILLed
+worker cannot die holding a shared lock and deadlock its peers; pipe
+EOF doubles as a death signal. Every supervision event flows through
+the parent's RunContext-stamped telemetry (``worker_spawned`` /
+``worker_died`` / ``worker_respawned`` / ``cell_requeued`` /
+``cell_poisoned`` / ``worker_hung`` / ``pool_drain`` /
+``pool_exhausted``) so ``telemetry report``/``merge``/``diff`` see the
+supervision story alongside the simulation one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import signal
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
+
+from repro.errors import ConfigError
+from repro.resilience.executor import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_POISONED,
+    STATUS_TIMED_OUT,
+    SweepExecutor,
+)
+from repro.telemetry.core import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    RunContext,
+    Telemetry,
+    set_active,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.resilience.faults import FaultInjector
+    from repro.resilience.retry import RetryPolicy
+
+#: Watchdog escalation stages, in order.
+STAGE_SOFT_CANCEL = "soft_cancel"
+STAGE_SIGTERM = "sigterm"
+STAGE_SIGKILL = "sigkill"
+
+_STAGE_NAMES = {1: STAGE_SOFT_CANCEL, 2: STAGE_SIGTERM, 3: STAGE_SIGKILL}
+
+
+@dataclass(frozen=True)
+class PoolTuning:
+    """Supervision timing knobs (tests shrink these aggressively).
+
+    Attributes:
+        heartbeat_interval_s: worker heartbeat period.
+        heartbeat_timeout_s: beat silence after which an apparently
+            alive worker is treated as wedged and escalated.
+        soft_grace_s: grace after the cooperative cancel before
+            SIGTERM.
+        term_grace_s: grace after SIGTERM before SIGKILL.
+        tick_s: supervisor loop period (message wait timeout).
+        cancel_poll_s: worker-side poll period for the cancel event
+            while a cell runs.
+        shutdown_grace_s: join timeout per worker at pool shutdown
+            before force-killing stragglers.
+    """
+
+    heartbeat_interval_s: float = 0.25
+    heartbeat_timeout_s: float = 10.0
+    soft_grace_s: float = 0.5
+    term_grace_s: float = 2.0
+    tick_s: float = 0.05
+    cancel_poll_s: float = 0.02
+    shutdown_grace_s: float = 5.0
+
+
+DEFAULT_TUNING = PoolTuning()
+
+
+@dataclass
+class PoolStats:
+    """What the supervisor did during one campaign.
+
+    Attributes:
+        spawned: worker processes started (initial + respawns).
+        deaths: worker deaths observed (escalated or not).
+        respawns: replacement workers started.
+        requeues: in-flight cells returned to the queue after a death.
+        poisoned: cells quarantined for killing too many workers.
+        escalations: hung-worker escalations begun.
+        drained: a drain signal interrupted the campaign.
+        exhausted: the restart budget ran out with cells outstanding.
+    """
+
+    spawned: int = 0
+    deaths: int = 0
+    respawns: int = 0
+    requeues: int = 0
+    poisoned: int = 0
+    escalations: int = 0
+    drained: bool = False
+    exhausted: bool = False
+
+
+@contextmanager
+def _drain_signals(
+    drain: threading.Event, force: threading.Event
+) -> Iterator[bool]:
+    """Route SIGINT/SIGTERM into drain/force events for the pool loop.
+
+    The handler only sets events: :meth:`Telemetry.event` takes a
+    non-reentrant lock, so the supervisor loop — never the signal
+    handler — emits the ``pool_drain`` event. A second signal sets
+    ``force`` (immediate stop). Off the main thread (or where signals
+    are unavailable) this is a no-op and yields False.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield False
+        return
+
+    def handler(signum, frame) -> None:
+        if drain.is_set():
+            force.set()
+        drain.set()
+
+    previous: dict[int, object] = {}
+    installed: list[int] = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, handler)
+            installed.append(signum)
+        except (ValueError, OSError):  # pragma: no cover - exotic hosts
+            pass
+    try:
+        yield True
+    finally:
+        for signum in installed:
+            signal.signal(signum, previous[signum])
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+
+
+def _pool_worker(conn, cancel_event, payload: dict) -> None:
+    """One pool worker: pull cells, evaluate, ack, repeat.
+
+    Protocol (worker -> parent, all tuples): ``("heartbeat", ts)``,
+    ``("cell_started", key, ts)``, ``("cell_finished", record)``,
+    ``("cell_abandoned", key)``, ``("drained",)``. Parent -> worker:
+    a ``(design, workload, key)`` cell, or ``None`` to drain.
+    """
+    # Forked workers inherit the parent's drain handlers; reset them so
+    # Ctrl-C to the process group cannot kill workers mid-drain and the
+    # watchdog's SIGTERM actually terminates the process.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+
+    from repro.experiments.runner import Runner
+
+    index = payload["worker_index"]
+    context = (
+        RunContext(payload["run_id"]).child(f"worker-{index}")
+        if payload.get("run_id")
+        else None
+    )
+    telemetry: Telemetry | NullTelemetry = (
+        Telemetry(payload["telemetry_dir"], run_context=context)
+        if payload.get("telemetry_dir")
+        else NULL_TELEMETRY
+    )
+    # The parent's active telemetry must not be shared across processes
+    # (torn event lines, clobbered snapshots).
+    set_active(telemetry)
+
+    send_lock = threading.Lock()
+
+    def send(message: tuple) -> None:
+        with send_lock:
+            try:
+                conn.send(message)
+            except (BrokenPipeError, OSError):
+                pass
+
+    stop_beats = threading.Event()
+
+    def beat() -> None:
+        while not stop_beats.wait(payload["heartbeat_interval_s"]):
+            send(("heartbeat", time.monotonic()))
+
+    threading.Thread(
+        target=beat, name=f"pool-beat-{index}", daemon=True
+    ).start()
+
+    fatal = False
+    try:
+        runner = Runner(telemetry=telemetry, **payload["runner_args"])
+        faults: FaultInjector | None = payload.get("worker_faults")
+        evaluate = faults.wrap(runner.evaluate) if faults is not None else None
+        # The per-cell deadline is enforced by the parent's watchdog,
+        # not in here: a worker that abandons a cell to a runaway
+        # daemon thread would keep burning CPU; exiting (below) and
+        # being respawned actually reclaims the resources.
+        executor = SweepExecutor(
+            runner,
+            retry=payload["retry"],
+            keep_going=True,
+            journal=None,
+            resume=False,
+            evaluate=evaluate,
+            telemetry=telemetry,
+            share_prefixes=False,
+        )
+        while True:
+            try:
+                task = conn.recv()
+            except (EOFError, OSError):
+                break
+            if task is None:
+                send(("drained",))
+                break
+            design, workload, key = task
+            send(("cell_started", key, time.monotonic()))
+            box: dict[str, object] = {}
+
+            def work() -> None:
+                try:
+                    with telemetry.cell_scope(key), telemetry.span(
+                        "sweep.cell",
+                        design=design.name,
+                        workload=workload.name,
+                    ):
+                        box["outcome"] = executor._run_cell(
+                            design, workload, key
+                        )
+                except BaseException as exc:  # CampaignKill & friends
+                    box["error"] = exc
+
+            thread = threading.Thread(
+                target=work, name=f"pool-cell-{index}", daemon=True
+            )
+            thread.start()
+            abandoned = False
+            while thread.is_alive():
+                thread.join(payload["cancel_poll_s"])
+                if thread.is_alive() and cancel_event.is_set():
+                    # The parent's watchdog gave up on this cell. Exit
+                    # (taking the daemon cell thread down with the
+                    # process) so the respawn starts clean.
+                    send(("cell_abandoned", key))
+                    abandoned = True
+                    break
+            if abandoned:
+                break
+            if "error" in box:
+                # A BaseException escaped fault isolation — the moral
+                # equivalent of the process dying mid-cell. Die for
+                # real; the parent requeues or quarantines the cell.
+                fatal = True
+                break
+            outcome = box["outcome"]
+            record = {
+                "key": outcome.key,
+                "design": outcome.design,
+                "workload": outcome.workload,
+                "status": outcome.status,
+                "attempts": outcome.attempts,
+                "duration_s": outcome.duration_s,
+                "error": outcome.error,
+                "evaluation": (
+                    None
+                    if outcome.evaluation is None
+                    else dataclasses.asdict(outcome.evaluation)
+                ),
+            }
+            send(("cell_finished", record))
+            # Flush after every ack: a later SIGKILL must not cost this
+            # cell's metrics (merge conservation across restarts).
+            telemetry.flush()
+    except BaseException:
+        fatal = True
+    finally:
+        stop_beats.set()
+        set_active(None)
+        try:
+            telemetry.close()
+        except Exception:
+            pass
+    if fatal:
+        raise SystemExit(1)
+
+
+# ----------------------------------------------------------------------
+# Parent-side supervision
+# ----------------------------------------------------------------------
+
+
+class _WorkerHandle:
+    """Parent-side state for one worker process."""
+
+    __slots__ = (
+        "index", "proc", "conn", "cancel", "inflight", "anchor",
+        "last_beat", "stage", "stage_deadline", "abandoned",
+        "sentinel_sent", "drained", "eof", "closed",
+    )
+
+    def __init__(self, index: int, proc, conn, cancel) -> None:
+        self.index = index
+        self.proc = proc
+        self.conn = conn
+        self.cancel = cancel
+        self.inflight: tuple | None = None
+        self.anchor = 0.0
+        self.last_beat = time.monotonic()
+        self.stage = 0
+        self.stage_deadline = 0.0
+        self.abandoned = False
+        self.sentinel_sent = False
+        self.drained = False
+        self.eof = False
+        self.closed = False
+
+    @property
+    def label(self) -> str:
+        return f"worker-{self.index}"
+
+
+class SupervisedPool:
+    """A supervised, work-stealing pool of persistent cell workers.
+
+    Args:
+        workers: worker processes to keep running.
+        runner_args: keyword arguments rebuilding the
+            :class:`~repro.experiments.runner.Runner` in each worker.
+        retry: per-cell retry policy (applied inside workers).
+        cell_timeout_s: per-cell wall-clock deadline, enforced by the
+            parent's watchdog (None disables deadline escalation;
+            heartbeat silence still escalates).
+        max_worker_restarts: total replacement workers the campaign may
+            spawn; past the budget dead workers stay dead, and if no
+            workers remain the pool reports exhaustion instead of
+            raising.
+        poison_threshold: successive worker deaths one cell may cause
+            before it is quarantined as ``poisoned``.
+        telemetry: the parent's telemetry (supervision events/metrics).
+        telemetry_root: directory whose ``worker-K/`` subdirectories
+            receive worker telemetry (None disables worker telemetry).
+        run_id: campaign correlation id stamped into worker contexts.
+        worker_faults: a picklable
+            :class:`~repro.resilience.faults.FaultInjector` each worker
+            wraps around its evaluate (chaos testing).
+        tuning: supervision timing knobs.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int,
+        runner_args: dict,
+        retry: "RetryPolicy",
+        cell_timeout_s: float | None = None,
+        max_worker_restarts: int = 3,
+        poison_threshold: int = 2,
+        telemetry: Telemetry | NullTelemetry | None = None,
+        telemetry_root: Path | None = None,
+        run_id: str | None = None,
+        worker_faults: "FaultInjector | None" = None,
+        tuning: PoolTuning | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigError("workers must be >= 1")
+        if max_worker_restarts < 0:
+            raise ConfigError("max_worker_restarts must be >= 0")
+        if poison_threshold < 1:
+            raise ConfigError("poison_threshold must be >= 1")
+        self.workers = workers
+        self.runner_args = runner_args
+        self.retry = retry
+        self.cell_timeout_s = cell_timeout_s
+        self.max_worker_restarts = max_worker_restarts
+        self.poison_threshold = poison_threshold
+        self.tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.telemetry_root = telemetry_root
+        self.run_id = run_id
+        self.worker_faults = worker_faults
+        self.tuning = tuning if tuning is not None else DEFAULT_TUNING
+        self._ctx = multiprocessing.get_context()
+        self._handles: list[_WorkerHandle] = []
+        self._pending: deque = deque()
+        self._kills: dict[str, int] = {}
+        self._stats = PoolStats()
+        self._keep_going = True
+        self._failed_fast = False
+        self._next_index = 0
+        self._on_result: Callable[[dict], None] = lambda record: None
+
+    # -- public API -----------------------------------------------------
+
+    def run(
+        self,
+        cells: Sequence[tuple],
+        *,
+        keep_going: bool = True,
+        on_result: Callable[[dict], None] | None = None,
+    ) -> tuple[PoolStats, list[tuple]]:
+        """Run ``(design, workload, key)`` cells to completion.
+
+        ``on_result`` is invoked in the parent, once per finished cell
+        (worker results, parent-fabricated ``timed_out`` / ``poisoned``
+        / exhaustion ``failed`` records alike), *before* the next cell
+        is dispatched to that worker — journal-before-ack ordering.
+
+        Returns ``(stats, leftover)``: ``leftover`` holds the cells
+        never finished (drain, fail-fast, or exhaustion with
+        ``keep_going=False``), in dispatch order, for the caller to
+        mark skipped. Never raises for worker failures.
+        """
+        stats = self._stats = PoolStats()
+        self._pending = deque(cells)
+        self._kills = {}
+        self._handles = []
+        self._keep_going = keep_going
+        self._failed_fast = False
+        self._next_index = 0
+        if on_result is not None:
+            self._on_result = on_result
+        if not self._pending:
+            return stats, []
+        drain = threading.Event()
+        force = threading.Event()
+        with _drain_signals(drain, force):
+            for _ in range(min(self.workers, len(self._pending))):
+                self._spawn()
+            try:
+                self._loop(drain, force)
+            finally:
+                self._shutdown(force.is_set())
+        return stats, list(self._pending)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _spawn(self, replaces: int | None = None) -> _WorkerHandle:
+        index = self._next_index
+        self._next_index += 1
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        cancel = self._ctx.Event()
+        payload = {
+            "worker_index": index,
+            "run_id": self.run_id,
+            "telemetry_dir": (
+                str(self.telemetry_root / f"worker-{index}")
+                if self.telemetry_root is not None
+                else None
+            ),
+            "runner_args": self.runner_args,
+            "retry": self.retry,
+            "worker_faults": self.worker_faults,
+            "heartbeat_interval_s": self.tuning.heartbeat_interval_s,
+            "cancel_poll_s": self.tuning.cancel_poll_s,
+        }
+        proc = self._ctx.Process(
+            target=_pool_worker,
+            args=(child_conn, cancel, payload),
+            name=f"repro-pool-{index}",
+            daemon=True,
+        )
+        proc.start()
+        # Close the parent's copy of the child end so a SIGKILLed
+        # worker's pipe reads EOF instead of blocking forever.
+        child_conn.close()
+        handle = _WorkerHandle(index, proc, parent_conn, cancel)
+        self._handles.append(handle)
+        self._stats.spawned += 1
+        self.tel.gauge("repro_pool_workers_alive").inc()
+        # NB: "pool_worker", not "worker" — the latter is the
+        # RunContext provenance field on every event and must not be
+        # clobbered (the observatory dedups on it).
+        if replaces is None:
+            self.tel.event("worker_spawned", pool_worker=handle.label)
+        else:
+            self._stats.respawns += 1
+            self.tel.counter("repro_pool_restarts_total").inc()
+            self.tel.event(
+                "worker_respawned",
+                pool_worker=handle.label,
+                replaces=f"worker-{replaces}",
+            )
+        return handle
+
+    def _live(self) -> list[_WorkerHandle]:
+        return [h for h in self._handles if not h.closed]
+
+    def _inflight_count(self) -> int:
+        return sum(1 for h in self._live() if h.inflight is not None)
+
+    # -- main loop ------------------------------------------------------
+
+    def _loop(self, drain: threading.Event, force: threading.Event) -> None:
+        while True:
+            now = time.monotonic()
+            if force.is_set():
+                # Second signal: stop now. In-flight cells go back to
+                # pending so the resume journal is exact.
+                self._stats.drained = True
+                for handle in self._live():
+                    if handle.inflight is not None:
+                        self._pending.appendleft(handle.inflight)
+                        handle.inflight = None
+                return
+            if drain.is_set() and not self._stats.drained:
+                self._stats.drained = True
+                self.tel.event(
+                    "pool_drain",
+                    pending=len(self._pending),
+                    inflight=self._inflight_count(),
+                )
+            stopping = self._stats.drained or self._failed_fast
+            if not stopping:
+                self._dispatch(now)
+            if self._inflight_count() == 0 and (
+                stopping or not self._pending
+            ):
+                return
+            live = self._live()
+            conns = {
+                h.conn: h for h in live if not h.eof
+            }
+            if conns:
+                for conn in _connection_wait(
+                    list(conns), timeout=self.tuning.tick_s
+                ):
+                    self._pump(conns[conn])
+            else:
+                time.sleep(self.tuning.tick_s)
+            now = time.monotonic()
+            for handle in list(self._handles):
+                if handle.closed:
+                    continue
+                if not handle.proc.is_alive():
+                    self._handle_death(handle, now)
+                else:
+                    self._watchdog(handle, now)
+            stopping = self._stats.drained or self._failed_fast
+            if (
+                not stopping
+                and self._pending
+                and not self._live()
+            ):
+                self._exhaust()
+                return
+
+    def _dispatch(self, now: float) -> None:
+        for handle in self._handles:
+            if not self._pending:
+                return
+            if (
+                handle.closed
+                or handle.eof
+                or handle.sentinel_sent
+                or handle.inflight is not None
+                or not handle.proc.is_alive()
+            ):
+                continue
+            cell = self._pending.popleft()
+            try:
+                handle.conn.send(cell)
+            except (BrokenPipeError, OSError):
+                self._pending.appendleft(cell)
+                handle.eof = True
+                continue
+            handle.inflight = cell
+            handle.anchor = now
+            handle.stage = 0
+
+    def _pump(self, handle: _WorkerHandle) -> None:
+        while True:
+            try:
+                if not handle.conn.poll():
+                    return
+                message = handle.conn.recv()
+            except (EOFError, OSError):
+                handle.eof = True
+                return
+            handle.last_beat = time.monotonic()
+            kind = message[0]
+            if kind == "heartbeat":
+                continue
+            if kind == "cell_started":
+                handle.anchor = time.monotonic()
+            elif kind == "cell_finished":
+                handle.inflight = None
+                if handle.stage:
+                    # The cell finished inside an escalation grace
+                    # window: de-escalate and keep the worker.
+                    handle.stage = 0
+                    handle.cancel.clear()
+                self._finish(message[1])
+            elif kind == "cell_abandoned":
+                cell = handle.inflight
+                handle.inflight = None
+                handle.abandoned = True
+                if cell is not None:
+                    self._finish(
+                        self._timeout_record(
+                            cell, handle, "worker honoured the soft "
+                            "cancel and exited for respawn",
+                        )
+                    )
+            elif kind == "drained":
+                handle.drained = True
+
+    def _finish(self, record: dict) -> None:
+        self._on_result(record)
+        if record.get("status") != STATUS_OK and not self._keep_going:
+            self._failed_fast = True
+
+    def _timeout_record(
+        self, cell: tuple, handle: _WorkerHandle, how: str
+    ) -> dict:
+        design, workload, key = cell
+        deadline = (
+            f"its {self.cell_timeout_s:g}s deadline"
+            if self.cell_timeout_s is not None
+            else f"the {self.tuning.heartbeat_timeout_s:g}s heartbeat "
+            "timeout"
+        )
+        return {
+            "key": key,
+            "design": design.name,
+            "workload": workload.name,
+            "status": STATUS_TIMED_OUT,
+            "attempts": 1,
+            "duration_s": time.monotonic() - handle.anchor,
+            "error": f"cell exceeded {deadline} on {handle.label}; {how}",
+            "evaluation": None,
+        }
+
+    # -- death handling -------------------------------------------------
+
+    def _handle_death(self, handle: _WorkerHandle, now: float) -> None:
+        # Drain any result the worker sent just before dying.
+        self._pump(handle)
+        handle.proc.join(timeout=self.tuning.shutdown_grace_s)
+        handle.closed = True
+        self.tel.gauge("repro_pool_workers_alive").dec()
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        if handle.drained:
+            return  # clean sentinel exit, not a death
+        cell = handle.inflight
+        handle.inflight = None
+        escalated = handle.stage > 0 or handle.abandoned
+        self._stats.deaths += 1
+        self.tel.counter("repro_pool_worker_deaths_total").inc()
+        self.tel.event(
+            "worker_died",
+            pool_worker=handle.label,
+            exitcode=handle.proc.exitcode,
+            escalated=escalated,
+            cell=cell[2] if cell is not None else None,
+        )
+        if cell is not None:
+            if escalated:
+                stage = _STAGE_NAMES.get(handle.stage, STAGE_SOFT_CANCEL)
+                self._finish(
+                    self._timeout_record(
+                        cell, handle,
+                        f"worker terminated at escalation stage {stage}",
+                    )
+                )
+            else:
+                self._crash_cell(cell, handle, now)
+        stopping = self._stats.drained or self._failed_fast
+        if (
+            not stopping
+            and self._pending
+            and self._stats.respawns < self.max_worker_restarts
+        ):
+            self._spawn(replaces=handle.index)
+
+    def _crash_cell(
+        self, cell: tuple, handle: _WorkerHandle, now: float
+    ) -> None:
+        """Requeue or quarantine the cell a crashed worker was running."""
+        design, workload, key = cell
+        kills = self._kills.get(key, 0) + 1
+        self._kills[key] = kills
+        if kills >= self.poison_threshold:
+            self._stats.poisoned += 1
+            self.tel.counter("repro_pool_poisoned_cells_total").inc()
+            self.tel.event(
+                "cell_poisoned",
+                cell=key,
+                design=design.name,
+                workload=workload.name,
+                worker_kills=kills,
+            )
+            self._finish({
+                "key": key,
+                "design": design.name,
+                "workload": workload.name,
+                "status": STATUS_POISONED,
+                "attempts": kills,
+                "duration_s": now - handle.anchor,
+                "error": (
+                    f"poisoned: cell killed {kills} successive worker(s) "
+                    f"(poison_threshold={self.poison_threshold}); "
+                    f"quarantined so the campaign can continue"
+                ),
+                "evaluation": None,
+            })
+        else:
+            self._stats.requeues += 1
+            self.tel.counter("repro_pool_requeues_total").inc()
+            self.tel.event(
+                "cell_requeued",
+                cell=key,
+                design=design.name,
+                workload=workload.name,
+                worker_kills=kills,
+            )
+            self._pending.appendleft(cell)
+
+    # -- watchdog -------------------------------------------------------
+
+    def _watchdog(self, handle: _WorkerHandle, now: float) -> None:
+        if handle.inflight is None or handle.abandoned:
+            return
+        overdue = (
+            self.cell_timeout_s is not None
+            and now - handle.anchor > self.cell_timeout_s
+        )
+        silent = now - handle.last_beat > self.tuning.heartbeat_timeout_s
+        if not overdue and not silent:
+            return
+        reason = "deadline" if overdue else "heartbeat"
+        key = handle.inflight[2]
+        if handle.stage == 0:
+            handle.stage = 1
+            handle.stage_deadline = now + self.tuning.soft_grace_s
+            handle.cancel.set()
+            self._stats.escalations += 1
+            self.tel.counter("repro_pool_escalations_total").inc()
+            self.tel.event(
+                "worker_hung", pool_worker=handle.label,
+                stage=STAGE_SOFT_CANCEL, reason=reason, cell=key,
+            )
+        elif handle.stage == 1 and now >= handle.stage_deadline:
+            handle.stage = 2
+            handle.stage_deadline = now + self.tuning.term_grace_s
+            handle.proc.terminate()
+            self.tel.event(
+                "worker_hung", pool_worker=handle.label,
+                stage=STAGE_SIGTERM, reason=reason, cell=key,
+            )
+        elif handle.stage == 2 and now >= handle.stage_deadline:
+            handle.stage = 3
+            handle.proc.kill()
+            self.tel.event(
+                "worker_hung", pool_worker=handle.label,
+                stage=STAGE_SIGKILL, reason=reason, cell=key,
+            )
+
+    # -- exhaustion and shutdown ----------------------------------------
+
+    def _exhaust(self) -> None:
+        """No workers left, no restart budget, cells outstanding."""
+        self._stats.exhausted = True
+        self.tel.event(
+            "pool_exhausted",
+            pending=len(self._pending),
+            respawns=self._stats.respawns,
+        )
+        if not self._keep_going:
+            return  # leftover cells become skipped at the call site
+        while self._pending:
+            design, workload, key = self._pending.popleft()
+            self._finish({
+                "key": key,
+                "design": design.name,
+                "workload": workload.name,
+                "status": STATUS_FAILED,
+                "attempts": 0,
+                "duration_s": 0.0,
+                "error": (
+                    f"worker pool exhausted: every worker died and the "
+                    f"restart budget is spent "
+                    f"(max_worker_restarts={self.max_worker_restarts})"
+                ),
+                "evaluation": None,
+            })
+
+    def _shutdown(self, force: bool) -> None:
+        for handle in self._handles:
+            if handle.closed:
+                continue
+            if force:
+                handle.proc.kill()
+                continue
+            if not handle.sentinel_sent:
+                try:
+                    handle.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+                handle.sentinel_sent = True
+        deadline = time.monotonic() + self.tuning.shutdown_grace_s
+        for handle in self._handles:
+            if handle.closed:
+                continue
+            handle.proc.join(
+                timeout=max(0.0, deadline - time.monotonic())
+            )
+            if handle.proc.is_alive():
+                handle.proc.kill()
+                handle.proc.join(timeout=1.0)
+            handle.closed = True
+            self.tel.gauge("repro_pool_workers_alive").dec()
+            try:
+                handle.conn.close()
+            except OSError:
+                pass

@@ -22,9 +22,10 @@ into one coherent story:
   for sweep cells, counter tracks for per-window hit rates.
 - :func:`diff_runs` compares two aggregated runs — per-span-name
   duration deltas, per-level hit-rate deltas, engine vector-fraction
-  deltas, and cell-failure counts — against configurable regression
-  thresholds, the contract behind ``repro telemetry diff``'s nonzero
-  CI exit code.
+  deltas, cell-failure counts, and worker-pool supervision health
+  (increases in poisoned cells or worker restarts regress) — against
+  configurable regression thresholds, the contract behind
+  ``repro telemetry diff``'s nonzero CI exit code.
 
 Merging is **conservative by construction**: events are concatenated
 (never rewritten), and metric sums over workers equal the merged
@@ -58,6 +59,7 @@ from repro.telemetry.report import (
     _digest_engines,
     _digest_windows,
     _parse_prom_line,
+    supervision_digest,
 )
 from repro.telemetry.windows import WINDOW_FIELDS, WindowRecord
 
@@ -199,6 +201,22 @@ class RunAggregate:
             status = dict(key).get("status", "?")
             counts[status] = counts.get(status, 0.0) + value
         return counts
+
+    def supervision_counts(self) -> dict[str, float]:
+        """Supervised-pool health counters from the merged metrics."""
+        return {
+            "restarts": self.metric_value("repro_pool_restarts_total"),
+            "requeues": self.metric_value("repro_pool_requeues_total"),
+            "poisoned": self.metric_value(
+                "repro_pool_poisoned_cells_total"
+            ),
+            "worker_deaths": self.metric_value(
+                "repro_pool_worker_deaths_total"
+            ),
+            "escalations": self.metric_value(
+                "repro_pool_escalations_total"
+            ),
+        }
 
 
 def discover_sources(root: str | Path) -> list[tuple[str, Path]]:
@@ -542,6 +560,7 @@ def summary_from_aggregate(aggregate: RunAggregate) -> TelemetrySummary:
         [line for line in metrics_text.splitlines() if line.strip()]
     )
     summary.engines = _digest_engines(engine_events, metrics_text)
+    summary.supervision = supervision_digest(summary.events_by_kind)
     return summary
 
 
@@ -768,8 +787,10 @@ class DiffEntry:
     """One compared quantity between two runs.
 
     Attributes:
-        kind: ``span`` / ``hit_rate`` / ``vector_fraction`` / ``cells``.
-        name: span name, level name, or cell status.
+        kind: ``span`` / ``hit_rate`` / ``vector_fraction`` /
+            ``cells`` / ``supervision``.
+        name: span name, level name, cell status, or supervision
+            counter.
         baseline / candidate: the two values compared.
         regression: whether the delta crossed its threshold.
         detail: human-readable context for the report line.
@@ -894,12 +915,30 @@ def diff_runs(
     for status in sorted(set(base_cells) | set(cand_cells)):
         base_n = base_cells.get(status, 0.0)
         cand_n = cand_cells.get(status, 0.0)
-        bad = status in ("failed", "timed_out")
+        bad = status in ("failed", "timed_out", "poisoned")
         regression = bad and cand_n > base_n
         diff.entries.append(DiffEntry(
             kind="cells", name=status, baseline=base_n, candidate=cand_n,
             regression=regression,
             detail=f"{int(base_n)} -> {int(cand_n)} cell(s) {status}",
+        ))
+
+    base_sup = baseline.supervision_counts()
+    cand_sup = candidate.supervision_counts()
+    for name in sorted(set(base_sup) | set(cand_sup)):
+        base_n = base_sup.get(name, 0.0)
+        cand_n = cand_sup.get(name, 0.0)
+        if base_n == 0.0 and cand_n == 0.0:
+            continue  # no supervision activity in either run
+        # Poisoned cells and worker restarts gate: more of either means
+        # the candidate needed more crash recovery for the same work.
+        regression = (
+            name in ("poisoned", "restarts") and cand_n > base_n
+        )
+        diff.entries.append(DiffEntry(
+            kind="supervision", name=name, baseline=base_n,
+            candidate=cand_n, regression=regression,
+            detail=f"{int(base_n)} -> {int(cand_n)} {name}",
         ))
 
     return diff

@@ -114,6 +114,63 @@ class EngineDigest:
 
 
 @dataclass
+class SupervisionDigest:
+    """Worker-pool supervision activity extracted from the event log.
+
+    Counts the supervised pool's lifecycle events
+    (:mod:`repro.resilience.pool`): a campaign that needed no
+    supervision renders no section at all.
+
+    Attributes:
+        spawned / died / respawned: worker process lifecycle counts.
+        requeued: in-flight cells recovered from dead workers.
+        poisoned: cells quarantined after killing successive workers.
+        hung: watchdog escalations (soft-cancel / SIGTERM / SIGKILL).
+        drains: graceful SIGINT/SIGTERM drains.
+        exhausted: pool-exhaustion events (restart budget spent).
+    """
+
+    spawned: int = 0
+    died: int = 0
+    respawned: int = 0
+    requeued: int = 0
+    poisoned: int = 0
+    hung: int = 0
+    drains: int = 0
+    exhausted: int = 0
+
+    @property
+    def any(self) -> bool:
+        """Whether any supervision beyond initial spawns happened."""
+        return bool(
+            self.died or self.respawned or self.requeued
+            or self.poisoned or self.hung or self.drains
+            or self.exhausted
+        )
+
+
+#: event kind -> SupervisionDigest attribute incremented per event.
+_SUPERVISION_EVENTS = {
+    "worker_spawned": "spawned",
+    "worker_died": "died",
+    "worker_respawned": "respawned",
+    "cell_requeued": "requeued",
+    "cell_poisoned": "poisoned",
+    "worker_hung": "hung",
+    "pool_drain": "drains",
+    "pool_exhausted": "exhausted",
+}
+
+
+def supervision_digest(events_by_kind: dict[str, int]) -> SupervisionDigest:
+    """Fold event-kind counts into a :class:`SupervisionDigest`."""
+    digest = SupervisionDigest()
+    for kind, attr in _SUPERVISION_EVENTS.items():
+        setattr(digest, attr, events_by_kind.get(kind, 0))
+    return digest
+
+
+@dataclass
 class TelemetrySummary:
     """Everything :func:`summarize_directory` extracts.
 
@@ -123,6 +180,7 @@ class TelemetrySummary:
         spans: per-name span digests, by descending total time.
         stages: per-stage window digests, by context.
         engines: per-level cache-engine digests, by level name.
+        supervision: worker-pool supervision digest.
         metrics_lines: number of lines in the Prometheus snapshot.
     """
 
@@ -131,6 +189,9 @@ class TelemetrySummary:
     spans: list[SpanDigest] = field(default_factory=list)
     stages: list[StageWindows] = field(default_factory=list)
     engines: list[EngineDigest] = field(default_factory=list)
+    supervision: SupervisionDigest = field(
+        default_factory=SupervisionDigest
+    )
     metrics_lines: int = 0
 
 
@@ -256,6 +317,7 @@ def summarize_directory(directory: str | Path) -> TelemetrySummary:
             [l for l in metrics_text.splitlines() if l.strip()]
         )
     summary.engines = _digest_engines(engine_events, metrics_text)
+    summary.supervision = supervision_digest(summary.events_by_kind)
     return summary
 
 
@@ -339,6 +401,22 @@ def render_summary(summary: TelemetrySummary) -> str:
                 ],
                 rows,
             )
+        )
+
+    if summary.supervision.any:
+        s = summary.supervision
+        rows = [
+            ["workers spawned", str(s.spawned)],
+            ["workers died", str(s.died)],
+            ["workers respawned", str(s.respawned)],
+            ["cells requeued", str(s.requeued)],
+            ["cells poisoned", str(s.poisoned)],
+            ["watchdog escalations", str(s.hung)],
+            ["graceful drains", str(s.drains)],
+            ["pool exhaustions", str(s.exhausted)],
+        ]
+        sections.append(
+            "supervision\n" + _table(["event", "count"], rows)
         )
 
     if summary.metrics_lines:

@@ -1,0 +1,495 @@
+"""Supervised worker pool: crash recovery, poison cells, drain.
+
+Chaos tests drive the supervisor with real worker processes and real
+SIGKILLs (via :class:`FaultInjector`'s process faults), so everything
+here exercises the actual failure modes: dead workers, poison cells,
+hung cells past their deadline, pool exhaustion, and graceful drain.
+The faults are latched through ``tmp_path`` files where a fault must
+fire exactly once across the whole campaign.
+"""
+
+import json
+import os
+import pickle
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.designs.configs import EH_CONFIGS, N_CONFIGS
+from repro.designs.fourlc import FourLCDesign
+from repro.designs.fourlcnvm import FourLCNVMDesign
+from repro.designs.nmm import NMMDesign
+from repro.errors import ConfigError
+from repro.experiments.runner import Runner
+from repro.resilience import (
+    FaultInjector,
+    Journal,
+    PoolTuning,
+    SupervisedPool,
+    SweepExecutor,
+    acquire_latch,
+)
+from repro.telemetry.core import RunContext, Telemetry, new_run_id
+from repro.telemetry.observatory import aggregate_run
+from repro.tech.params import EDRAM, PCM
+from repro.workloads.registry import get_workload
+
+pytestmark = pytest.mark.resilience
+
+SCALE = 1.0 / 8192
+
+#: Aggressive supervision timing so chaos tests stay fast.
+FAST_TUNING = PoolTuning(
+    heartbeat_interval_s=0.05,
+    heartbeat_timeout_s=10.0,
+    soft_grace_s=0.3,
+    term_grace_s=0.5,
+    tick_s=0.02,
+    cancel_poll_s=0.01,
+    shutdown_grace_s=5.0,
+)
+
+
+@pytest.fixture(scope="module")
+def trace_cache(tmp_path_factory):
+    """Shared on-disk trace cache so every runner reuses one tracing."""
+    return str(tmp_path_factory.mktemp("traces"))
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return [get_workload("CG"), get_workload("SP")]
+
+
+def make_runner(trace_cache):
+    return Runner(scale=SCALE, seed=5, trace_cache_dir=trace_cache)
+
+
+def make_designs(reference, n=2):
+    designs = [
+        NMMDesign(PCM, N_CONFIGS["N6"], scale=SCALE, reference=reference),
+        FourLCDesign(EDRAM, EH_CONFIGS["EH4"], scale=SCALE,
+                     reference=reference),
+        FourLCNVMDesign(EDRAM, PCM, EH_CONFIGS["EH4"], scale=SCALE,
+                        reference=reference),
+    ]
+    return designs[:n]
+
+
+def read_events(directory):
+    """The parent run log's events, parsed."""
+    path = directory / "events.jsonl"
+    if not path.exists():
+        return []
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+def event_kinds(directory):
+    return [e.get("kind") for e in read_events(directory)]
+
+
+class TestSupervisedHappyPath:
+    def test_campaign_completes_with_supervision_telemetry(
+        self, trace_cache, workloads, tmp_path
+    ):
+        runner = make_runner(trace_cache)
+        designs = make_designs(runner.reference)
+        tel = Telemetry(tmp_path / "tel",
+                        run_context=RunContext(new_run_id()))
+        journal = Journal(tmp_path / "j.jsonl")
+        result = SweepExecutor(
+            runner, journal=journal, workers=2, telemetry=tel,
+            pool_tuning=FAST_TUNING,
+        ).run(designs, workloads)
+        tel.close()
+
+        assert all(o.ok for o in result.outcomes), result.report()
+        assert result.restarts == 0 and result.requeues == 0
+        assert not result.drained
+        kinds = event_kinds(tmp_path / "tel")
+        assert kinds.count("worker_spawned") == 2
+        assert "sweep_supervised" in kinds
+        # Worker directories exist and the whole tree aggregates.
+        aggregate = aggregate_run(tmp_path / "tel")
+        assert aggregate.cell_status_counts().get("ok") == 4.0
+        assert all(
+            v == 0.0 for v in aggregate.supervision_counts().values()
+        )
+
+    def test_journal_matches_serial_run(self, trace_cache, workloads,
+                                        tmp_path):
+        runner = make_runner(trace_cache)
+        designs = make_designs(runner.reference)
+        seq_journal = Journal(tmp_path / "seq.jsonl")
+        SweepExecutor(runner, journal=seq_journal).run(designs, workloads)
+        sup_journal = Journal(tmp_path / "sup.jsonl")
+        SweepExecutor(
+            make_runner(trace_cache), journal=sup_journal, workers=2,
+            pool_tuning=FAST_TUNING,
+        ).run(designs, workloads)
+        seq = seq_journal.load()
+        sup = sup_journal.load()
+        assert set(seq) == set(sup)
+        for key, entry in seq.items():
+            assert (entry.status, entry.evaluation) == (
+                sup[key].status, sup[key].evaluation
+            )
+
+
+class TestCrashRecovery:
+    def test_sigkilled_worker_requeues_cell_and_campaign_completes(
+        self, trace_cache, workloads, tmp_path
+    ):
+        """The acceptance chaos test: SIGKILL one worker mid-campaign.
+
+        The dead worker's in-flight cell must be requeued and finish,
+        the rest of the grid must complete, a resume must re-simulate
+        nothing, and the merged telemetry must show the restart.
+        """
+        runner = make_runner(trace_cache)
+        designs = make_designs(runner.reference)
+        faults = FaultInjector().worker_kill_cell(
+            designs[0].name, "CG", latch=tmp_path / "kill.latch"
+        )
+        tel = Telemetry(tmp_path / "tel",
+                        run_context=RunContext(new_run_id()))
+        journal = Journal(tmp_path / "j.jsonl")
+        result = SweepExecutor(
+            runner, journal=journal, workers=2, telemetry=tel,
+            worker_faults=faults, pool_tuning=FAST_TUNING,
+        ).run(designs, workloads)
+        tel.close()
+
+        assert all(o.ok for o in result.outcomes), result.report()
+        assert result.requeues == 1
+        assert result.restarts >= 1
+        kinds = event_kinds(tmp_path / "tel")
+        for kind in ("worker_died", "cell_requeued", "worker_respawned"):
+            assert kind in kinds, kinds
+        assert "supervision:" in result.report()
+
+        # Merged telemetry conserves the story across the restart.
+        aggregate = aggregate_run(tmp_path / "tel")
+        assert aggregate.cell_status_counts().get("ok") == 4.0
+        counts = aggregate.supervision_counts()
+        assert counts["restarts"] == 1.0
+        assert counts["requeues"] == 1.0
+        assert counts["worker_deaths"] == 1.0
+        assert counts["poisoned"] == 0.0
+
+        # Exact resume: nothing re-simulates.
+        again = SweepExecutor(
+            make_runner(trace_cache), journal=journal, workers=2,
+            pool_tuning=FAST_TUNING,
+        ).run(designs, workloads)
+        assert all(o.from_journal for o in again.outcomes)
+
+    def test_supervision_events_do_not_clobber_provenance(
+        self, trace_cache, workloads, tmp_path
+    ):
+        # Regression pin: supervision events carry ``pool_worker`` so
+        # the RunContext ``worker`` stamp (the observatory's dedup key)
+        # survives on every event.
+        runner = make_runner(trace_cache)
+        designs = make_designs(runner.reference, n=1)
+        tel = Telemetry(tmp_path / "tel",
+                        run_context=RunContext(new_run_id()))
+        SweepExecutor(
+            runner, workers=2, telemetry=tel, pool_tuning=FAST_TUNING,
+        ).run(designs, workloads)
+        tel.close()
+        spawned = [
+            e for e in read_events(tmp_path / "tel")
+            if e.get("kind") == "worker_spawned"
+        ]
+        assert spawned
+        assert all(e["worker"] == "root" for e in spawned)
+        assert all(e["pool_worker"].startswith("worker-") for e in spawned)
+
+
+class TestPoisonQuarantine:
+    def test_cell_killing_successive_workers_is_quarantined(
+        self, trace_cache, workloads, tmp_path
+    ):
+        runner = make_runner(trace_cache)
+        designs = make_designs(runner.reference)
+        # No latch: the cell kills every worker it lands on.
+        faults = FaultInjector().worker_kill_cell(designs[0].name, "CG")
+        tel = Telemetry(tmp_path / "tel",
+                        run_context=RunContext(new_run_id()))
+        journal = Journal(tmp_path / "j.jsonl")
+        result = SweepExecutor(
+            runner, journal=journal, workers=2, telemetry=tel,
+            worker_faults=faults, poison_threshold=2,
+            max_worker_restarts=4, pool_tuning=FAST_TUNING,
+        ).run(designs, workloads)
+        tel.close()
+
+        by_cell = {(o.design, o.workload): o for o in result.outcomes}
+        poisoned = by_cell[(designs[0].name, "CG")]
+        assert poisoned.status == "poisoned"
+        assert "poison_threshold=2" in poisoned.error
+        others = [o for o in result.outcomes if o is not poisoned]
+        assert others and all(o.ok for o in others)
+        assert "cell_poisoned" in event_kinds(tmp_path / "tel")
+        entry = journal.load()[poisoned.key]
+        assert entry.status == "poisoned"
+        assert "1 poisoned" in result.report()
+
+        # The quarantined cell is retried on resume (it is not ok)
+        # and completes once the fault is gone.
+        again = SweepExecutor(
+            make_runner(trace_cache), journal=journal, workers=2,
+            pool_tuning=FAST_TUNING,
+        ).run(designs, workloads)
+        assert all(o.ok for o in again.outcomes)
+        assert sum(1 for o in again.outcomes if not o.from_journal) == 1
+
+
+class TestHungWorker:
+    def test_watchdog_escalates_hung_cell_past_deadline(
+        self, trace_cache, workloads, tmp_path
+    ):
+        runner = make_runner(trace_cache)
+        designs = make_designs(runner.reference)
+        faults = FaultInjector().worker_hang(
+            designs[0].name, "CG", 60.0, latch=tmp_path / "hang.latch"
+        )
+        tel = Telemetry(tmp_path / "tel",
+                        run_context=RunContext(new_run_id()))
+        journal = Journal(tmp_path / "j.jsonl")
+        result = SweepExecutor(
+            runner, journal=journal, workers=2, telemetry=tel,
+            worker_faults=faults, cell_timeout_s=2.0,
+            pool_tuning=FAST_TUNING,
+        ).run(designs, workloads)
+        tel.close()
+
+        by_cell = {(o.design, o.workload): o for o in result.outcomes}
+        hung = by_cell[(designs[0].name, "CG")]
+        assert hung.status == "timed_out"
+        assert "deadline" in hung.error
+        others = [o for o in result.outcomes if o is not hung]
+        assert others and all(o.ok for o in others)
+        assert "worker_hung" in event_kinds(tmp_path / "tel")
+
+        # The latch already fired, so a resume completes the cell.
+        again = SweepExecutor(
+            make_runner(trace_cache), journal=journal, workers=2,
+            pool_tuning=FAST_TUNING,
+        ).run(designs, workloads)
+        assert all(o.ok for o in again.outcomes)
+        reran = [o for o in again.outcomes if not o.from_journal]
+        assert [(o.design, o.workload) for o in reran] == [
+            (designs[0].name, "CG")
+        ]
+
+
+class TestGracefulDrain:
+    def test_sigterm_drains_to_an_exact_resume_journal(
+        self, trace_cache, workloads, tmp_path
+    ):
+        runner = make_runner(trace_cache)
+        designs = make_designs(runner.reference, n=3)
+        faults = FaultInjector()
+        for design in designs:
+            faults.delay_cell(design.name, "SP", 1.5)
+        tel = Telemetry(tmp_path / "tel",
+                        run_context=RunContext(new_run_id()))
+        journal = Journal(tmp_path / "j.jsonl")
+
+        def send_sigterm_after_first_entry() -> None:
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if journal.path.exists() and journal.load():
+                    os.kill(os.getpid(), signal.SIGTERM)
+                    return
+                time.sleep(0.02)
+
+        killer = threading.Thread(
+            target=send_sigterm_after_first_entry, daemon=True
+        )
+        killer.start()
+        result = SweepExecutor(
+            runner, journal=journal, workers=2, telemetry=tel,
+            worker_faults=faults, pool_tuning=FAST_TUNING,
+        ).run(designs, workloads)
+        killer.join(timeout=30.0)
+        tel.close()
+
+        assert result.drained
+        assert "drained by signal" in result.report()
+        skipped = [o for o in result.outcomes if o.status == "skipped"]
+        assert skipped
+        assert all("drained by signal" in o.error for o in skipped)
+        assert "pool_drain" in event_kinds(tmp_path / "tel")
+        entries = journal.load()
+        assert 0 < len(entries) < len(result.outcomes)
+        # Everything journalled finished for real before the drain.
+        assert all(e.status == "ok" for e in entries.values())
+
+        # Resume finishes the campaign, re-simulating nothing done.
+        again = SweepExecutor(
+            make_runner(trace_cache), journal=journal, workers=2,
+            pool_tuning=FAST_TUNING,
+        ).run(designs, workloads)
+        assert all(o.ok for o in again.outcomes), again.report()
+        reused = [o for o in again.outcomes if o.from_journal]
+        assert len(reused) == len(entries)
+
+
+class TestPoolExhaustion:
+    def test_broken_pool_degrades_instead_of_aborting(
+        self, trace_cache, workloads, tmp_path
+    ):
+        """The BrokenProcessPool regression: every worker dies, the
+        restart budget runs out, and the campaign still returns a
+        complete result instead of raising."""
+        runner = make_runner(trace_cache)
+        designs = make_designs(runner.reference)
+        # Every (re)spawned worker dies on its first evaluation.
+        faults = FaultInjector().worker_kill(1)
+        tel = Telemetry(tmp_path / "tel",
+                        run_context=RunContext(new_run_id()))
+        result = SweepExecutor(
+            runner, workers=2, telemetry=tel, worker_faults=faults,
+            max_worker_restarts=1, poison_threshold=2,
+            pool_tuning=FAST_TUNING,
+        ).run(designs, workloads)
+        tel.close()
+
+        statuses = {o.status for o in result.outcomes}
+        assert statuses <= {"failed", "poisoned"}
+        exhausted = [
+            o for o in result.outcomes
+            if o.error and "worker pool exhausted" in o.error
+        ]
+        assert exhausted
+        assert "pool_exhausted" in event_kinds(tmp_path / "tel")
+
+
+class TestLegacyShardRecovery:
+    def test_mid_shard_crash_keeps_finished_cells(
+        self, trace_cache, workloads, tmp_path
+    ):
+        """supervise=False: a worker SIGKILL mid-shard recovers the
+        shard's finished cells from the per-cell sidecar journal."""
+        runner = make_runner(trace_cache)
+        designs = make_designs(runner.reference)
+        # Each shard worker dies on its second cell, after journalling
+        # its first to the sidecar.
+        faults = FaultInjector().worker_kill(2)
+        journal = Journal(tmp_path / "j.jsonl")
+        result = SweepExecutor(
+            runner, journal=journal, workers=2, supervise=False,
+            worker_faults=faults,
+        ).run(designs, workloads)
+
+        ok = [o for o in result.outcomes if o.ok]
+        failed = [o for o in result.outcomes if o.status == "failed"]
+        assert ok, "sidecar recovery produced no finished cells"
+        assert failed
+        assert all("worker process failed" in o.error for o in failed)
+        assert not list(tmp_path.glob("j.jsonl.worker-*"))
+        recovered = journal.load()
+        for outcome in ok:
+            assert recovered[outcome.key].status == "ok"
+
+        # Resume completes the crashed cells and reuses the rest.
+        again = SweepExecutor(
+            make_runner(trace_cache), journal=journal, workers=2,
+            supervise=False,
+        ).run(designs, workloads)
+        assert all(o.ok for o in again.outcomes), again.report()
+        assert sum(1 for o in again.outcomes if o.from_journal) == len(ok)
+
+    def test_stale_sidecars_absorbed_on_resume(self, trace_cache,
+                                               workloads, tmp_path):
+        """A dead *parent* leaves sidecars behind; the next campaign
+        folds them into the main journal before resuming."""
+        runner = make_runner(trace_cache)
+        designs = make_designs(runner.reference)
+        journal = Journal(tmp_path / "j.jsonl")
+        done = SweepExecutor(
+            runner, journal=Journal(tmp_path / "donor.jsonl")
+        ).run(designs, workloads[:1])
+        # Fabricate the post-crash state: results only in a sidecar.
+        donor = Journal(tmp_path / "donor.jsonl")
+        sidecar = Journal(f"{journal.path}.worker-0")
+        for entry in donor.entries():
+            sidecar.append(entry)
+
+        result = SweepExecutor(
+            make_runner(trace_cache), journal=journal, workers=2,
+            pool_tuning=FAST_TUNING,
+        ).run(designs, workloads)
+        assert all(o.ok for o in result.outcomes)
+        reused = [o for o in result.outcomes if o.from_journal]
+        assert len(reused) == len(done.outcomes)
+        assert not list(tmp_path.glob("j.jsonl.worker-*"))
+
+
+class TestFaultPicklability:
+    def test_process_fault_rules_cross_the_process_boundary(self,
+                                                            tmp_path):
+        injector = (
+            FaultInjector()
+            .worker_kill(3, latch=tmp_path / "a")
+            .worker_kill_cell("D", "W", latch=tmp_path / "b")
+            .worker_hang("D", "W", 9.0, times=2)
+            .fail_cell("D", "W", times=1)
+            .delay_cell("D", "W", 0.1)
+        )
+        clone = pickle.loads(pickle.dumps(injector))
+        assert clone.calls == 0
+        assert len(clone._rules) == len(injector._rules)
+
+    def test_latch_fires_exactly_once(self, tmp_path):
+        latch = tmp_path / "latch"
+        assert acquire_latch(latch) is True
+        assert acquire_latch(latch) is False
+        assert acquire_latch(None) is True
+
+
+class TestValidation:
+    def test_worker_faults_require_workers(self, trace_cache):
+        with pytest.raises(ConfigError):
+            SweepExecutor(
+                make_runner(trace_cache), worker_faults=FaultInjector()
+            )
+
+    def test_restart_budget_must_be_non_negative(self, trace_cache):
+        with pytest.raises(ConfigError):
+            SweepExecutor(make_runner(trace_cache), workers=2,
+                          max_worker_restarts=-1)
+
+    def test_poison_threshold_must_be_positive(self, trace_cache):
+        with pytest.raises(ConfigError):
+            SweepExecutor(make_runner(trace_cache), workers=2,
+                          poison_threshold=0)
+
+    def test_pool_rejects_bad_arguments(self):
+        from repro.resilience.retry import NO_RETRY
+
+        with pytest.raises(ConfigError):
+            SupervisedPool(workers=0, runner_args={}, retry=NO_RETRY)
+        with pytest.raises(ConfigError):
+            SupervisedPool(workers=1, runner_args={}, retry=NO_RETRY,
+                           max_worker_restarts=-1)
+        with pytest.raises(ConfigError):
+            SupervisedPool(workers=1, runner_args={}, retry=NO_RETRY,
+                           poison_threshold=0)
+
+    def test_empty_cell_list_is_a_no_op(self):
+        from repro.resilience.retry import NO_RETRY
+
+        pool = SupervisedPool(workers=2, runner_args={}, retry=NO_RETRY)
+        stats, leftover = pool.run([])
+        assert stats.spawned == 0
+        assert leftover == []

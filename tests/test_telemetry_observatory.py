@@ -567,6 +567,102 @@ class TestDiff:
             DiffThresholds(vector_fraction_abs=-0.1).validate()
 
 
+class TestSupervisionDiff:
+    """Worker-pool health counters gate run-to-run diffs."""
+
+    @staticmethod
+    def _sup(aggregate, **counters):
+        clone_metrics = dict(aggregate.metrics)
+        for name, value in counters.items():
+            clone_metrics[f"repro_pool_{name}"] = {(): float(value)}
+        aggregate.metrics = clone_metrics
+        return aggregate
+
+    def test_poisoned_and_restart_increases_regress(self, tmp_path):
+        root = make_synthetic_run(tmp_path)
+        base = aggregate_run(root)
+        worse = self._sup(
+            aggregate_run(root), poisoned_cells_total=1,
+            restarts_total=2,
+        )
+        diff = diff_runs(base, worse)
+        assert {e.name for e in diff.regressions} == {
+            "poisoned", "restarts"
+        }
+        assert all(e.kind == "supervision" for e in diff.regressions)
+
+    def test_requeues_and_recovery_do_not_regress(self, tmp_path):
+        # Requeues that still converge are recovery working as
+        # designed, not a regression; fewer restarts is an improvement.
+        root = make_synthetic_run(tmp_path)
+        base = self._sup(aggregate_run(root), restarts_total=3)
+        better = self._sup(
+            aggregate_run(root), restarts_total=1, requeues_total=2
+        )
+        assert diff_runs(base, better).ok
+
+    def test_unsupervised_runs_add_no_entries(self, tmp_path):
+        root = make_synthetic_run(tmp_path)
+        diff = diff_runs(aggregate_run(root), aggregate_run(root))
+        assert not any(e.kind == "supervision" for e in diff.entries)
+
+
+class TestSupervisionReport:
+    def test_summary_counts_supervision_events(self, tmp_path):
+        from repro.telemetry.report import (
+            render_summary,
+            summarize_directory,
+        )
+
+        telemetry = Telemetry(tmp_path / "t", run_context=RunContext(RUN))
+        for kind in ("worker_spawned", "worker_spawned", "worker_died",
+                     "worker_respawned", "cell_requeued"):
+            telemetry.event(kind, pool_worker="worker-0")
+        telemetry.close()
+        summary = summarize_directory(tmp_path / "t")
+        assert summary.supervision.spawned == 2
+        assert summary.supervision.died == 1
+        assert summary.supervision.respawned == 1
+        assert summary.supervision.requeued == 1
+        assert summary.supervision.any
+        rendered = render_summary(summary)
+        assert "supervision" in rendered
+        assert "workers respawned" in rendered
+
+    def test_uneventful_run_renders_no_supervision_section(self,
+                                                           tmp_path):
+        from repro.telemetry.report import (
+            render_summary,
+            summarize_directory,
+        )
+
+        telemetry = Telemetry(tmp_path / "t", run_context=RunContext(RUN))
+        # Spawns alone (no deaths, requeues, drains...) are not worth
+        # a section: every parallel campaign spawns workers.
+        telemetry.event("worker_spawned", pool_worker="worker-0")
+        telemetry.close()
+        summary = summarize_directory(tmp_path / "t")
+        assert not summary.supervision.any
+        assert "supervision" not in render_summary(summary)
+
+    def test_aggregate_summary_carries_supervision(self, tmp_path):
+        root = make_synthetic_run(tmp_path)
+        extra = [
+            ev("root", 90, 140.0, kind="worker_died",
+               pool_worker="worker-0", name="x"),
+            ev("root", 91, 141.0, kind="cell_requeued",
+               pool_worker="worker-0", name="x"),
+        ]
+        events = [
+            json.loads(line)
+            for line in (root / "events.jsonl").read_text().splitlines()
+        ]
+        write_events(root / "events.jsonl", events + extra)
+        summary = summary_from_aggregate(aggregate_run(root))
+        assert summary.supervision.died == 1
+        assert summary.supervision.requeued == 1
+
+
 # ----------------------------------------------------------------------
 # CLI surface
 # ----------------------------------------------------------------------
