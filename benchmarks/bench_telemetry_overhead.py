@@ -11,12 +11,23 @@ Two jobs in one harness:
    was before the observer hook existed (no ``observer`` check, no
    span) against today's ``Hierarchy.run`` with telemetry disabled,
    and assert the overhead is below 2%.
-3. **Price run correlation** — time the enabled event path with and
+3. **Gate run correlation** — time the enabled event path with and
    without a :class:`RunContext` (which stamps ``run`` / ``worker`` /
    ``seq`` onto every JSONL line), reporting per-event microseconds
-   for both so the correlation labels' cost stays visible. This is an
-   enabled-path measurement, not a gate: the hard assertion stays on
-   the disabled path, which is the one production sweeps pay for.
+   for both. Since the batched event spool landed (labels stamped and
+   JSON serialized at drain, not per ``event()`` call) this is a hard
+   gate: labelled events must cost <5% over plain ones.
+4. **Price the sampling profiler** — time one CG pipeline cell with
+   file-backed telemetry, profiler off vs on at the default rate, and
+   gate the enabled overhead under 10%. The profiler-disabled path is
+   the plain telemetry path (no hot-loop checks), already gated at 2%
+   by job 2.
+
+Every paired measurement also reports an **A/A noise floor** — the
+median spread between same-code timings inside each ABBA rep — and a
+verdict labelling deltas inside that floor as ``noise`` rather than
+signal (a -2.6% "speedup" from adding code is scheduler jitter, not
+physics).
 
 Run from the repo root::
 
@@ -49,7 +60,33 @@ from repro.workloads.registry import get_workload
 DEFAULT_SCALE = 1.0 / 1024
 DEFAULT_REPS = 12
 OVERHEAD_LIMIT_PCT = 2.0
+LABELLED_LIMIT_PCT = 5.0
+PROFILING_LIMIT_PCT = 10.0
 WORKLOAD = "CG"
+
+
+def noise_floor_pct(same_code_times: list[float]) -> float:
+    """A/A noise estimate from same-code timings paired within reps.
+
+    ``same_code_times`` alternates the two same-code measurements each
+    ABBA rep produced (``[a1, a2, a1, a2, ...]``); the median |ratio -
+    1| between them is what a *zero-cost* change would measure on this
+    machine right now. Deltas inside this floor are noise, not signal.
+    """
+    import statistics
+
+    deltas = [
+        abs(first / second - 1.0) * 100.0
+        for first, second in zip(
+            same_code_times[0::2], same_code_times[1::2]
+        )
+    ]
+    return round(statistics.median(deltas), 3) if deltas else 0.0
+
+
+def verdict(overhead_pct: float, floor_pct: float) -> str:
+    """``noise`` when the measured delta sits inside the A/A floor."""
+    return "noise" if abs(overhead_pct) <= floor_pct else "measured"
 
 
 def simulate_no_hook(caches, memory, stream) -> int:
@@ -113,6 +150,7 @@ def measure_overhead(stream, reference: ReferenceSystem, scale: float,
         hooked_times += [b1, b2]
         ratios.append((b1 + b2) / (a1 + a2))
     overhead_pct = (min(hooked_times) / min(no_hook_times) - 1.0) * 100.0
+    floor = noise_floor_pct(no_hook_times)
     return {
         "no_hook_s": round(min(no_hook_times), 6),
         "hooked_disabled_s": round(min(hooked_times), 6),
@@ -120,6 +158,8 @@ def measure_overhead(stream, reference: ReferenceSystem, scale: float,
         "overhead_median_pct": round(
             (statistics.median(ratios) - 1.0) * 100.0, 3
         ),
+        "noise_floor_pct": floor,
+        "verdict": verdict(overhead_pct, floor),
         "limit_pct": OVERHEAD_LIMIT_PCT,
         "reps": reps,
     }
@@ -159,11 +199,88 @@ def measure_context_stamping(reps: int, events: int = 4000) -> dict:
         labelled_times += [b1, b2]
     plain = min(plain_times)
     labelled = min(labelled_times)
+    overhead_pct = (labelled / plain - 1.0) * 100.0
+    floor = noise_floor_pct(plain_times)
     return {
         "events": events,
         "plain_event_us": round(plain / events * 1e6, 3),
         "labelled_event_us": round(labelled / events * 1e6, 3),
-        "overhead_pct": round((labelled / plain - 1.0) * 100.0, 3),
+        "overhead_pct": round(overhead_pct, 3),
+        "noise_floor_pct": floor,
+        "verdict": verdict(overhead_pct, floor),
+        "limit_pct": LABELLED_LIMIT_PCT,
+        "reps": reps,
+    }
+
+
+def measure_profiling(scale: float, reps: int) -> dict:
+    """Whole-cell cost of the sampling profiler at the default rate.
+
+    Times one NMM/CG cell end to end (trace generation included) with
+    file-backed telemetry, profiler off vs profiler on at
+    :data:`~repro.telemetry.profiling.DEFAULT_HZ`, ABBA-paired as in
+    :func:`measure_overhead`. The profiler adds a sampler thread plus
+    a record drain at span/cell boundaries; the gate keeps the
+    end-to-end cost under 10%. There is no profiler-disabled gate here
+    because the disabled path *is* the plain telemetry path (nothing
+    in the hot loop consults the profiler), which job 2 gates at 2%.
+    """
+    import shutil
+    import tempfile
+
+    from repro.telemetry.profiling import DEFAULT_HZ
+
+    workload = get_workload(WORKLOAD)
+    samples = 0
+
+    def timed(hz) -> float:
+        nonlocal samples
+        directory = tempfile.mkdtemp(prefix="bench-profiling-")
+        telemetry = Telemetry(
+            directory, run_context=RunContext(new_run_id())
+        )
+        if hz is not None:
+            telemetry.enable_profiling(hz)
+        runner = Runner(scale=scale, seed=0, telemetry=telemetry)
+        design = NMMDesign(
+            get_technology("PCM"), N_CONFIGS["N6"],
+            scale=scale, reference=runner.reference,
+        )
+        with activate(telemetry):
+            start = time.perf_counter()
+            runner.evaluate(design, workload)
+            elapsed = time.perf_counter() - start
+        if hz is not None and telemetry.profile is not None:
+            samples = max(samples, telemetry.profile.profiler.samples)
+        telemetry.close()
+        shutil.rmtree(directory, ignore_errors=True)
+        return elapsed
+
+    off_times, on_times = [], []
+    for _ in range(reps):
+        a1 = timed(None)
+        b1 = timed(DEFAULT_HZ)
+        b2 = timed(DEFAULT_HZ)
+        a2 = timed(None)
+        off_times += [a1, a2]
+        on_times += [b1, b2]
+    off = min(off_times)
+    on = min(on_times)
+    overhead_pct = (on / off - 1.0) * 100.0
+    floor = noise_floor_pct(off_times)
+    return {
+        "hz": DEFAULT_HZ,
+        "profiler_off_s": round(off, 6),
+        "profiler_on_s": round(on, 6),
+        "enabled_overhead_pct": round(overhead_pct, 3),
+        "noise_floor_pct": floor,
+        "verdict": verdict(overhead_pct, floor),
+        "samples": samples,
+        "enabled_limit_pct": PROFILING_LIMIT_PCT,
+        "disabled_gate": (
+            "covered by overhead.overhead_pct: the profiler-off path "
+            "is the plain telemetry path"
+        ),
         "reps": reps,
     }
 
@@ -237,6 +354,9 @@ def main(argv=None) -> int:
 
     print("run-context stamping cost ...", flush=True)
     result["run_context"] = measure_context_stamping(reps)
+
+    print("sampling-profiler cost ...", flush=True)
+    result["profiling"] = measure_profiling(scale, reps)
     result["scale"] = scale
 
     Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
@@ -248,18 +368,63 @@ def main(argv=None) -> int:
         f"  disabled-telemetry overhead: {overhead['overhead_pct']:+.2f}% "
         f"(no-hook {overhead['no_hook_s']:.3f}s, "
         f"hooked {overhead['hooked_disabled_s']:.3f}s, "
-        f"limit {OVERHEAD_LIMIT_PCT:g}%)"
+        f"noise floor {overhead['noise_floor_pct']:.2f}% -> "
+        f"{overhead['verdict']}, limit {OVERHEAD_LIMIT_PCT:g}%)"
     )
     stamping = result["run_context"]
     print(
         f"  correlated event path: {stamping['plain_event_us']:.1f}us -> "
         f"{stamping['labelled_event_us']:.1f}us per event "
-        f"({stamping['overhead_pct']:+.1f}% with run/worker/seq stamping)"
+        f"({stamping['overhead_pct']:+.1f}% with run/worker/seq stamping, "
+        f"noise floor {stamping['noise_floor_pct']:.2f}% -> "
+        f"{stamping['verdict']}, limit {LABELLED_LIMIT_PCT:g}%)"
     )
-    if overhead["overhead_pct"] >= OVERHEAD_LIMIT_PCT:
-        print("FAIL: observer hook is not free", file=sys.stderr)
+    profiling = result["profiling"]
+    print(
+        f"  sampling profiler at {profiling['hz']:g}Hz: "
+        f"{profiling['profiler_off_s']:.3f}s -> "
+        f"{profiling['profiler_on_s']:.3f}s per cell "
+        f"({profiling['enabled_overhead_pct']:+.1f}%, "
+        f"{profiling['samples']} samples, noise floor "
+        f"{profiling['noise_floor_pct']:.2f}% -> {profiling['verdict']}, "
+        f"limit {PROFILING_LIMIT_PCT:g}%)"
+    )
+    def gate(label: str, pct: float, limit: float, floor: float) -> bool:
+        """One overhead gate; returns True on a real (above-noise)
+        breach. A reading past the limit but inside the A/A floor has
+        no statistical power either way — reported, not failed."""
+        if pct < limit:
+            return False
+        if pct <= floor:
+            print(
+                f"note: {label} measured {pct:+.2f}% (limit {limit:g}%) "
+                f"but the A/A noise floor is {floor:.2f}% — "
+                "inconclusive, not failing the gate"
+            )
+            return False
+        print(
+            f"FAIL: {label} overhead {pct:+.2f}% exceeds the "
+            f"{limit:g}% limit (noise floor {floor:.2f}%)",
+            file=sys.stderr,
+        )
+        return True
+
+    failed = gate(
+        "disabled-telemetry hook", overhead["overhead_pct"],
+        OVERHEAD_LIMIT_PCT, overhead["noise_floor_pct"],
+    )
+    failed |= gate(
+        "labelled-event", stamping["overhead_pct"],
+        LABELLED_LIMIT_PCT, stamping["noise_floor_pct"],
+    )
+    failed |= gate(
+        "sampling-profiler", profiling["enabled_overhead_pct"],
+        PROFILING_LIMIT_PCT, profiling["noise_floor_pct"],
+    )
+    if failed:
         return 1
-    print("ok: disabled telemetry is within the overhead budget")
+    print("ok: disabled, labelled, and profiled paths are all within "
+          "their overhead budgets")
     return 0
 
 

@@ -30,13 +30,21 @@ Subcommands:
 - ``telemetry trace DIR [--out FILE]`` — export a Chrome trace_event
   JSON timeline (Perfetto / chrome://tracing).
 - ``telemetry diff BASELINE CANDIDATE`` — run-to-run regression diff
-  with configurable thresholds; exits 1 on regressions.
+  with configurable thresholds (including the sampled-hotspot shift
+  gate); exits 1 on regressions.
+- ``telemetry flame DIR [--out FILE]`` — merge a profiled run's
+  ``profile.jsonl`` files (root + workers) into one collapsed-stack
+  ``flame.folded`` flamegraph file.
 
 Common options: ``--scale`` (capacity/footprint scale), ``--seed``,
 ``--workloads`` (comma-separated subset of the suite), ``--drain``
 (flush dirty blocks at end of stream instead of the default
 steady-state accounting), ``--telemetry DIR`` (record spans, metrics,
-and windowed time-series for the whole invocation).
+and windowed time-series for the whole invocation), ``--profile [HZ]``
+(with ``--telemetry``: continuous profiling — sampled wall-clock
+stacks attributed to spans/cells; sweep workers inherit the
+profiler), ``--profile-memory`` (additionally record tracemalloc
+memory watermarks; expensive, opt-in).
 """
 
 from __future__ import annotations
@@ -59,6 +67,7 @@ from repro.telemetry.core import (
     new_run_id,
     set_active,
 )
+from repro.telemetry.profiling import DEFAULT_HZ as PROFILE_DEFAULT_HZ
 from repro.workloads.registry import SUITE, get_workload
 
 
@@ -189,6 +198,8 @@ def _run_resilient_sweep(args, runner: Runner, workloads) -> int:
         max_worker_restarts=args.max_worker_restarts,
         poison_threshold=args.poison_threshold,
         share_prefixes=not args.no_share_prefixes,
+        profile_hz=args.profile,
+        profile_memory=args.profile_memory,
     )
     result = executor.run(designs, workloads)
     for outcome in result.outcomes:
@@ -318,6 +329,20 @@ def main(argv: list[str] | None = None) -> int:
         "--telemetry", type=str, default=None, metavar="DIR",
         help="record telemetry (events.jsonl, metrics.prom, "
         "windows_*.csv) into DIR for this invocation",
+    )
+    parser.add_argument(
+        "--profile", type=float, nargs="?", const=PROFILE_DEFAULT_HZ,
+        default=None, metavar="HZ",
+        help="with --telemetry: continuously profile this invocation — "
+        "sample wall-clock stacks at HZ samples/s (default "
+        f"{PROFILE_DEFAULT_HZ:g}) attributed to spans/cells "
+        "(profile.jsonl + flame.folded); sweep workers profile too",
+    )
+    parser.add_argument(
+        "--profile-memory", action="store_true",
+        help="with --profile: also record tracemalloc memory "
+        "watermarks (memory_watermarks.csv); tracemalloc hooks every "
+        "allocation and slows simulation ~10x, so this is opt-in",
     )
     parser.add_argument(
         "--workloads",
@@ -483,6 +508,29 @@ def main(argv: list[str] | None = None) -> int:
         help="engine regression: vectorized fraction dropped by more "
         "than D (default 0.05)",
     )
+    telem_diff.add_argument(
+        "--hotspot-abs", type=float, default=None, metavar="D",
+        help="hotspot regression: a profiled function's inclusive "
+        "sample share moved by more than D either way "
+        "(default 0.10 = 10 points)",
+    )
+    telem_diff.add_argument(
+        "--hotspot-min-samples", type=int, default=None, metavar="N",
+        help="arm the hotspot gate only when both runs hold at least "
+        "N samples (default 50)",
+    )
+    telem_flame = telem_sub.add_parser(
+        "flame",
+        help="merge a profiled run's profile.jsonl files (root + "
+        "worker-N/) into one collapsed-stack flame.folded file "
+        "(flamegraph.pl / speedscope input)",
+    )
+    telem_flame.add_argument("dir", type=str,
+                             help="run root or merged directory")
+    telem_flame.add_argument(
+        "--out", type=str, default=None,
+        help="output file (default DIR/flame.folded)",
+    )
 
     args = parser.parse_args(argv)
     if args.verbose:
@@ -492,11 +540,23 @@ def main(argv: list[str] | None = None) -> int:
         logging.getLogger("repro").setLevel(logging.INFO)
     workloads = _parse_workloads(args.workloads)
 
+    if args.profile is not None and not args.telemetry:
+        parser.error("--profile requires --telemetry DIR (profiles are "
+                     "written into the telemetry directory)")
+    if args.profile is not None and args.profile <= 0:
+        parser.error(f"--profile rate must be positive, got {args.profile:g}")
+    if args.profile_memory and args.profile is None:
+        parser.error("--profile-memory requires --profile")
+
     telemetry = None
     if args.telemetry:
         telemetry = Telemetry(
             args.telemetry, run_context=RunContext(new_run_id())
         )
+        if args.profile is not None:
+            telemetry.enable_profiling(
+                args.profile, memory=args.profile_memory
+            )
         set_active(telemetry)
     try:
         return _dispatch(args, workloads)
@@ -551,6 +611,23 @@ def _telemetry_command(args) -> int:
                   f"(open in https://ui.perfetto.dev or chrome://tracing)")
             return 0
 
+        if args.action == "flame":
+            from repro.telemetry import profiling
+
+            root = Path(args.dir)
+            aggregate = observatory.aggregate_run(root)
+            if not aggregate.profiles:
+                raise TelemetryError(
+                    f"no profile samples under {root} — run the sweep "
+                    "with --profile to record them"
+                )
+            out = Path(args.out) if args.out else root / profiling.FLAME_FILE
+            path = profiling.write_flame(aggregate.profiles, out)
+            samples = profiling.total_samples(aggregate.profiles)
+            print(f"wrote {path} ({samples} samples; feed to "
+                  f"flamegraph.pl or https://www.speedscope.app)")
+            return 0
+
         # diff
         thresholds = observatory.DiffThresholds()
         if args.span_pct is not None:
@@ -565,6 +642,12 @@ def _telemetry_command(args) -> int:
         if args.vector_frac_abs is not None:
             thresholds = dataclasses.replace(
                 thresholds, vector_fraction_abs=args.vector_frac_abs)
+        if args.hotspot_abs is not None:
+            thresholds = dataclasses.replace(
+                thresholds, hotspot_share_abs=args.hotspot_abs)
+        if args.hotspot_min_samples is not None:
+            thresholds = dataclasses.replace(
+                thresholds, hotspot_min_samples=args.hotspot_min_samples)
         baseline = observatory.aggregate_run(args.baseline)
         candidate = observatory.aggregate_run(args.candidate)
         diff = observatory.diff_runs(baseline, candidate, thresholds)

@@ -305,9 +305,13 @@ class SweepExecutor:
         worker_faults=None,
         pool_tuning=None,
         share_prefixes: bool = True,
+        profile_hz: float | None = None,
+        profile_memory: bool = False,
     ) -> None:
         if cell_timeout_s is not None and cell_timeout_s <= 0:
             raise ConfigError("cell_timeout_s must be positive")
+        if profile_hz is not None and profile_hz <= 0:
+            raise ConfigError("profile_hz must be positive")
         if workers < 1:
             raise ConfigError("workers must be >= 1")
         if workers > 1 and evaluate is not None:
@@ -344,6 +348,8 @@ class SweepExecutor:
         self.worker_faults = worker_faults
         self.pool_tuning = pool_tuning
         self.share_prefixes = share_prefixes
+        self.profile_hz = profile_hz
+        self.profile_memory = profile_memory
 
     def _telemetry(self) -> Telemetry | NullTelemetry:
         """The explicit instance if one was given, else the active one."""
@@ -482,6 +488,11 @@ class SweepExecutor:
         # caller's id or mint a fresh one per resumed execution.
         if isinstance(tel, Telemetry) and tel.run_context is None:
             tel.run_context = RunContext(new_run_id())
+        # Programmatic profile_hz without a pre-enabled session: turn
+        # the parent profiler on here so the serial path is covered too
+        # (the CLI enables it earlier; enable_profiling is idempotent).
+        if self.profile_hz is not None and isinstance(tel, Telemetry):
+            tel.enable_profiling(self.profile_hz, memory=self.profile_memory)
         run_context = getattr(tel, "run_context", None)
         run_id = run_context.run_id if run_context is not None else None
         progress = self.progress
@@ -721,6 +732,8 @@ class SweepExecutor:
             run_id=run_id,
             worker_faults=self.worker_faults,
             tuning=self.pool_tuning,
+            profile_hz=self.profile_hz,
+            profile_memory=self.profile_memory,
         )
         stats, leftover = pool.run(
             run_cells, keep_going=self.keep_going, on_result=deliver
@@ -950,6 +963,8 @@ class SweepExecutor:
                     else None
                 ),
                 "worker_faults": self.worker_faults,
+                "profile_hz": self.profile_hz,
+                "profile_memory": self.profile_memory,
             })
         tel.event(
             "sweep_parallel", workers=self.workers, shards=len(payloads),
@@ -1073,6 +1088,11 @@ def _run_shard(payload: dict) -> list[dict]:
     # clobbered snapshots); each worker writes its own directory or
     # nothing.
     set_active(telemetry)
+    if payload.get("profile_hz") and payload["telemetry_dir"]:
+        telemetry.enable_profiling(
+            payload["profile_hz"],
+            memory=bool(payload.get("profile_memory")),
+        )
     try:
         runner = Runner(telemetry=telemetry, **payload["runner_args"])
         evaluate = None

@@ -201,6 +201,11 @@ def _pool_worker(conn, cancel_event, payload: dict) -> None:
     # The parent's active telemetry must not be shared across processes
     # (torn event lines, clobbered snapshots).
     set_active(telemetry)
+    if payload.get("profile_hz") and payload.get("telemetry_dir"):
+        telemetry.enable_profiling(
+            payload["profile_hz"],
+            memory=bool(payload.get("profile_memory")),
+        )
 
     send_lock = threading.Lock()
 
@@ -395,9 +400,13 @@ class SupervisedPool:
         run_id: str | None = None,
         worker_faults: "FaultInjector | None" = None,
         tuning: PoolTuning | None = None,
+        profile_hz: float | None = None,
+        profile_memory: bool = False,
     ) -> None:
         if workers < 1:
             raise ConfigError("workers must be >= 1")
+        if profile_hz is not None and profile_hz <= 0:
+            raise ConfigError("profile_hz must be positive")
         if max_worker_restarts < 0:
             raise ConfigError("max_worker_restarts must be >= 0")
         if poison_threshold < 1:
@@ -413,6 +422,8 @@ class SupervisedPool:
         self.run_id = run_id
         self.worker_faults = worker_faults
         self.tuning = tuning if tuning is not None else DEFAULT_TUNING
+        self.profile_hz = profile_hz
+        self.profile_memory = profile_memory
         self._ctx = multiprocessing.get_context()
         self._handles: list[_WorkerHandle] = []
         self._pending: deque = deque()
@@ -486,6 +497,8 @@ class SupervisedPool:
             "worker_faults": self.worker_faults,
             "heartbeat_interval_s": self.tuning.heartbeat_interval_s,
             "cancel_poll_s": self.tuning.cancel_poll_s,
+            "profile_hz": self.profile_hz,
+            "profile_memory": self.profile_memory,
         }
         proc = self._ctx.Process(
             target=_pool_worker,

@@ -20,6 +20,9 @@ progress while running. This package is that layer:
   ETA and the ``--resume`` startup summary.
 - :mod:`repro.telemetry.report` — ``telemetry report`` directory
   summaries.
+- :mod:`repro.telemetry.profiling` — continuous profiling: a sampled
+  wall-clock stack profiler attributed to spans/cells (``flame.folded``
+  flamegraphs) and tracemalloc memory watermarks.
 """
 
 from repro.telemetry.core import (
@@ -62,6 +65,26 @@ from repro.telemetry.observatory import (
     worker_index,
     write_chrome_trace,
     write_merged,
+)
+from repro.telemetry.profiling import (
+    DEFAULT_HZ,
+    FLAME_FILE,
+    MEMORY_FILE,
+    PROFILE_FILE,
+    HotspotDigest,
+    MemoryTracker,
+    MemoryWatermark,
+    ProfilingSession,
+    SamplingProfiler,
+    function_shares,
+    hotspot_digests,
+    merge_records,
+    read_memory_csv,
+    read_profile,
+    render_flame,
+    total_samples,
+    write_flame,
+    write_memory_csv,
 )
 from repro.telemetry.progress import ProgressReporter, format_duration
 from repro.telemetry.registry import (
@@ -132,6 +155,24 @@ __all__ = [
     "write_windows_csv",
     "write_prometheus",
     "atomic_write_text",
+    "DEFAULT_HZ",
+    "FLAME_FILE",
+    "MEMORY_FILE",
+    "PROFILE_FILE",
+    "HotspotDigest",
+    "MemoryTracker",
+    "MemoryWatermark",
+    "ProfilingSession",
+    "SamplingProfiler",
+    "function_shares",
+    "hotspot_digests",
+    "merge_records",
+    "read_memory_csv",
+    "read_profile",
+    "render_flame",
+    "total_samples",
+    "write_flame",
+    "write_memory_csv",
     "ProgressReporter",
     "format_duration",
     "TelemetrySummary",

@@ -18,10 +18,23 @@ still measure time (so log lines keep real durations) but record
 nothing and whose registry drops everything — disabled telemetry costs
 a few method calls per pipeline *stage* and exactly one ``is not
 None`` check per simulated chunk on the hot loop.
+
+**Event fast path.** :meth:`Telemetry.event` does not format or write
+anything: it appends a compact ``(ts, kind, seq, cell, fields)`` tuple
+to a bounded in-memory spool (``seq`` is still assigned at enqueue
+under the lock, so the exact ``(run, worker, seq)`` semantics and
+resume continuation are unchanged). Label stamping and JSON
+serialization happen lazily, in batch, when the spool drains — at
+top-level span exits, cell-scope exits, :meth:`flush`/:meth:`close`,
+and whenever the spool fills. A kill between drains loses only the
+not-yet-drained tail; the batch write itself can tear at most the
+final line, which :func:`~repro.telemetry.exporters.read_jsonl`
+already tolerates.
 """
 
 from __future__ import annotations
 
+import json
 import re
 import threading
 import time
@@ -36,6 +49,7 @@ from repro.telemetry.exporters import (
     write_prometheus,
     write_windows_csv,
 )
+from repro.telemetry.profiling import DEFAULT_HZ, ProfilingSession
 from repro.telemetry.registry import (
     NULL_REGISTRY,
     MetricsRegistry,
@@ -54,6 +68,11 @@ SPAN_SECONDS_BUCKETS: tuple[float, ...] = (
 #: File names inside a telemetry directory.
 EVENTS_FILE = "events.jsonl"
 METRICS_FILE = "metrics.prom"
+
+#: Event-spool capacity: the spool drains early when it reaches this
+#: many pending events, bounding both memory and the kill-loss window
+#: between span/cell boundary drains.
+DEFAULT_SPOOL_EVENTS = 512
 
 
 def slugify(context: str) -> str:
@@ -162,6 +181,8 @@ class Telemetry:
         run_context: correlation identity stamped into every event
             (``run`` / ``worker`` / ``seq``) and into the Prometheus
             snapshot's sample labels. None records nothing extra.
+        spool_events: event-spool capacity (see the module docstring);
+            1 restores the old flush-per-event behaviour.
     """
 
     enabled: bool = True
@@ -175,6 +196,7 @@ class Telemetry:
         clock: Callable[[], float] = time.perf_counter,
         wall_clock: Callable[[], float] = time.time,
         run_context: RunContext | None = None,
+        spool_events: int = DEFAULT_SPOOL_EVENTS,
     ) -> None:
         self.directory = Path(directory) if directory is not None else None
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -198,6 +220,20 @@ class Telemetry:
         self._stack = threading.local()
         self._collectors: list[WindowedCollector] = []
         self._lock = threading.Lock()
+        #: Pending (ts, kind, seq, cell, fields) tuples, drained in
+        #: batch by :meth:`_drain_events` (guarded by ``_lock``).
+        self._spool: list[tuple] = []
+        self._spool_limit = max(1, int(spool_events))
+        #: Serializes batch writes so drained batches hit the log in
+        #: the order their events were enqueued.
+        self._drain_lock = threading.Lock()
+        #: Per-thread live span-name stacks / active cell keys, keyed
+        #: by thread ident. Unlike the thread-local ``_stack`` these
+        #: are readable from *other* threads — the sampling profiler
+        #: attributes each sampled thread's stack through them.
+        self._thread_spans: dict[int, tuple[str, ...]] = {}
+        self._thread_cells: dict[int, str] = {}
+        self._profile: ProfilingSession | None = None
 
     # -- spans ----------------------------------------------------------
 
@@ -211,12 +247,26 @@ class Telemetry:
             stack = self._stack.spans = []
         parent = stack[-1].name if stack else None
         stack.append(span)
+        self._thread_spans[threading.get_ident()] = tuple(
+            s.name for s in stack
+        )
+        profile = self._profile
+        if profile is not None:
+            profile.on_enter("span", span.name)
         return parent
 
     def _exit_span(self, span: Span, failed: bool) -> None:
         stack = getattr(self._stack, "spans", [])
         if stack and stack[-1] is span:
             stack.pop()
+        ident = threading.get_ident()
+        if stack:
+            self._thread_spans[ident] = tuple(s.name for s in stack)
+        else:
+            self._thread_spans.pop(ident, None)
+        profile = self._profile
+        if profile is not None:
+            profile.on_exit("span", span.name)
         self.registry.counter("repro_spans_total", name=span.name).inc()
         self.registry.histogram(
             "repro_span_seconds", buckets=SPAN_SECONDS_BUCKETS, name=span.name
@@ -233,49 +283,103 @@ class Telemetry:
         if span.meta:
             event.update(span.meta)
         self.event(**event)
+        # A top-level span ending is a natural pipeline boundary: drain
+        # the spool so artifacts on disk track stage completion.
+        if not stack:
+            self._drain_events()
 
     # -- events ---------------------------------------------------------
 
     def event(self, kind: str = "event", **fields) -> None:
-        """Append one timestamped event to the JSONL log (if any).
+        """Spool one timestamped event for the JSONL log (if any).
 
         With a :class:`RunContext`, every event is stamped with the
         correlation triple ``run`` / ``worker`` / ``seq`` (``seq`` is a
         per-directory monotone counter, continued across resumes) and,
         inside a :meth:`cell_scope`, with the active ``cell`` key.
         Explicit fields of the same name win.
+
+        The hot path stops here: the timestamp, ``seq`` and the active
+        cell are captured now, but label stamping and serialization are
+        deferred to the next batch drain (see the module docstring).
         """
         if self._events is None:
             return
-        payload = {"ts": self._wall_clock(), "kind": kind}
-        context = self.run_context
-        if context is not None:
-            payload["run"] = context.run_id
-            payload["worker"] = context.worker_id
+        ts = self._wall_clock()
         cell = getattr(self._stack, "cell", None)
-        if cell is None and context is not None:
-            cell = context.cell_key
-        if cell is not None:
-            payload["cell"] = cell
         with self._lock:
-            payload["seq"] = self._seq
+            seq = self._seq
             self._seq += 1
-        payload.update(fields)
-        self._events.append(payload)
+            self._spool.append((ts, kind, seq, cell, fields))
+            full = len(self._spool) >= self._spool_limit
+        if full:
+            self._drain_events()
+
+    def _drain_events(self) -> None:
+        """Format and write every spooled event as one batched append.
+
+        The correlation labels are constant for the whole batch, so
+        they are serialized *once* and spliced into each line as a raw
+        fragment; only the varying fields pay a ``json.dumps`` per
+        event. This is what keeps labelled events within a few percent
+        of plain ones (see ``benchmarks/bench_telemetry_overhead.py``).
+        """
+        events = self._events
+        if events is None:
+            return
+        with self._drain_lock:
+            with self._lock:
+                if not self._spool:
+                    return
+                pending, self._spool = self._spool, []
+            context = self.run_context
+            context_cell = context.cell_key if context is not None else None
+            if context is not None:
+                fragment = json.dumps(
+                    {"run": context.run_id, "worker": context.worker_id},
+                    sort_keys=True,
+                )[1:-1] + ", "
+            else:
+                fragment = ""
+            lines = []
+            for ts, kind, seq, cell, fields in pending:
+                payload: dict = {"ts": ts, "kind": kind}
+                if cell is None:
+                    cell = context_cell
+                if cell is not None:
+                    payload["cell"] = cell
+                payload["seq"] = seq
+                payload.update(fields)
+                body = json.dumps(payload, sort_keys=True, default=str)
+                lines.append("{" + fragment + body[1:])
+            events.append_lines(lines)
 
     @contextmanager
     def cell_scope(self, cell_key: str) -> Iterator[None]:
         """Stamp ``cell`` into every event emitted inside the block.
 
         Thread-local, so parallel in-process cells (deadline threads)
-        never cross-stamp each other's events.
+        never cross-stamp each other's events. The spool drains when
+        the scope closes — cell boundaries are durability points.
         """
         previous = getattr(self._stack, "cell", None)
         self._stack.cell = cell_key
+        ident = threading.get_ident()
+        self._thread_cells[ident] = cell_key
+        profile = self._profile
+        if profile is not None:
+            profile.on_enter("cell", cell_key)
         try:
             yield
         finally:
             self._stack.cell = previous
+            if previous is None:
+                self._thread_cells.pop(ident, None)
+            else:
+                self._thread_cells[ident] = previous
+            if self._profile is not None:
+                self._profile.on_exit("cell", cell_key)
+            self._drain_events()
 
     # -- metrics passthrough --------------------------------------------
 
@@ -355,17 +459,66 @@ class Telemetry:
         )
         return path
 
+    # -- profiling ------------------------------------------------------
+
+    @property
+    def profile(self) -> ProfilingSession | None:
+        """The active profiling session, if one was enabled."""
+        return self._profile
+
+    def enable_profiling(
+        self,
+        hz: float | None = None,
+        *,
+        memory: bool = False,
+        session: ProfilingSession | None = None,
+    ) -> ProfilingSession:
+        """Start continuous profiling on this telemetry (idempotent).
+
+        Spawns the sampling thread (``hz`` samples/s, default
+        :data:`~repro.telemetry.profiling.DEFAULT_HZ`) and, with
+        ``memory=True``, the tracemalloc watermark tracker. Sampling
+        is nearly free (a wait-then-walk thread); tracemalloc hooks
+        every allocation and slows allocation-heavy simulation by an
+        order of magnitude, so memory watermarks are strictly opt-in.
+        Samples drain to ``profile.jsonl`` on every :meth:`flush`;
+        ``flame.folded`` and ``memory_watermarks.csv`` are written on
+        :meth:`close`. ``session`` overrides the constructed session
+        (tests inject deterministic samplers).
+        """
+        if self._profile is not None:
+            return self._profile
+        if session is None:
+            session = ProfilingSession(
+                self, hz if hz is not None else DEFAULT_HZ, memory=memory
+            )
+        self._profile = session
+        session.start()
+        self.event(
+            kind="profiling_started",
+            hz=session.hz,
+            memory=session.memory is not None,
+        )
+        return session
+
     # -- lifecycle ------------------------------------------------------
 
     def flush(self) -> None:
-        """Write the Prometheus snapshot (if a directory is configured).
+        """Drain spooled events and write the Prometheus snapshot.
 
         The snapshot goes through the same atomic write-and-rename
         helper as ``windows_*.csv``, so a worker killed mid-flush
         leaves the previous complete snapshot, never a torn one. With a
         :class:`RunContext` every sample carries ``run`` / ``worker``
         labels so cross-worker aggregation can join and sum snapshots.
+        An active profiling session drains its sample deltas to
+        ``profile.jsonl`` first, so a flush is a durability point for
+        events, metrics and profiles alike.
         """
+        profile = self._profile
+        if profile is not None:
+            profile.flush()
+        self._drain_events()
         if self.directory is not None:
             extra = (
                 self.run_context.labels()
@@ -377,7 +530,15 @@ class Telemetry:
             )
 
     def close(self) -> None:
-        """Finish pending collectors, flush metrics, close the event log."""
+        """Finish collectors and profiling, flush, close the event log."""
+        profile = self._profile
+        if profile is not None:
+            self._profile = None
+            profile.close()
+            self.event(
+                kind="profiling_finished",
+                samples=profile.profiler.samples,
+            )
         with self._lock:
             pending = list(self._collectors)
         for collector in pending:
@@ -406,9 +567,13 @@ class NullTelemetry:
     directory = None
     registry = NULL_REGISTRY
     run_context = None
+    profile = None
 
     def span(self, name: str, **meta) -> Span:
         return Span(name, meta, None)
+
+    def enable_profiling(self, hz=None, *, memory=False, session=None) -> None:
+        return None
 
     def event(self, kind: str = "event", **fields) -> None:
         pass

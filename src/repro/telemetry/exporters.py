@@ -21,7 +21,7 @@ import os
 import tempfile
 import threading
 from pathlib import Path
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.errors import TelemetryError
 from repro.telemetry.windows import WINDOW_FIELDS, WindowRecord
@@ -68,12 +68,38 @@ class JsonlEventLog:
 
     def append(self, event: dict) -> None:
         """Serialize one event as a line and flush it to disk."""
-        line = json.dumps(event, sort_keys=True, default=str)
+        self.append_many((event,))
+
+    def append_many(self, events: Iterable[dict]) -> None:
+        """Serialize a batch of events and flush them in one write.
+
+        One buffered write + one flush for the whole batch, so a spool
+        of N events costs one syscall round-trip instead of N. A kill
+        mid-write can still only tear the *final* line written so far
+        (the partial batch ends at the torn line), which is exactly the
+        torn tail :func:`read_jsonl` tolerates.
+        """
+        self.append_lines(
+            json.dumps(event, sort_keys=True, default=str)
+            for event in events
+        )
+
+    def append_lines(self, lines: Iterable[str]) -> None:
+        """Flush pre-serialized JSON lines (no trailing newlines) as
+        one batched write.
+
+        The fast path for callers that assemble lines themselves (the
+        event spool splices a constant run-context fragment instead of
+        re-serializing it per event).
+        """
+        text = "".join(line + "\n" for line in lines)
+        if not text:
+            return
         with self._lock:
             if self._handle is None:
                 self.path.parent.mkdir(parents=True, exist_ok=True)
                 self._handle = open(self.path, "a")
-            self._handle.write(line + "\n")
+            self._handle.write(text)
             self._handle.flush()
 
     def close(self) -> None:

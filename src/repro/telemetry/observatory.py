@@ -39,6 +39,7 @@ import csv
 import io
 import json
 import re
+from collections import Counter as _TallyCounter
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -50,6 +51,16 @@ from repro.telemetry.exporters import (
     atomic_write_text,
     read_jsonl,
     read_windows_csv,
+)
+from repro.telemetry.profiling import (
+    DEFAULT_HZ,
+    PROFILE_FILE,
+    HotspotDigest,
+    function_shares,
+    hotspot_digests,
+    merge_records,
+    read_profile,
+    total_samples,
 )
 from repro.telemetry.registry import _escape, _render_value
 from repro.telemetry.report import (
@@ -123,6 +134,9 @@ class RunAggregate:
             sum/count samples of histograms appear under their
             exposition names.
         windows: every window record with provenance.
+        profiles: merged sampled-profiler records (counts summed per
+            identical attribution, ``worker`` provenance preserved so
+            per-worker sample totals are conserved exactly).
     """
 
     root: Path
@@ -132,6 +146,7 @@ class RunAggregate:
     metric_kinds: dict[str, str] = field(default_factory=dict)
     metrics: dict[str, dict[tuple, float]] = field(default_factory=dict)
     windows: list[WindowRow] = field(default_factory=list)
+    profiles: list[dict] = field(default_factory=list)
 
     @property
     def run_id(self) -> str | None:
@@ -202,6 +217,28 @@ class RunAggregate:
             counts[status] = counts.get(status, 0.0) + value
         return counts
 
+    def profile_samples(self) -> int:
+        """Total sampled-profiler samples across the run."""
+        return total_samples(self.profiles)
+
+    def profile_samples_by_worker(self) -> dict[str, int]:
+        """Sample totals per source worker (conserved under merge)."""
+        totals: dict[str, int] = {}
+        for record in self.profiles:
+            worker = str(record.get("worker", ROOT_WORKER))
+            totals[worker] = totals.get(worker, 0) + int(
+                record.get("count", 0)
+            )
+        return totals
+
+    def hotspots(self, top: int = 5) -> list[HotspotDigest]:
+        """Top functions by inclusive samples, per stage."""
+        return hotspot_digests(self.profiles, top=top)
+
+    def function_shares(self) -> dict[str, float]:
+        """Inclusive sample share per function (for the diff gate)."""
+        return function_shares(self.profiles)
+
     def supervision_counts(self) -> dict[str, float]:
         """Supervised-pool health counters from the merged metrics."""
         return {
@@ -236,6 +273,7 @@ def discover_sources(root: str | Path) -> list[tuple[str, Path]]:
         (root / EVENTS_FILE).exists()
         or (root / METRICS_FILE).exists()
         or (root / MERGED_WINDOWS_FILE).exists()
+        or (root / PROFILE_FILE).exists()
         or any(root.glob("windows_*.csv"))
     )
     if root_has_artifacts:
@@ -422,6 +460,7 @@ def aggregate_run(root: str | Path) -> RunAggregate:
     aggregate.metric_kinds, aggregate.metrics = _merge_metrics(sources)
 
     default_run = aggregate.run_id or ""
+    profile_records: list[dict] = []
     for label, directory in sources:
         merged_csv = directory / MERGED_WINDOWS_FILE
         if merged_csv.exists():
@@ -433,6 +472,13 @@ def aggregate_run(root: str | Path) -> RunAggregate:
                     WindowRow(run=default_run, worker=label,
                               context=context, record=record)
                 )
+        for record in read_profile(directory / PROFILE_FILE):
+            record.setdefault("worker", label)
+            profile_records.append(record)
+    # Summing per identical (run, worker, spans, cell, stack) key keeps
+    # every worker's sample total exact, and makes re-aggregating a
+    # merged directory a no-op — the metrics conservation discipline.
+    aggregate.profiles = merge_records(profile_records)
     return aggregate
 
 
@@ -527,6 +573,15 @@ def write_merged(
     paths["windows"] = atomic_write_text(
         out_dir / MERGED_WINDOWS_FILE, buffer.getvalue()
     )
+
+    if aggregate.profiles:
+        profile_text = "".join(
+            json.dumps(record, sort_keys=True, default=str) + "\n"
+            for record in aggregate.profiles
+        )
+        paths["profile"] = atomic_write_text(
+            out_dir / PROFILE_FILE, profile_text
+        )
     return paths
 
 
@@ -561,6 +616,8 @@ def summary_from_aggregate(aggregate: RunAggregate) -> TelemetrySummary:
     )
     summary.engines = _digest_engines(engine_events, metrics_text)
     summary.supervision = supervision_digest(summary.events_by_kind)
+    summary.profile_samples = aggregate.profile_samples()
+    summary.hotspots = aggregate.hotspots()
     return summary
 
 
@@ -601,6 +658,14 @@ def render_run_overview(aggregate: RunAggregate) -> str:
             f"{int(counts[status])} {status}" for status in sorted(counts)
         )
         lines.append(f"  cells: {tally}")
+    samples = aggregate.profile_samples_by_worker()
+    if samples:
+        tally = ", ".join(
+            f"{worker}: {samples[worker]}" for worker in sorted(samples)
+        )
+        lines.append(
+            f"  profile samples: {aggregate.profile_samples()} ({tally})"
+        )
     return "\n".join(lines)
 
 
@@ -612,6 +677,13 @@ def render_run_overview(aggregate: RunAggregate) -> str:
 _TRACE_META_EXCLUDE = frozenset(
     {"ts", "kind", "name", "duration_s", "seq", "run", "worker", "parent"}
 )
+
+#: Hottest aggregated stacks injected per worker profile track.
+_TRACE_PROFILE_TOP = 80
+
+#: Trace thread id of the per-worker sampled-hotspots track (span and
+#: cell slices live on tid 1, counters on tid 0).
+_PROFILE_TID = 2
 
 
 def chrome_trace(aggregate: RunAggregate) -> dict:
@@ -723,6 +795,8 @@ def chrome_trace(aggregate: RunAggregate) -> dict:
             "args": args,
         })
 
+    trace_events.extend(_profile_trace_events(aggregate, pids))
+
     other: dict[str, object] = {"source": str(aggregate.root)}
     if aggregate.run_id is not None:
         other["run_id"] = aggregate.run_id
@@ -731,6 +805,63 @@ def chrome_trace(aggregate: RunAggregate) -> dict:
         "displayTimeUnit": "ms",
         "otherData": other,
     }
+
+
+def _profile_trace_events(
+    aggregate: RunAggregate, pids: dict[str, int]
+) -> list[dict]:
+    """Sampled hotspots as per-worker trace tracks.
+
+    Each worker with profile samples gets a ``sampled hotspots`` thread
+    (tid :data:`_PROFILE_TID`) holding its hottest aggregated stacks as
+    back-to-back complete slices: the slice name is the leaf frame, the
+    duration is ``samples / hz`` (the wall time the sampler attributes
+    to that stack), and the full span-path + frame stack rides in the
+    args — so Perfetto shows where time went right next to the span
+    timeline it went missing from.
+    """
+    by_worker: dict[str, _TallyCounter] = {}
+    hz_by_worker: dict[str, float] = {}
+    for record in aggregate.profiles:
+        worker = str(record.get("worker", ROOT_WORKER))
+        key = tuple(record.get("spans", ())) + tuple(record.get("stack", ()))
+        if not key:
+            continue
+        by_worker.setdefault(worker, _TallyCounter())[key] += int(
+            record.get("count", 0)
+        )
+        hz_by_worker.setdefault(
+            worker, float(record.get("hz", DEFAULT_HZ)) or DEFAULT_HZ
+        )
+
+    events: list[dict] = []
+    for worker in sorted(by_worker, key=lambda w: pids.get(w, len(pids))):
+        pid = pids.get(worker)
+        if pid is None:
+            pid = pids[worker] = len(pids) + 1
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": pid,
+            "tid": _PROFILE_TID, "ts": 0,
+            "args": {"name": "sampled hotspots"},
+        })
+        hz = hz_by_worker[worker]
+        cursor = 0
+        ranked = sorted(
+            by_worker[worker].items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        for stack, count in ranked[:_TRACE_PROFILE_TOP]:
+            if count <= 0:
+                continue
+            duration_us = max(1, int(round(count / hz * 1e6)))
+            events.append({
+                "ph": "X", "name": stack[-1], "cat": "profile",
+                "ts": cursor, "dur": duration_us, "pid": pid,
+                "tid": _PROFILE_TID,
+                "args": {"stack": ";".join(stack), "samples": count,
+                         "hz": hz},
+            })
+            cursor += duration_us
+    return events
 
 
 def write_chrome_trace(
@@ -762,12 +893,21 @@ class DiffThresholds:
             behaviour change, not just a slowdown).
         vector_fraction_abs: a level regresses when the engine's
             vectorized-run fraction *drops* by more than this.
+        hotspot_share_abs: a profiled function regresses when its
+            inclusive sample share moves by more than this fraction in
+            either direction (0.10 = 10 percentage points) — a hotspot
+            shifting is a behaviour change whichever way it moves.
+        hotspot_min_samples: the hotspot gate only arms when *both*
+            runs hold at least this many samples; tiny profiles
+            quantize shares too coarsely to compare honestly.
     """
 
     span_pct: float = 25.0
     span_min_s: float = 0.05
     hit_rate_abs: float = 0.005
     vector_fraction_abs: float = 0.05
+    hotspot_share_abs: float = 0.10
+    hotspot_min_samples: int = 50
 
     def validate(self) -> "DiffThresholds":
         """Self with sanity checks applied."""
@@ -778,6 +918,14 @@ class DiffThresholds:
         if not 0 <= self.vector_fraction_abs <= 1:
             raise TelemetryError(
                 "vector_fraction_abs must be within [0, 1]"
+            )
+        if not 0 <= self.hotspot_share_abs <= 1:
+            raise TelemetryError(
+                "hotspot_share_abs must be within [0, 1]"
+            )
+        if self.hotspot_min_samples < 0:
+            raise TelemetryError(
+                "hotspot_min_samples must be non-negative"
             )
         return self
 
@@ -922,6 +1070,38 @@ def diff_runs(
             regression=regression,
             detail=f"{int(base_n)} -> {int(cand_n)} cell(s) {status}",
         ))
+
+    base_total = baseline.profile_samples()
+    cand_total = candidate.profile_samples()
+    if (
+        base_total >= thresholds.hotspot_min_samples
+        and cand_total >= thresholds.hotspot_min_samples
+        and thresholds.hotspot_min_samples > 0
+    ):
+        base_shares = baseline.function_shares()
+        cand_shares = candidate.function_shares()
+        for function in sorted(set(base_shares) | set(cand_shares)):
+            base_share = base_shares.get(function, 0.0)
+            cand_share = cand_shares.get(function, 0.0)
+            delta = cand_share - base_share
+            regression = abs(delta) > thresholds.hotspot_share_abs
+            # Keep the entry list to material functions: anything that
+            # regressed, plus anything holding a threshold-sized share
+            # in either run (the hotspots a reader would ask about).
+            if not regression and (
+                max(base_share, cand_share) < thresholds.hotspot_share_abs
+            ):
+                continue
+            diff.entries.append(DiffEntry(
+                kind="hotspot", name=function, baseline=base_share,
+                candidate=cand_share, regression=regression,
+                detail=(
+                    f"inclusive share {base_share:.1%} -> "
+                    f"{cand_share:.1%} ({delta * 100:+.1f} points, "
+                    f"limit ±{thresholds.hotspot_share_abs * 100:g} "
+                    f"points; {base_total} vs {cand_total} samples)"
+                ),
+            ))
 
     base_sup = baseline.supervision_counts()
     cand_sup = candidate.supervision_counts()

@@ -25,16 +25,29 @@ their cell.
 
 from __future__ import annotations
 
+import logging
 import math
 import threading
 from typing import Iterable
 
 from repro.errors import TelemetryError
 
+logger = logging.getLogger("repro.telemetry")
+
 #: Default histogram bucket upper bounds (seconds-oriented).
 DEFAULT_BUCKETS: tuple[float, ...] = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 600.0
 )
+
+#: Default cardinality cap: distinct (name, labels) series a registry
+#: will create before it starts dropping new ones. Generous — a full
+#: sweep today stays in the low hundreds — but finite, so a label
+#: explosion (e.g. a unique id leaking into a label value) degrades to
+#: dropped series instead of an unbounded metrics.prom.
+DEFAULT_SERIES_CAP = 4096
+
+#: Counter bumped once per series dropped by the cardinality guard.
+DROPPED_SERIES_METRIC = "repro_telemetry_dropped_series"
 
 _LabelKey = tuple[tuple[str, str], ...]
 
@@ -150,12 +163,27 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Owns every instrument; the single source for snapshots/exports."""
+    """Owns every instrument; the single source for snapshots/exports.
 
-    def __init__(self) -> None:
+    Args:
+        max_series: cardinality guard — once this many distinct
+            ``(name, labels)`` series exist, *new* series are not
+            created: the caller gets the shared no-op instrument, a
+            warning is logged once per registry, and the
+            :data:`DROPPED_SERIES_METRIC` counter counts every drop.
+            Existing series keep recording.
+    """
+
+    def __init__(self, *, max_series: int = DEFAULT_SERIES_CAP) -> None:
+        if max_series < 1:
+            raise TelemetryError(
+                f"max_series must be at least 1, got {max_series}"
+            )
         self._lock = threading.Lock()
         self._metrics: dict[tuple[str, _LabelKey], object] = {}
         self._kinds: dict[str, str] = {}
+        self.max_series = int(max_series)
+        self._cap_warned = False
 
     @property
     def enabled(self) -> bool:
@@ -174,10 +202,38 @@ class MetricsRegistry:
                 )
             instrument = self._metrics.get(key)
             if instrument is None:
+                if (
+                    len(self._metrics) >= self.max_series
+                    and name != DROPPED_SERIES_METRIC
+                ):
+                    return self._drop_series(name)
                 instrument = factory()
                 self._metrics[key] = instrument
                 self._kinds[name] = kind
             return instrument
+
+    def _drop_series(self, name: str):
+        """Cardinality cap hit: count the drop, warn once, return a no-op.
+
+        Called with ``_lock`` held; the dropped-series counter is
+        mutated directly because instruments share the registry lock.
+        """
+        dropped_key = (DROPPED_SERIES_METRIC, _label_key({}))
+        dropped = self._metrics.get(dropped_key)
+        if dropped is None:
+            dropped = Counter(DROPPED_SERIES_METRIC, {}, self._lock)
+            self._metrics[dropped_key] = dropped
+            self._kinds[DROPPED_SERIES_METRIC] = "counter"
+        dropped.value += 1.0
+        if not self._cap_warned:
+            self._cap_warned = True
+            logger.warning(
+                "metric series cap reached (%d): dropping new series "
+                "starting with %s; check for a label cardinality "
+                "explosion (%s counts the drops)",
+                self.max_series, name, DROPPED_SERIES_METRIC,
+            )
+        return _NULL_INSTRUMENT
 
     def counter(self, name: str, /, **labels: str) -> Counter:
         """Get or create the counter ``name`` with ``labels``.

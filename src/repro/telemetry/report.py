@@ -16,7 +16,17 @@ from pathlib import Path
 from repro.errors import TelemetryError
 from repro.telemetry.core import EVENTS_FILE, METRICS_FILE
 from repro.telemetry.exporters import read_jsonl, read_windows_csv
+from repro.telemetry.profiling import (
+    PROFILE_FILE,
+    HotspotDigest,
+    hotspot_digests,
+    read_profile,
+    total_samples,
+)
 from repro.telemetry.windows import WindowRecord
+
+#: Functions listed per stage in the report's hotspots section.
+HOTSPOT_TOP = 5
 
 
 @dataclass
@@ -182,6 +192,9 @@ class TelemetrySummary:
         engines: per-level cache-engine digests, by level name.
         supervision: worker-pool supervision digest.
         metrics_lines: number of lines in the Prometheus snapshot.
+        hotspots: sampled-profiler top functions per stage (empty when
+            the run was not profiled).
+        profile_samples: total profiler samples behind the hotspots.
     """
 
     directory: Path
@@ -193,6 +206,8 @@ class TelemetrySummary:
         default_factory=SupervisionDigest
     )
     metrics_lines: int = 0
+    hotspots: list[HotspotDigest] = field(default_factory=list)
+    profile_samples: int = 0
 
 
 def _digest_windows(context: str, records: list[WindowRecord]) -> StageWindows:
@@ -318,6 +333,10 @@ def summarize_directory(directory: str | Path) -> TelemetrySummary:
         )
     summary.engines = _digest_engines(engine_events, metrics_text)
     summary.supervision = supervision_digest(summary.events_by_kind)
+
+    profile_records = read_profile(directory / PROFILE_FILE)
+    summary.profile_samples = total_samples(profile_records)
+    summary.hotspots = hotspot_digests(profile_records, top=HOTSPOT_TOP)
     return summary
 
 
@@ -401,6 +420,17 @@ def render_summary(summary: TelemetrySummary) -> str:
                 ],
                 rows,
             )
+        )
+
+    if summary.hotspots:
+        rows = [
+            [d.stage, d.function, str(d.samples), f"{d.share:.1%}"]
+            for d in summary.hotspots
+        ]
+        sections.append(
+            f"hotspots (top {HOTSPOT_TOP} functions by inclusive "
+            f"samples, {summary.profile_samples} sample(s))\n"
+            + _table(["stage", "function", "samples", "share"], rows)
         )
 
     if summary.supervision.any:
