@@ -1,0 +1,94 @@
+"""Reuse-distance microbenchmark: vectorized CDQ vs Fenwick reference.
+
+Times :func:`repro.trace.reuse.reuse_distances` (the offline
+divide-and-conquer pass the analytic engine's profiler is built on)
+against :func:`repro.trace.reuse.reuse_distances_fenwick` (the
+per-access Bennett–Kruskal loop kept as the bit-exact oracle) across
+stream shapes with very different run/locality structure:
+
+- ``random``   — uniform over a footprint much larger than any cache;
+  every access is a run head, worst case for the run-collapse shortcut.
+- ``zipf``     — skewed popularity, the common in-between.
+- ``strided``  — sequential sweeps; at line granularity almost every
+  access repeats the previous line, best case for run collapse.
+- ``traced``   — the real CG post-L3 stream at benchmark scale.
+
+Every pair of results is asserted bit-identical before timing is
+reported, so the table doubles as a differential check. Informational
+only — no committed baseline, no CI gate; the gated end-to-end number
+lives in ``bench_sim_throughput.py`` (the analytic sweep measurement).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_reuse_profile.py
+
+``REPRO_BENCH_EVENTS`` overrides the synthetic stream length (default
+100k; the Fenwick loop is pure Python, so budget ~20s per 100k events).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.experiments.runner import Runner
+from repro.trace.reuse import reuse_distances, reuse_distances_fenwick
+from repro.trace.stream import AddressStream
+from repro.workloads.registry import get_workload
+
+DEFAULT_EVENTS = 100_000
+LINE = 64
+TRACED_SCALE = 1.0 / 1024
+
+
+def synthetic_streams(events: int) -> dict[str, AddressStream]:
+    rng = np.random.default_rng(7)
+    footprint_lines = max(events // 4, 1)
+    random_addrs = rng.integers(0, footprint_lines, events) * LINE
+    zipf_addrs = (
+        np.minimum(rng.zipf(1.3, events), footprint_lines) - 1
+    ) * LINE
+    # Four interleaved sequential sweeps, 8 B elements: consecutive
+    # accesses mostly share a line.
+    base = (np.arange(events) // 4) * 8
+    lane = (np.arange(events) % 4) * (footprint_lines // 4) * LINE
+    strided_addrs = base + lane
+    return {
+        "random": AddressStream.from_arrays(random_addrs, 8, 0),
+        "zipf": AddressStream.from_arrays(zipf_addrs, 8, 0),
+        "strided": AddressStream.from_arrays(strided_addrs, 8, 0),
+    }
+
+
+def traced_stream() -> AddressStream:
+    runner = Runner(scale=TRACED_SCALE, seed=0)
+    return runner.prepare(get_workload("CG")).post_l3
+
+
+def main() -> int:
+    events = int(os.environ.get("REPRO_BENCH_EVENTS", DEFAULT_EVENTS))
+    streams = synthetic_streams(events)
+    print(f"tracing CG at scale {TRACED_SCALE:g} ...", flush=True)
+    streams["traced"] = traced_stream()
+
+    print(f"{'stream':<10} {'events':>9} {'fenwick':>9} {'cdq':>9} "
+          f"{'speedup':>8}")
+    for name, stream in streams.items():
+        t0 = time.perf_counter()
+        reference = reuse_distances_fenwick(stream, LINE)
+        t_fenwick = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        vectorized = reuse_distances(stream, LINE)
+        t_cdq = time.perf_counter() - t0
+        if not np.array_equal(reference, vectorized):
+            print(f"FAIL: {name}: CDQ diverges from the Fenwick oracle")
+            return 1
+        print(f"{name:<10} {len(stream):>9} {t_fenwick:>8.3f}s "
+              f"{t_cdq:>8.3f}s {t_fenwick / t_cdq:>7.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

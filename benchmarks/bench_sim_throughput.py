@@ -1,6 +1,6 @@
 """Simulation-reuse throughput benchmark and regression gate.
 
-Four measurements, one committed baseline (``BENCH_sim.json``):
+Five measurements, one committed baseline (``BENCH_sim.json``):
 
 1. **Sequential single-design throughput** — post-L3 requests per
    second through one design's lower levels, best-of-N. This is the
@@ -25,6 +25,16 @@ Four measurements, one committed baseline (``BENCH_sim.json``):
    best-of-N times: container timing noise swings far more between
    runs than within one, and interleaving cancels it. Single-process
    NumPy — no CPU-count gate needed.
+5. **Analytic-engine speedup** — a 24-cell joint capacity grid (deep
+   hybrid: eDRAM L4 x DRAM cache, one shared page size) resolved by
+   exact per-cell replay vs the analytic fast-path engine pricing
+   every cell from a single reuse-distance profile. Two sectored
+   page-cache levels per cell keep the exact side on the scalar loop —
+   precisely the sweep shape the analytic screen exists for. Each
+   analytic rep starts from a cold profile cache, so the one-pass
+   profiling (and its persistence) is inside the timing. Asserted
+   >= 10x on the committed baseline; fresh re-measurements apply the
+   standard noise tolerance.
 
 Run from the repo root to (re)write the baseline::
 
@@ -53,7 +63,8 @@ import numpy as np
 from repro.cache.config import CacheConfig
 from repro.cache.hierarchy import run_chain
 from repro.cache.setassoc import SetAssociativeCache
-from repro.designs.configs import EH_CONFIGS, N_CONFIGS
+from repro.designs.configs import EH_CONFIGS, EHConfig, N_CONFIGS, NConfig
+from repro.designs.deephybrid import DeepHybridDesign
 from repro.designs.fourlc import FourLCDesign
 from repro.designs.fourlcnvm import FourLCNVMDesign
 from repro.designs.nmm import NMMDesign
@@ -63,7 +74,7 @@ from repro.resilience.executor import SweepExecutor
 from repro.tech.params import EDRAM, FERAM, PCM, STTRAM
 from repro.telemetry.core import Telemetry, activate
 from repro.trace.events import AccessBatch
-from repro.units import KiB
+from repro.units import KiB, MiB
 from repro.workloads.registry import get_workload
 
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
@@ -80,6 +91,12 @@ MIN_PARALLEL_SPEEDUP = 1.6
 #: the sequential gate applies — because interleaved best-of-N trials
 #: still move a few percent with co-tenant memory pressure.
 MIN_ENGINE_SPEEDUP = 2.0
+#: Floor for the committed analytic-vs-exact sweep speedup. The
+#: analytic engine replaces O(designs * trace) replay with one profile
+#: pass per page granularity plus O(levels) array math per design, so
+#: an order of magnitude is the *minimum* acceptable return; fresh
+#: re-measurements apply ``1 - REGRESSION_TOLERANCE`` on top.
+MIN_ANALYTIC_SPEEDUP = 10.0
 ENGINE_TRIALS = 10
 SEQUENTIAL_WORKLOAD = "CG"
 PARALLEL_WORKLOADS = ("CG", "SP", "Hashing", "BT")
@@ -267,6 +284,105 @@ def measure_engines(trials: int = ENGINE_TRIALS) -> dict:
     }
 
 
+#: Joint capacity grid for the analytic measurement: eDRAM L4 size (MiB)
+#: x DRAM-cache size (MiB), every cell at one shared page size so a
+#: single reuse profile prices the whole grid.
+ANALYTIC_L4_MIB = (4, 8, 16, 32)
+ANALYTIC_DRAM_MIB = (64, 128, 256, 512, 1024, 2048)
+ANALYTIC_PAGE_SIZE = 512
+
+
+def analytic_sweep(reference, scale):
+    """The co-design grid the analytic screen is built for: 24 deep
+    hybrid points (eDRAM L4 x DRAM cache, one 512 B page size) whose
+    two sectored page-cache levels keep the exact engine on the scalar
+    loop — while the analytic engine amortizes one reuse profile over
+    every cell."""
+    return [
+        DeepHybridDesign(
+            EDRAM, PCM,
+            EHConfig(f"B{i}", l4 * MiB, ANALYTIC_PAGE_SIZE),
+            NConfig(f"C{j}", dram * MiB, ANALYTIC_PAGE_SIZE),
+            scale=scale, reference=reference,
+        )
+        for i, l4 in enumerate(ANALYTIC_L4_MIB)
+        for j, dram in enumerate(ANALYTIC_DRAM_MIB)
+    ]
+
+
+def measure_analytic(scale: float, reps: int) -> dict:
+    """Exact replay of the co-design capacity grid vs the analytic engine.
+
+    The exact side replays the post-L3 trace through each cell's two
+    sectored lower levels, best-of-``reps`` over the whole grid. The
+    analytic side gets a fresh runner per rep with the on-disk profile
+    cache cleared first, so every rep pays the full one-pass profiling
+    (and persistence) cost — not a warm-cache lookup. Both sides share
+    one prepared trace; tracing and the upper-pyramid replay are
+    outside both timings (they are identical either way).
+    """
+    import tempfile
+
+    workload = get_workload(SEQUENTIAL_WORKLOAD)
+    with tempfile.TemporaryDirectory() as trace_cache:
+        exact_runner = Runner(scale=scale, seed=0,
+                              trace_cache_dir=trace_cache)
+        designs = analytic_sweep(exact_runner.reference, scale)
+        trace = exact_runner.prepare(workload)
+
+        exact = float("inf")
+        for _ in range(reps):
+            start = time.perf_counter()
+            for design in designs:
+                caches = design.lower_caches()
+                memory = design.memory()
+                for chunk in trace.post_l3.chunks():
+                    run_chain(chunk, caches, memory)
+            exact = min(exact, time.perf_counter() - start)
+
+        analytic = float("inf")
+        last_stats = None
+        for _ in range(reps):
+            runner = Runner(scale=scale, seed=0,
+                            trace_cache_dir=trace_cache,
+                            engine="analytic")
+            runner.prepare(workload)  # cached trace load, untimed
+            for stale in Path(trace_cache).glob("*.profile-*"):
+                stale.unlink()  # each rep profiles from scratch
+            sweep = analytic_sweep(runner.reference, scale)
+            start = time.perf_counter()
+            for design in sweep:
+                last_stats = runner.stats_for(design, workload)
+            analytic = min(analytic, time.perf_counter() - start)
+
+        # Arrival accounting at the first lower level is exact by
+        # contract — a mismatch here means the engines drifted apart
+        # and the timing comparison is meaningless.
+        exact_stats = exact_runner.stats_for(designs[-1], workload)
+        first = len(exact_stats.levels) - len(designs[-1].lower_caches()) - 1
+        if (
+            last_stats.levels[first].loads != exact_stats.levels[first].loads
+            or last_stats.levels[first].stores
+            != exact_stats.levels[first].stores
+        ):
+            raise RuntimeError(
+                "analytic/exact arrival divergence on the co-design grid"
+            )
+
+    cells = len(designs)
+    return {
+        "workload": SEQUENTIAL_WORKLOAD,
+        "designs": [d.name for d in designs],
+        "requests": len(trace.post_l3),
+        "exact_s": round(exact, 6),
+        "analytic_s": round(analytic, 6),
+        "exact_cell_s": round(exact / cells, 6),
+        "analytic_cell_s": round(analytic / cells, 6),
+        "speedup": round(exact / analytic, 3),
+        "min_speedup": MIN_ANALYTIC_SPEEDUP,
+    }
+
+
 def usable_cpus() -> int:
     """CPUs this process may actually run on (affinity-aware)."""
     try:
@@ -385,6 +501,9 @@ def main(argv=None) -> int:
     print(f"engine microbench ({MIN_ENGINE_SPEEDUP:g}x floor, "
           f"{ENGINE_TRIALS} interleaved trials) ...", flush=True)
     engines = measure_engines()
+    print(f"analytic sweep ({MIN_ANALYTIC_SPEEDUP:g}x floor) ...",
+          flush=True)
+    analytic = measure_analytic(scale, reps)
 
     result = {
         "scale": scale,
@@ -392,6 +511,7 @@ def main(argv=None) -> int:
         "sequential": sequential,
         "prefix_sharing": prefix,
         "engines": engines,
+        "analytic": analytic,
         "regression_tolerance": REGRESSION_TOLERANCE,
         "stage_seconds": {
             name: round(seconds, 6)
@@ -413,6 +533,15 @@ def main(argv=None) -> int:
         failures.append(
             f"engine speedup {engines['headline_speedup']:.2f}x "
             f"< {engine_floor:g}x on {engines['headline']}"
+        )
+    analytic_floor = (
+        MIN_ANALYTIC_SPEEDUP * (1.0 - REGRESSION_TOLERANCE)
+        if args.check else MIN_ANALYTIC_SPEEDUP
+    )
+    if analytic["speedup"] < analytic_floor:
+        failures.append(
+            f"analytic sweep speedup {analytic['speedup']:.2f}x "
+            f"< {analytic_floor:g}x"
         )
 
     if quick_mode():
@@ -464,6 +593,9 @@ def main(argv=None) -> int:
     for row in engines["workloads"]:
         print(f"  engine [{row['workload']}]: {row['speedup']:.2f}x "
               f"({row['scalar_s']:.3f}s -> {row['setpar_s']:.3f}s)")
+    print(f"  analytic sweep ({len(analytic['designs'])} cells): "
+          f"{analytic['speedup']:.2f}x "
+          f"({analytic['exact_s']:.3f}s -> {analytic['analytic_s']:.3f}s)")
     par = result.get("parallel")
     if par and par.get("speedup") is not None:
         print(f"  workers=2: {par['speedup']:.2f}x "
@@ -535,6 +667,16 @@ if pytest is not None:
         assert fresh["headline_speedup"] >= floor, fresh
 
     @pytest.mark.perf
+    def test_analytic_speedup_floor(gate_runner):
+        """Fresh analytic-vs-exact sweep measurement: the fast path
+        must stay an order of magnitude ahead (noise tolerance
+        applied; the committed baseline carries the absolute floor)."""
+        baseline, _ = gate_runner
+        fresh = measure_analytic(baseline["scale"], bench_reps())
+        floor = MIN_ANALYTIC_SPEEDUP * (1.0 - REGRESSION_TOLERANCE)
+        assert fresh["speedup"] >= floor, fresh
+
+    @pytest.mark.perf
     def test_committed_baseline_meets_the_floors():
         baseline = load_baseline()
         if baseline is None:
@@ -542,6 +684,8 @@ if pytest is not None:
         assert baseline["prefix_sharing"]["speedup"] >= MIN_PREFIX_SPEEDUP
         engines = baseline.get("engines") or {}
         assert engines.get("headline_speedup", 0.0) >= MIN_ENGINE_SPEEDUP
+        analytic = baseline.get("analytic") or {}
+        assert analytic.get("speedup", 0.0) >= MIN_ANALYTIC_SPEEDUP
         parallel = baseline.get("parallel") or {}
         if parallel.get("speedup") is not None:
             assert parallel["speedup"] >= MIN_PARALLEL_SPEEDUP

@@ -34,7 +34,7 @@ class CacheConfig:
         policy: replacement policy name ("lru", "fifo", "random").
         engine: simulation engine for this level. ``"auto"`` (the
             default) picks the set-parallel vectorized engine for
-            non-sectored LRU levels and the scalar loop otherwise;
+            non-sectored LRU/FIFO levels and the scalar loop otherwise;
             ``"scalar"`` forces the reference Python loop; ``"setpar"``
             asserts the vectorized engine (invalid for levels it cannot
             simulate). Engines are bit-identical — the knob only affects
@@ -89,7 +89,8 @@ class CacheConfig:
         if self.engine == "setpar" and not supports_setpar(self):
             raise ConfigError(
                 f"{self.name}: engine='setpar' requires a non-sectored LRU "
-                "level (use engine='auto' to fall back where unsupported)"
+                "or FIFO level (use engine='auto' to fall back where "
+                "unsupported)"
             )
 
     @property
@@ -133,23 +134,24 @@ class CacheConfig:
 def supports_setpar(config: CacheConfig) -> bool:
     """True iff the set-parallel engine can simulate this level.
 
-    The vectorized rounds implement exact MRU promotion over whole-block
-    dirty state, so only non-sectored LRU levels qualify; FIFO/Random go
-    through pluggable policy objects and sectored levels track per-sector
-    dirty state, both of which stay on the scalar loop.
+    The vectorized rounds keep replacement order as per-way timestamps
+    over whole-block dirty state: LRU stamps on every touch, FIFO
+    stamps on insertion only, so both qualify when non-sectored.
+    Random victims are draws from a serial RNG stream and sectored
+    levels track per-sector dirty state — both stay on the scalar loop.
     """
     sectored = (
         config.sector_size is not None
         and config.sector_size < config.block_size
     )
-    return config.policy == "lru" and not sectored
+    return config.policy in ("lru", "fifo") and not sectored
 
 
 def with_engine(config: CacheConfig, engine: str) -> CacheConfig:
     """``config`` with the engine knob applied where the level supports it.
 
     Forcing ``"setpar"`` on a level the vectorized engine cannot simulate
-    (sectored or non-LRU) keeps that level on ``"auto"`` — which resolves
+    (sectored or random-policy) keeps that level on ``"auto"`` — which resolves
     to the scalar loop there — instead of raising, so a design- or
     sweep-wide ``--engine setpar`` remains usable on hierarchies that mix
     SRAM levels with sectored page caches.

@@ -18,16 +18,18 @@ Design notes (performance):
   :mod:`~repro.cache.replacement` engines.
 - The serial dependence exists only *within* a set, which the
   set-parallel engine (``engine="setpar"``, picked automatically for
-  non-sectored LRU levels) exploits: runs are stable-sorted by set
-  index and simulated in *rounds* — round ``r`` takes the ``r``-th run
-  of every active set and advances all of them at once against a
-  ``(touched_sets x ways)`` matrix of packed tags
-  (``block << 1 | dirty``) plus a timestamp matrix. LRU order is kept
-  as timestamps (a way touched in round ``r`` is stamped ``r``;
-  pre-batch residents carry their list position as a negative stamp,
-  empty ways even more negative ones), so a broadcast tag compare
-  yields hits, ``argmin`` over the stamps yields the exact LRU victim,
-  and promotion is a single stamp scatter instead of a permutation.
+  non-sectored LRU and FIFO levels) exploits: runs are stable-sorted
+  by set index and simulated in *rounds* — round ``r`` takes the
+  ``r``-th run of every active set and advances all of them at once
+  against a ``(touched_sets x ways)`` matrix of packed tags
+  (``block << 1 | dirty``) plus a timestamp matrix. Replacement order
+  is kept as timestamps (pre-batch residents carry their list position
+  as a negative stamp, empty ways even more negative ones), so a
+  broadcast tag compare yields hits, ``argmin`` over the stamps yields
+  the exact victim, and the order update is a single stamp scatter
+  instead of a permutation: under LRU every touched way is stamped
+  with its round number (promotion), under FIFO only filled ways are
+  (insertion order is the only order, so hits leave stamps alone).
   Emitted fills/writebacks are scattered back into original occurrence
   order via the runs' source indices, so the engine is bit-identical
   to the scalar loop — statistics, emitted batches, and end state.
@@ -97,14 +99,6 @@ class SetAssociativeCache:
             self._dirty_sectors = {}
             self._dirty = set()
         self._is_lru = config.policy == "lru"
-        if self._is_lru:
-            self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
-            self._policy = None
-        else:
-            self._sets = []
-            self._policy = make_policy(
-                config.policy, config.num_sets, config.associativity
-            )
         if config.engine == "scalar":
             self._engine = "scalar"
         else:
@@ -112,6 +106,21 @@ class SetAssociativeCache:
             # wherever it is supported (it degrades to the scalar loop
             # per batch when set-parallelism cannot pay off).
             self._engine = "setpar" if supports_setpar(config) else "scalar"
+        # Inline per-set lists carry the state for LRU always and for
+        # FIFO under the set-parallel engine (whose round matrices and
+        # scalar fallbacks share them); scalar FIFO and Random go
+        # through the pluggable policy objects.
+        self._inline = self._is_lru or (
+            config.policy == "fifo" and self._engine == "setpar"
+        )
+        if self._inline:
+            self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
+            self._policy = None
+        else:
+            self._sets = []
+            self._policy = make_policy(
+                config.policy, config.num_sets, config.associativity
+            )
         self._engine_announced = False
         # Sticky safety latch: once a block number too large for the
         # packed-tag scheme has been seen (and may therefore be
@@ -153,7 +162,7 @@ class SetAssociativeCache:
 
     def resident_blocks(self) -> int:
         """Number of blocks currently cached (diagnostics/tests)."""
-        if self._is_lru:
+        if self._inline:
             return sum(len(s) for s in self._sets)
         return sum(
             len(self._policy.contents(i)) for i in range(self.config.num_sets)
@@ -163,7 +172,7 @@ class SetAssociativeCache:
         """True iff the block holding byte ``address`` is resident."""
         block = address >> self._block_bits
         set_index = self._set_index(block)
-        if self._is_lru:
+        if self._inline:
             return block in self._sets[set_index]
         return block in self._policy.contents(set_index)
 
@@ -182,7 +191,7 @@ class SetAssociativeCache:
         self._dirty.clear()
         self._dirty_sectors.clear()
         self._setpar_unsafe = False
-        if self._is_lru:
+        if self._inline:
             self._sets = [[] for _ in range(self.config.num_sets)]
         else:
             self._policy.reset()
@@ -235,10 +244,7 @@ class SetAssociativeCache:
         np.not_equal(units[1:], units[:-1], out=change[1:])
         n_runs = int(np.count_nonzero(change))
         if n_runs == n or (
-            not self._sectored
-            and self._is_lru
-            and self._engine == "setpar"
-            and n_runs * 4 > 3 * n
+            self._engine == "setpar" and n_runs * 4 > 3 * n
         ):
             # Every access (or nearly every access — random-access
             # traffic) is its own run. The run arrays are the event
@@ -247,7 +253,7 @@ class SetAssociativeCache:
             # remain: simulating a run's accesses one by one gives the
             # identical fill, writeback, dirty, and per-type hit/miss
             # outcome — the first access misses or hits for the run,
-            # the rest hit and promote — so collapse is purely a
+            # the rest hit (promoting under LRU) — so collapse is purely a
             # throughput lever, worthwhile only when it shrinks the
             # batch substantially.
             run_units = units
@@ -300,7 +306,7 @@ class SetAssociativeCache:
                 np.asarray(out_kinds, dtype=KIND_DTYPE),
             )
 
-        if self._is_lru and self._engine == "setpar":
+        if self._engine == "setpar":
             out_blocks_arr, out_kinds_arr = self._process_runs_setpar(
                 run_units, run_sets, run_loads, run_stores, first_store,
                 n_loads, n_stores, tel,
@@ -490,11 +496,72 @@ class SetAssociativeCache:
         stats.fills += fills
         return out_blocks, out_kinds
 
+    def _process_runs_fifo(
+        self, run_blocks, run_sets, run_loads, run_stores, first_store
+    ):
+        """Inline-FIFO hot loop: the LRU loop minus hit promotion.
+
+        Used only by the set-parallel engine's scalar fallbacks (the
+        ``scalar`` engine keeps FIFO on the pluggable policy object so
+        the two implementations stay independently testable).
+        """
+        sets = self._sets
+        dirty = self._dirty
+        ways = self.config.associativity
+        stats = self.stats
+        lh = lm = sh = sm = wb = fills = 0
+        out_blocks: list[int] = []
+        out_kinds: list[int] = []
+        append_b = out_blocks.append
+        append_k = out_kinds.append
+        dirty_add = dirty.add
+
+        for blk, sidx, nld, nst, fst in zip(
+            run_blocks, run_sets, run_loads, run_stores, first_store
+        ):
+            s = sets[sidx]
+            if blk in s:
+                lh += nld
+                sh += nst
+            else:
+                if fst:
+                    sm += 1
+                    sh += nst - 1
+                    lh += nld
+                else:
+                    lm += 1
+                    lh += nld - 1
+                    sh += nst
+                fills += 1
+                append_b(blk)
+                append_k(0)
+                s.insert(0, blk)
+                if len(s) > ways:
+                    victim = s.pop()
+                    if victim in dirty:
+                        dirty.discard(victim)
+                        wb += 1
+                        append_b(victim)
+                        append_k(1)
+            if nst:
+                dirty_add(blk)
+
+        stats.load_hits += lh
+        stats.load_misses += lm
+        stats.store_hits += sh
+        stats.store_misses += sm
+        stats.writebacks += wb
+        stats.fills += fills
+        return out_blocks, out_kinds
+
     def _setpar_fallback(self, run_blocks, run_sets, run_loads, run_stores,
                          first_store):
         """Whole-batch scalar fallback for the setpar engine (list args
         converted once; stats handled by the scalar loop)."""
-        out_blocks, out_kinds = self._process_runs_lru(
+        scalar_loop = (
+            self._process_runs_lru if self._is_lru else self._process_runs_fifo
+        )
+        out_blocks, out_kinds = scalar_loop(
             run_blocks.tolist(),
             run_sets.tolist(),
             run_loads.tolist(),
@@ -510,7 +577,7 @@ class SetAssociativeCache:
         self, run_blocks, run_sets, run_loads, run_stores, first_store,
         n_loads, n_stores, tel,
     ):
-        """Set-parallel LRU rounds (see the module docstring).
+        """Set-parallel LRU/FIFO rounds (see the module docstring).
 
         Arguments arrive as the vectorized arrays from :meth:`process`.
         Returns ``(blocks, kinds)`` arrays in the exact emission order
@@ -683,13 +750,10 @@ class SetAssociativeCache:
         copyto = np.copyto
         bor = np.bitwise_or
         take_t = tags_f.take
+        is_lru = self._is_lru
         if full_rounds:
             nf = full_rounds
-            # The poison below lands only on the matched way of hit
-            # lanes — exactly the way argmin then chooses — so the
-            # end-of-round stamp scatter heals every poisoned entry and
-            # the persistent stamp matrix needs no scratch copy.
-            for b2d, b2sv, hsv, bhv, msv, vvv, rv in zip(
+            rounds_iter = zip(
                 b2s[:p0].reshape(nf, m, 1),
                 b2s[:p0].reshape(nf, m),
                 hs[:p0].reshape(nf, m),
@@ -697,19 +761,49 @@ class SetAssociativeCache:
                 miss_all[:p0].reshape(nf, m),
                 victims_all[:p0].reshape(nf, m),
                 np.arange(nf, dtype=np.int32).reshape(nf, 1),
-            ):
-                xor(tags, b2d, out=xm)
-                less_equal(xm, one_u, out=eq)
-                copyto(stamp, neg_big, where=eq)
-                stamp.argmin(axis=1, out=cw)
-                add(cw, localoff, out=gi)
-                take_t(gi, out=vvv)
-                xor(vvv, b2sv, out=tq)
-                greater(tq, ones_v, out=msv)
-                bor(vvv, hsv, out=pv)
-                copyto(pv, bhv, where=msv)
-                tags_f[gi] = pv
-                stamp_f[gi] = rv
+            )
+            if is_lru:
+                # The poison below lands only on the matched way of hit
+                # lanes — exactly the way argmin then chooses — so the
+                # end-of-round stamp scatter heals every poisoned entry
+                # and the persistent stamp matrix needs no scratch copy.
+                for b2d, b2sv, hsv, bhv, msv, vvv, rv in rounds_iter:
+                    xor(tags, b2d, out=xm)
+                    less_equal(xm, one_u, out=eq)
+                    copyto(stamp, neg_big, where=eq)
+                    stamp.argmin(axis=1, out=cw)
+                    add(cw, localoff, out=gi)
+                    take_t(gi, out=vvv)
+                    xor(vvv, b2sv, out=tq)
+                    greater(tq, ones_v, out=msv)
+                    bor(vvv, hsv, out=pv)
+                    copyto(pv, bhv, where=msv)
+                    tags_f[gi] = pv
+                    stamp_f[gi] = rv
+            else:
+                # FIFO: hits must NOT refresh their stamps (insertion
+                # order is the only order), so hit lanes' old stamps
+                # must survive the round — poison a scratch copy for
+                # the argmin instead of the persistent matrix, and
+                # scatter the round stamp into miss lanes only. The
+                # argmin still lands on the matched (poisoned) way of a
+                # hit lane, so the tag scatter keeps folding the dirty
+                # bit into the resident tag.
+                scr = np.empty((m, ways), dtype=np.int32)
+                for b2d, b2sv, hsv, bhv, msv, vvv, rv in rounds_iter:
+                    xor(tags, b2d, out=xm)
+                    less_equal(xm, one_u, out=eq)
+                    copyto(scr, stamp)
+                    copyto(scr, neg_big, where=eq)
+                    scr.argmin(axis=1, out=cw)
+                    add(cw, localoff, out=gi)
+                    take_t(gi, out=vvv)
+                    xor(vvv, b2sv, out=tq)
+                    greater(tq, ones_v, out=msv)
+                    bor(vvv, hsv, out=pv)
+                    copyto(pv, bhv, where=msv)
+                    tags_f[gi] = pv
+                    stamp_f[gi[msv]] = rv
         b2s2d = b2s[:, None]
         seg_l = seg.tolist()
         for r in range(full_rounds, vec_rounds):
@@ -740,7 +834,10 @@ class SetAssociativeCache:
             bor(vvv, hs[lo:hi], out=pvv)
             copyto(pvv, b2h[lo:hi], where=msv)
             tags_f[giv] = pvv
-            stamp_f[giv] = r
+            if is_lru:
+                stamp_f[giv] = r
+            else:
+                stamp_f[giv[msv]] = r
 
         one = np.uint64(1)
         # Index-based compaction: flatnonzero + take walk the mask once,
@@ -761,9 +858,10 @@ class SetAssociativeCache:
 
         # Write the touched rows back to the canonical per-set lists
         # before the scalar tail resumes mutating them in place. Stamps
-        # are unique per row (each round touches a set at most once),
-        # so descending-stamp order is the exact MRU-to-LRU list, with
-        # empty ways (most negative) sorted to the end.
+        # are unique per row (each round touches a set at most once and
+        # stamps at most one of its ways), so descending-stamp order is
+        # the exact newest-to-oldest list — MRU-to-LRU, or FIFO
+        # insertion order — with empty ways (most negative) at the end.
         ordw = np.argsort(stamp, axis=1)[:, ::-1]
         t_sorted = np.take_along_axis(tags, ordw, axis=1)
         occ = (t_sorted != _SENTINEL).sum(axis=1)
@@ -795,7 +893,7 @@ class SetAssociativeCache:
             ):
                 s = sets[sidx]
                 if blk in s:
-                    if s[0] != blk:
+                    if is_lru and s[0] != blk:
                         s.remove(blk)
                         s.insert(0, blk)
                 else:
@@ -937,7 +1035,7 @@ class SetAssociativeCache:
             empty. Inserting a resident block is a no-op.
         """
         set_index = self._set_index(block)
-        if self._is_lru:
+        if self._inline:
             s = self._sets[set_index]
             if block in s:
                 return AccessBatch.empty()

@@ -14,7 +14,10 @@ Subcommands:
   retries (``--max-retries``), per-cell deadlines (``--cell-timeout``),
   keep-going semantics (``--keep-going``), and process-parallel
   execution (``--workers N``; shared lower-level prefixes simulate
-  once per workload unless ``--no-share-prefixes``). Parallel runs use
+  once per workload unless ``--no-share-prefixes``). With
+  ``--screen-analytic K`` the full grid is first triaged by the
+  analytic reuse-profile engine and only each workload's top-K
+  designs re-simulate exactly. Parallel runs use
   the supervised worker pool by default — dead workers respawn up to
   ``--max-worker-restarts``, cells that kill ``--poison-threshold``
   successive workers are quarantined as ``poisoned``, and SIGINT or
@@ -100,6 +103,10 @@ def _parse_designs(spec: str, scale: float, reference, engine: str = "auto"):
     Grammar per item: ``REF`` | ``NMM:<TECH>:<N#>`` |
     ``4LC:<TECH>:<EH#>`` | ``4LCNVM:<CACHE>:<NVM>:<EH#>``.
     """
+    if engine == "analytic":
+        # 'analytic' is a runner-level evaluation mode; the design
+        # objects themselves only carry exact simulation engines.
+        engine = "auto"
     from repro.designs.configs import EH_CONFIGS, N_CONFIGS
     from repro.designs.fourlc import FourLCDesign
     from repro.designs.fourlcnvm import FourLCNVMDesign
@@ -161,6 +168,60 @@ def _parse_designs(spec: str, scale: float, reference, engine: str = "auto"):
     return designs
 
 
+def _screen_designs(args, runner: Runner, designs, workloads, top_k: int):
+    """Phase 1 of ``sweep --screen-analytic K``: analytic triage.
+
+    Runs the *full* campaign grid under the analytic engine (cheap:
+    one profile pass per workload, O(1) per design), ranks each
+    workload's designs by normalized EDP, and returns the union of the
+    per-workload top-K — the only designs phase 2 re-simulates
+    exactly. Screening results live in a separate ``.analytic``
+    journal (analytic cells can never satisfy the exact campaign's
+    resume — the engine class is part of every cell key).
+    """
+    from repro.resilience import Journal, RetryPolicy, SweepExecutor
+    from repro.telemetry.progress import ProgressReporter
+
+    screen_runner = Runner(
+        scale=runner.scale, seed=runner.seed,
+        reference=runner.reference,
+        trace_cache_dir=runner.trace_cache_dir,
+        drain=runner.drain, engine="analytic",
+    )
+    journal = Journal(f"{args.journal}.analytic") if args.journal else None
+    executor = SweepExecutor(
+        screen_runner,
+        retry=RetryPolicy(max_retries=args.max_retries, seed=args.seed),
+        keep_going=True,
+        journal=journal,
+        resume=args.resume,
+        progress=ProgressReporter(len(designs) * len(workloads)),
+        workers=args.workers,
+        supervise=args.supervise,
+    )
+    print(f"analytic screen: {len(designs)} design(s) x "
+          f"{len(workloads)} workload(s), keeping top {top_k} per workload")
+    result = executor.run(designs, workloads)
+    by_workload: dict[str, list] = {}
+    for outcome in result.evaluations:
+        by_workload.setdefault(outcome.workload, []).append(outcome)
+    if not by_workload:
+        raise SystemExit(
+            "error: analytic screening produced no usable cells:\n"
+            + result.report()
+        )
+    keep: set[str] = set()
+    for outcomes in by_workload.values():
+        outcomes.sort(key=lambda o: o.evaluation.edp_norm)
+        keep.update(o.design for o in outcomes[:top_k])
+    screened = [design for design in designs if design.name in keep]
+    dropped = len(designs) - len(screened)
+    print(f"analytic screen kept {len(screened)} design(s) "
+          f"({dropped} screened out): "
+          + ", ".join(design.name for design in screened))
+    return screened
+
+
 def _run_resilient_sweep(args, runner: Runner, workloads) -> int:
     """Handler for the ``sweep`` subcommand."""
     from repro.experiments.sweep import summarize
@@ -184,6 +245,18 @@ def _run_resilient_sweep(args, runner: Runner, workloads) -> int:
     if workloads is None:
         workloads = [get_workload(name) for name in suite_names]
     from repro.telemetry.progress import ProgressReporter
+
+    screen_k = getattr(args, "screen_analytic", None)
+    if screen_k is not None:
+        if screen_k < 1:
+            raise SystemExit("error: --screen-analytic needs K >= 1")
+        if args.engine == "analytic":
+            raise SystemExit(
+                "error: --screen-analytic confirms the screened top-K "
+                "with exact simulation; pick an exact --engine "
+                "(auto/scalar/setpar)"
+            )
+        designs = _screen_designs(args, runner, designs, workloads, screen_k)
 
     executor = SweepExecutor(
         runner,
@@ -314,12 +387,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--engine",
-        choices=("auto", "scalar", "setpar"),
+        choices=("auto", "scalar", "setpar", "analytic"),
         default="auto",
         help="cache simulation engine: 'setpar' is the set-parallel "
         "vectorized LRU fast path, 'scalar' the per-request loop, "
-        "'auto' (default) picks setpar where supported; results are "
-        "bit-identical either way",
+        "'auto' (default) picks setpar where supported — those three "
+        "are bit-identical; 'analytic' replaces each design's "
+        "lower-level simulation with the one-pass reuse-profile model "
+        "(exact for fully-associative LRU levels, approximate for "
+        "set-associative ones — see docs/performance.md)",
     )
     parser.add_argument(
         "-v", "--verbose", action="store_true",
@@ -437,6 +513,14 @@ def main(argv: list[str] | None = None) -> int:
         "--poison-threshold", type=int, default=2,
         help="successive worker deaths one cell may cause before it is "
         "quarantined as poisoned (default 2)",
+    )
+    sweep.add_argument(
+        "--screen-analytic", type=int, default=None, metavar="K",
+        help="two-phase sweep: first screen the full grid with the "
+        "analytic engine (one reuse-profile pass per workload), then "
+        "re-simulate exactly only the union of each workload's top-K "
+        "designs by EDP. Screening cells journal to "
+        "<journal>.analytic; requires an exact --engine",
     )
     sweep.add_argument(
         "--no-share-prefixes", action="store_true",

@@ -120,10 +120,21 @@ class Runner:
         reference: the SRAM pyramid (defaults to Sandy Bridge).
         local_factor: L1-hitting local references injected per traced
             data reference (see :data:`DEFAULT_LOCAL_FACTOR`).
-        engine: cache simulation engine (``"auto"``, ``"scalar"`` or
-            ``"setpar"``) applied to every cache the runner builds —
-            the shared upper pyramid and each design's lower levels.
-            Engines are bit-identical; this only changes speed.
+        engine: cache simulation engine (``"auto"``, ``"scalar"``,
+            ``"setpar"`` or ``"analytic"``) applied to every cache the
+            runner builds — the shared upper pyramid and each design's
+            lower levels. ``auto``/``scalar``/``setpar`` are
+            bit-identical and only change speed. ``analytic`` replaces
+            each design's *lower-level* simulation with the reuse-
+            profile model of :mod:`repro.profile` — the shared upper
+            pyramid still simulates exactly (with ``auto``), profiles
+            are computed once per trace (and cached on disk next to
+            the trace cache), and every design evaluates in O(1)
+            additional passes. Analytic per-level counts are
+            approximate for set-associative levels (exact for
+            fully-associative LRU and for designs with no lower
+            caches); see ``docs/performance.md`` for the accuracy
+            envelope.
         drain: when True, every simulation — the shared upper-level
             prefix *and* each design's lower levels — flushes dirty
             blocks at end of stream, so writebacks propagate all the
@@ -154,10 +165,10 @@ class Runner:
     ) -> None:
         if local_factor < 0:
             raise ValueError("local_factor must be non-negative")
-        if engine not in ("auto", "scalar", "setpar"):
+        if engine not in ("auto", "scalar", "setpar", "analytic"):
             raise ValueError(
-                f"unknown engine {engine!r}; expected 'auto', 'scalar' "
-                f"or 'setpar'"
+                f"unknown engine {engine!r}; expected 'auto', 'scalar', "
+                f"'setpar' or 'analytic'"
             )
         self.scale = scale
         self.seed = seed
@@ -175,6 +186,18 @@ class Runner:
         self.trace_cache_dir = trace_cache_dir
         self._traces: dict[str, WorkloadTrace] = {}
         self._design_stats: dict[tuple[str, str], HierarchyStats] = {}
+        self._analytic_engines: dict[str, "AnalyticEngine"] = {}
+        self._profiles: dict[tuple[str, int, int], "GranularityProfile"] = {}
+
+    @property
+    def _sim_engine(self) -> str:
+        """The exact engine used for simulated caches.
+
+        ``analytic`` only affects lower-level *evaluation*; every cache
+        that is actually simulated (the shared upper pyramid, REF/NDM
+        replays, screen-confirm re-simulations) uses ``auto``.
+        """
+        return "auto" if self.engine == "analytic" else self.engine
 
     def _telemetry(self) -> Telemetry | NullTelemetry:
         """The telemetry to instrument with (explicit, else active)."""
@@ -275,7 +298,7 @@ class Runner:
                     workload.name, f"{len(result.stream):,}",
                     trace_span.duration_s,
                 )
-            upper = self.reference.build_caches(self.scale, engine=self.engine)
+            upper = self.reference.build_caches(self.scale, engine=self._sim_engine)
             capture = CapturingMemory()
             hierarchy = Hierarchy(upper, capture)
             collector = None
@@ -301,7 +324,7 @@ class Runner:
 
             # The reference design's DRAM sees exactly the post-L3 stream.
             ref_design = ReferenceDesign(
-                scale=self.scale, reference=self.reference, engine=self.engine
+                scale=self.scale, reference=self.reference, engine=self._sim_engine
             )
             dram = ref_design.memory()
             for chunk in capture.captured.chunks():
@@ -349,6 +372,113 @@ class Runner:
         return trace
 
     # ------------------------------------------------------------------
+    # Analytic fast path
+    # ------------------------------------------------------------------
+
+    def _profile_path(self, workload: Workload, g: int, cg: int):
+        if not self.trace_cache_dir:
+            return None
+        from pathlib import Path
+
+        name = self._cache_name(workload)
+        return Path(self.trace_cache_dir) / (
+            f"{name}.profile-d{int(self.drain)}-g{g}-c{cg}.npz"
+        )
+
+    def _profile_for(self, workload: Workload, g: int, cg: int):
+        """One reuse profile of the captured post-L3 stream (cached).
+
+        Memoized in-process and persisted next to the trace cache when
+        one is configured. The drain flag is part of the disk key
+        because drained upper levels append their flush traffic to the
+        captured stream — a different stream, a different profile.
+        """
+        mem_key = (workload.name, g, cg)
+        if mem_key in self._profiles:
+            return self._profiles[mem_key]
+        from repro.errors import TraceIntegrityError
+        from repro.profile import compute_profile, load_profile, save_profile
+
+        telemetry = self._telemetry()
+        path = self._profile_path(workload, g, cg)
+        profile = None
+        if path is not None and path.exists():
+            try:
+                profile = load_profile(path)
+            except TraceIntegrityError as exc:
+                from repro.trace.io import checksum_path
+
+                path.unlink(missing_ok=True)
+                checksum_path(path).unlink(missing_ok=True)
+                logger.warning(
+                    "discarded corrupt cached profile %s (%s), re-profiling",
+                    path.name, exc,
+                )
+        cached = profile is not None
+        if profile is None:
+            trace = self.prepare(workload)
+            with telemetry.span(
+                "runner.profile", workload=workload.name,
+                granularity=g, chain_granularity=cg,
+            ):
+                profile = compute_profile(trace.post_l3, g, cg)
+            if path is not None:
+                save_profile(profile, path)
+        self._profiles[mem_key] = profile
+        telemetry.event(
+            "reuse_profile",
+            workload=workload.name,
+            granularity=g,
+            chain_granularity=cg,
+            references=profile.references,
+            footprint_blocks=profile.footprint,
+            stores=profile.n_stores,
+            cached=cached,
+        )
+        return profile
+
+    def _analytic_for(self, workload: Workload):
+        """The analytic engine bound to one workload's captured stream."""
+        key = workload.name
+        if key in self._analytic_engines:
+            return self._analytic_engines[key]
+        from repro.profile import AnalyticEngine, StreamTotals
+
+        trace = self.prepare(workload)
+        totals = StreamTotals.from_chunks(trace.post_l3.chunks())
+        engine = AnalyticEngine(
+            profiles=lambda g, cg: self._profile_for(workload, g, cg),
+            totals=totals,
+            chunks=trace.post_l3.chunks,
+        )
+        self._analytic_engines[key] = engine
+        return engine
+
+    def _analytic_stats_for(
+        self, design: MemoryDesign, workload: Workload
+    ) -> HierarchyStats:
+        key = (design.sim_key(), workload.name)
+        trace = self.prepare(workload)
+        if key in self._design_stats:
+            return self._design_stats[key]
+        engine = self._analytic_for(workload)
+        telemetry = self._telemetry()
+        with telemetry.span(
+            "runner.analytic_eval", design=design.sim_key(),
+            workload=workload.name,
+        ):
+            lower_stats = engine.lower_stats(design, drain=self.drain)
+        stats = HierarchyStats(
+            levels=trace.upper_stats + lower_stats,
+            references=trace.references,
+        )
+        self._design_stats[key] = stats
+        logger.debug(
+            "analytically evaluated %s on %s", design.sim_key(), workload.name
+        )
+        return stats
+
+    # ------------------------------------------------------------------
     # Design evaluation
     # ------------------------------------------------------------------
 
@@ -368,6 +498,8 @@ class Runner:
         default leaves residual dirty lines unflushed — the steady-
         state accounting choice documented on :class:`Runner`.
         """
+        if self.engine == "analytic":
+            return self._analytic_stats_for(design, workload)
         key = (design.sim_key(), workload.name)
         if key in self._design_stats:
             return self._design_stats[key]
@@ -427,6 +559,11 @@ class Runner:
         (see :mod:`repro.experiments.simplan` for the exactness
         argument).
         """
+        if self.engine == "analytic":
+            # No streams to share — each design is already O(1) passes.
+            for design in designs:
+                self._analytic_stats_for(design, workload)
+            return
         from repro.experiments.simplan import SimPlan
 
         todo = []

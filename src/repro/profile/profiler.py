@@ -1,0 +1,362 @@
+"""Stack-distance reuse profiles of captured address streams.
+
+A profile is computed in one vectorized pass per granularity and holds
+everything the analytic engine needs to predict *any* LRU cache of
+that block size against the same stream:
+
+- ``distances`` — the per-access LRU stack distance at block
+  granularity (Mattson): a fully-associative cache of C blocks hits an
+  access iff its distance is in ``[0, C)``, so one array yields the
+  whole miss-ratio curve over capacity.
+- ``wb_gap`` — per store, the *eviction exposure* of the dirty data it
+  creates: the largest block-granularity stack distance among the
+  accesses between this store and the next store to the same dirty
+  sector (for the final store of a sector, also counting the distinct
+  blocks touched after the block's last access — later traffic can
+  still push it out). A fully-associative cache of C blocks writes the
+  dirty sector back iff ``wb_gap >= C``; otherwise the next store
+  refreshes it in place (or it survives to the end as residual dirty
+  state, flushed only by a drain).
+- ``last_store`` — marks each sector's final store, whose surviving
+  dirty instance is what a drain flushes.
+
+Profiles are design-independent — every design whose level matches the
+(block, sector) granularity pair reuses the same profile — and persist
+as ``.npz`` artifacts with SHA-256 sidecars via the same atomic-write
+machinery as the trace cache (:mod:`repro.trace.io`).
+"""
+
+from __future__ import annotations
+
+import io as _io
+import zipfile
+from dataclasses import dataclass
+from functools import cached_property
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceError, TraceIntegrityError
+from repro.trace.events import AccessBatch
+from repro.trace.io import _write_artifact, verify_artifact
+from repro.trace.reuse import COLD_DISTANCE, distances_for_lines
+from repro.trace.stream import AddressStream
+from repro.units import log2_int
+
+#: Format marker stored in every profile file.
+_PROFILE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class GranularityProfile:
+    """Reuse profile of one stream at one block granularity.
+
+    Attributes:
+        granularity: block (allocation) size in bytes.
+        chain_granularity: dirty-tracking sector size in bytes
+            (``== granularity`` for unsectored caches).
+        references: number of accesses profiled.
+        distances: int64 per-access stack distance at block
+            granularity (:data:`~repro.trace.reuse.COLD_DISTANCE` for
+            first touches).
+        is_store: bool per-access store flag.
+        wb_gap: int64 per-*store* eviction exposure (see module
+            docstring); aligned with ``distances[is_store]``.
+        last_store: bool per-store flag marking each sector's final
+            store.
+        footprint: distinct blocks touched.
+    """
+
+    granularity: int
+    chain_granularity: int
+    references: int
+    distances: np.ndarray
+    is_store: np.ndarray
+    wb_gap: np.ndarray
+    last_store: np.ndarray
+    footprint: int
+
+    @property
+    def n_stores(self) -> int:
+        """Number of store accesses."""
+        return len(self.wb_gap)
+
+    @property
+    def n_loads(self) -> int:
+        """Number of load accesses."""
+        return self.references - self.n_stores
+
+    def hit_count(self, capacity_blocks: int) -> int:
+        """Exact fully-associative LRU hits at the given capacity."""
+        d = self.distances
+        return int(np.count_nonzero((d >= 0) & (d < capacity_blocks)))
+
+    def writeback_count(self, capacity_blocks: int) -> int:
+        """Exact fully-associative LRU dirty-eviction writebacks."""
+        return int(np.count_nonzero(self.wb_gap >= capacity_blocks))
+
+    def residual_dirty(self, capacity_blocks: int) -> int:
+        """Sectors still dirty at end of stream (drain flush volume)."""
+        return int(
+            np.count_nonzero(self.wb_gap[self.last_store] < capacity_blocks)
+        )
+
+    def miss_ratio_curve(self, capacities: np.ndarray) -> np.ndarray:
+        """Fully-associative LRU miss ratio at each capacity (blocks).
+
+        One sorted pass over the distance array answers every capacity
+        at once — the Mattson one-pass property.
+        """
+        caps = np.asarray(capacities, dtype=np.int64)
+        if self.references == 0:
+            return np.ones(len(caps), dtype=np.float64)
+        warm = np.sort(self.distances[self.distances >= 0])
+        hits = np.searchsorted(warm, caps, side="left")
+        return 1.0 - hits / self.references
+
+    @cached_property
+    def distance_classes(self) -> tuple[np.ndarray, ...]:
+        """``(values, load_counts, store_counts, inverse)`` of the
+        distance array.
+
+        Stack distances repeat heavily (at most ``footprint + 1``
+        distinct values, usually far fewer), and every conflict-model
+        evaluation is elementwise in the distance — so the engine
+        computes per *class* and weights by these counts instead of
+        touching all ``references`` accesses per design. Computed once
+        per profile and shared across the whole sweep.
+        """
+        values = np.unique(self.distances)
+        inverse = np.searchsorted(values, self.distances)
+        loads = np.bincount(inverse[~self.is_store], minlength=len(values))
+        stores = np.bincount(inverse[self.is_store], minlength=len(values))
+        return values, loads, stores, inverse
+
+    @cached_property
+    def wb_classes(self) -> tuple[np.ndarray, ...]:
+        """``(values, counts, last_counts, inverse)`` of ``wb_gap`` —
+        the writeback analogue of :attr:`distance_classes`, with
+        ``last_counts`` restricted to each sector's final store (the
+        drain-flush candidates)."""
+        values = np.unique(self.wb_gap)
+        inverse = np.searchsorted(values, self.wb_gap)
+        counts = np.bincount(inverse, minlength=len(values))
+        last = np.bincount(inverse[self.last_store], minlength=len(values))
+        return values, counts, last, inverse
+
+    def distance_histogram(self, stores_only: bool = False) -> np.ndarray:
+        """Histogram of warm stack distances (index = distance)."""
+        d = self.distances[self.is_store] if stores_only else self.distances
+        warm = d[d >= 0]
+        if len(warm) == 0:
+            return np.zeros(0, dtype=np.int64)
+        return np.bincount(warm)
+
+
+def _range_max(values: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Max of ``values[lo[k] : hi[k] + 1]`` per query; 0 for empty ranges.
+
+    Classic sparse-table range maximum: level ``j`` holds windowed
+    maxima of width ``2**j``, and each query resolves as the max of two
+    overlapping windows. Vectorized over all queries by grouping them
+    per level.
+    """
+    out = np.zeros(len(lo), dtype=np.int64)
+    valid = hi >= lo
+    if not valid.any():
+        return out
+    n = len(values)
+    length = (hi - lo + 1).astype(np.int64)
+    max_len = int(length[valid].max())
+    levels = max(1, max_len.bit_length())
+    table = [values]
+    for j in range(1, levels):
+        prev = table[-1]
+        width = 1 << j
+        half = width >> 1
+        if n < width:
+            table.append(prev[:0])
+            continue
+        table.append(np.maximum(prev[: n - width + 1], prev[half:]))
+    # Per-query level: the largest j with 2**j <= length. Exact for
+    # lengths below 2**53 (they are array indices, far below that).
+    lvl = np.zeros(len(lo), dtype=np.int64)
+    lvl[valid] = np.floor(np.log2(length[valid])).astype(np.int64)
+    for j in range(levels):
+        mask = valid & (lvl == j)
+        if not mask.any():
+            continue
+        width = 1 << j
+        left = table[j][lo[mask]]
+        right = table[j][hi[mask] - width + 1]
+        out[mask] = np.maximum(left, right)
+    return out
+
+
+def _writeback_gaps(
+    blocks: np.ndarray,
+    sectors: np.ndarray,
+    distances: np.ndarray,
+    is_store: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-store eviction exposure and last-store flags (see module doc).
+
+    Works entirely on sorted views: accesses grouped by block give each
+    store's window of follow-on block accesses (a contiguous slice, so
+    the max stack distance inside it is a sparse-table range query);
+    stores grouped by sector give each store's chain successor; and a
+    reversed cumulative sum of last-touch flags gives the distinct
+    blocks after any position — the end-of-trace exposure of final
+    stores.
+    """
+    n = len(blocks)
+    store_pos = np.flatnonzero(is_store)
+    ns = len(store_pos)
+    if ns == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, np.zeros(0, dtype=bool)
+
+    order = np.argsort(blocks, kind="stable")
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n, dtype=np.int64)
+    gaps = distances[order]
+    grouped_blocks = blocks[order]
+    boundary = np.empty(n, dtype=bool)
+    boundary[-1] = True
+    np.not_equal(grouped_blocks[1:], grouped_blocks[:-1], out=boundary[:-1])
+    ends = np.flatnonzero(boundary)  # inclusive group end, grouped order
+    group_id = np.zeros(n, dtype=np.int64)
+    group_id[1:] = np.cumsum(boundary[:-1])
+    group_end = ends[group_id]
+
+    # Distinct blocks strictly after global position t: reversed cumsum
+    # of the per-position "last touch of its block" indicator.
+    last_touch = np.zeros(n, dtype=np.int64)
+    last_touch[order[ends]] = 1
+    after = np.zeros(n + 1, dtype=np.int64)
+    after[:n] = last_touch[::-1].cumsum()[::-1]
+    after = after[1:]  # after[t] = distinct blocks at positions > t
+
+    # Chain successor: the next store to the same sector.
+    store_sectors = sectors[store_pos]
+    so = np.argsort(store_sectors, kind="stable")
+    sp = store_pos[so]
+    ss = store_sectors[so]
+    nxt = np.full(ns, -1, dtype=np.int64)
+    if ns > 1:
+        same = ss[1:] == ss[:-1]
+        nxt[so[:-1]] = np.where(same, sp[1:], -1)
+    last_store = nxt < 0
+
+    srank = rank[store_pos]
+    lo = srank + 1
+    hi = np.empty(ns, dtype=np.int64)
+    has_next = ~last_store
+    hi[has_next] = rank[nxt[has_next]]
+    hi[last_store] = group_end[srank[last_store]]
+    wb_gap = _range_max(gaps, lo, hi)
+    if last_store.any():
+        # Final stores stay exposed after the block's last access.
+        tail_pos = order[group_end[srank[last_store]]]
+        wb_gap[last_store] = np.maximum(wb_gap[last_store], after[tail_pos])
+    return wb_gap, last_store
+
+
+def compute_profile(
+    stream: AddressStream | AccessBatch,
+    granularity: int,
+    chain_granularity: int | None = None,
+) -> GranularityProfile:
+    """Profile a stream at one block granularity (one vectorized pass).
+
+    Args:
+        stream: the accesses to profile (captured post-L3 stream).
+        granularity: cache block (allocation) size in bytes.
+        chain_granularity: dirty-sector size in bytes for writeback
+            chains (defaults to ``granularity`` — unsectored).
+    """
+    batch = stream.as_batch() if isinstance(stream, AddressStream) else stream
+    cg = granularity if chain_granularity is None else chain_granularity
+    block_shift = np.uint64(log2_int(granularity))
+    sector_shift = np.uint64(log2_int(cg))
+    blocks = (batch.addresses >> block_shift).astype(np.int64)
+    sectors = (batch.addresses >> sector_shift).astype(np.int64)
+    is_store = batch.is_store.astype(bool)
+    distances = distances_for_lines(blocks)
+    wb_gap, last_store = _writeback_gaps(blocks, sectors, distances, is_store)
+    return GranularityProfile(
+        granularity=int(granularity),
+        chain_granularity=int(cg),
+        references=len(blocks),
+        distances=distances,
+        is_store=is_store,
+        wb_gap=wb_gap,
+        last_store=last_store,
+        footprint=int(np.count_nonzero(distances == COLD_DISTANCE)),
+    )
+
+
+def save_profile(profile: GranularityProfile, path: str | Path) -> None:
+    """Write a profile to ``path`` (.npz, SHA-256 sidecar).
+
+    Atomic (temp file + rename), same guarantees as the trace cache.
+    Uncompressed on purpose: persistence sits inside the analytic
+    screen's first-use path, deflate costs ~30x the raw write for a
+    few MB per profile, and the sidecar already guards integrity.
+    ``load_profile`` reads either format, so caches written before
+    this choice stay valid.
+    """
+    buffer = _io.BytesIO()
+    np.savez(
+        buffer,
+        version=np.int64(_PROFILE_FORMAT_VERSION),
+        granularity=np.int64(profile.granularity),
+        chain_granularity=np.int64(profile.chain_granularity),
+        references=np.int64(profile.references),
+        footprint=np.int64(profile.footprint),
+        distances=profile.distances,
+        is_store=profile.is_store,
+        wb_gap=profile.wb_gap,
+        last_store=profile.last_store,
+    )
+    _write_artifact(Path(path), buffer.getvalue())
+
+
+def load_profile(path: str | Path) -> GranularityProfile:
+    """Read a profile written by :func:`save_profile`.
+
+    Raises:
+        TraceError: for missing files or unknown formats.
+        TraceIntegrityError: for truncated, bit-flipped, or otherwise
+            unparseable files (checksum verified when a sidecar
+            exists) — the caller should delete the artifact and
+            recompute.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"no profile file at {path}")
+    verify_artifact(path)
+    try:
+        with np.load(path) as data:
+            version = int(data["version"])
+            if version != _PROFILE_FORMAT_VERSION:
+                raise TraceError(
+                    f"unsupported profile format version {version} in {path}"
+                )
+            return GranularityProfile(
+                granularity=int(data["granularity"]),
+                chain_granularity=int(data["chain_granularity"]),
+                references=int(data["references"]),
+                footprint=int(data["footprint"]),
+                distances=data["distances"],
+                is_store=data["is_store"],
+                wb_gap=data["wb_gap"],
+                last_store=data["last_store"],
+            )
+    except TraceError:
+        raise
+    except (zipfile.BadZipFile, KeyError, ValueError, OSError, EOFError) as exc:
+        raise TraceIntegrityError(
+            f"corrupt profile file {path} ({type(exc).__name__}: {exc}); "
+            f"delete it and re-profile the trace"
+        ) from exc

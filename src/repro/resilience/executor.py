@@ -355,6 +355,18 @@ class SweepExecutor:
         """The explicit instance if one was given, else the active one."""
         return self.telemetry if self.telemetry is not None else get_active()
 
+    @property
+    def engine_class(self) -> str:
+        """``"exact"`` or ``"analytic"`` — the result class of every cell.
+
+        Enters each cell's journal key: the exact engines are
+        bit-identical (and share the ``"exact"`` class), but analytic
+        results are approximate and must never satisfy an exact
+        campaign's resume (or vice versa).
+        """
+        engine = getattr(self.runner, "engine", "auto")
+        return "analytic" if engine == "analytic" else "exact"
+
     # -- single-attempt plumbing ----------------------------------------
 
     def _attempt(
@@ -500,7 +512,7 @@ class SweepExecutor:
         grid = [
             (design, workload,
              cell_key_for(design, workload, self.runner.scale,
-                          self.runner.seed, drain))
+                          self.runner.seed, drain, self.engine_class))
             for design in designs
             for workload in workloads
         ]
@@ -592,6 +604,7 @@ class SweepExecutor:
                             else dataclasses.asdict(outcome.evaluation)
                         ),
                         run_id=run_id,
+                        engine_class=self.engine_class,
                     )
                 )
             if not outcome.ok and not self.keep_going:
@@ -643,6 +656,7 @@ class SweepExecutor:
             status=outcome.status, attempts=outcome.attempts,
             duration_s=outcome.duration_s, error=outcome.error,
             evaluation=evaluation, run_id=run_id,
+            engine_class=self.engine_class,
         )
 
     def _absorb_sidecars(self) -> None:
@@ -1010,6 +1024,7 @@ class SweepExecutor:
                                 error=outcome.error,
                                 evaluation=record["evaluation"],
                                 run_id=run_id,
+                                engine_class=self.engine_class,
                             )
                         )
                     if not outcome.ok:
@@ -1115,6 +1130,11 @@ def _run_shard(payload: dict) -> list[dict]:
             if payload.get("journal_sidecar")
             else None
         )
+        engine_class = (
+            "analytic"
+            if payload["runner_args"].get("engine") == "analytic"
+            else "exact"
+        )
         workload = payload["workload"]
         cells = payload["cells"]
         if payload["share_prefixes"] and payload["cell_timeout_s"] is None:
@@ -1152,6 +1172,7 @@ def _run_shard(payload: dict) -> list[dict]:
                         error=outcome.error,
                         evaluation=evaluation,
                         run_id=payload.get("run_id"),
+                        engine_class=engine_class,
                     )
                 )
                 telemetry.flush()

@@ -42,11 +42,17 @@ def cell_key(
     scale: float,
     seed: int,
     drain: bool = False,
+    engine_class: str = "exact",
 ) -> str:
     """Content hash identifying one (design, workload, scale, seed) cell.
 
-    ``drain`` enters the hash only when True, so journals written
-    before drain-mode existed keep their keys and resume cleanly.
+    ``drain`` and a non-default ``engine_class`` enter the hash only
+    when set, so journals written before those dimensions existed keep
+    their keys and resume cleanly. The *exact* engines (scalar/setpar/
+    auto) are bit-identical and deliberately share one engine class —
+    but ``"analytic"`` results are approximate, so analytic cells hash
+    differently and can never satisfy (or be satisfied by) an exact
+    campaign on resume.
     """
     payload = {
         "design": design_name,
@@ -57,6 +63,8 @@ def cell_key(
     }
     if drain:
         payload["drain"] = True
+    if engine_class != "exact":
+        payload["engine_class"] = engine_class
     canonical = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(canonical.encode()).hexdigest()[:24]
 
@@ -67,10 +75,12 @@ def cell_key_for(
     scale: float,
     seed: int,
     drain: bool = False,
+    engine_class: str = "exact",
 ) -> str:
     """:func:`cell_key` from live design/workload objects."""
     return cell_key(
-        design.name, design.sim_key(), workload.name, scale, seed, drain
+        design.name, design.sim_key(), workload.name, scale, seed, drain,
+        engine_class,
     )
 
 
@@ -92,6 +102,10 @@ class JournalEntry:
             telemetry disabled) — joins the journal to the run's
             telemetry tree. Optional with a default so pre-observatory
             journals keep loading under the same schema version.
+        engine_class: ``"exact"`` (bit-exact simulation — scalar,
+            setpar or auto) or ``"analytic"`` (reuse-profile model).
+            Serialized only when not ``"exact"`` so pre-analytic
+            journals keep loading and byte-stable.
     """
 
     key: str
@@ -105,10 +119,13 @@ class JournalEntry:
     error: str | None = None
     evaluation: dict | None = None
     run_id: str | None = None
+    engine_class: str = "exact"
 
     def to_json(self) -> str:
         """The journal line (no trailing newline)."""
         payload = {"schema": SCHEMA_VERSION, **dataclasses.asdict(self)}
+        if payload.get("engine_class") == "exact":
+            del payload["engine_class"]
         return json.dumps(payload, sort_keys=True)
 
     @classmethod

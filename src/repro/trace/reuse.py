@@ -6,6 +6,18 @@ gather is irregular, the BT sweep is strided) and support sizing the
 scaled experiments: a cache of capacity C (in lines) hits every access
 whose LRU reuse distance is < C / associativity-conflicts, so the reuse
 CDF predicts hit rates across the whole capacity sweep at once.
+
+Two implementations are provided:
+
+- :func:`reuse_distances` — the default, a fully vectorized offline
+  divide-and-conquer (CDQ) pass. The per-access stack distance is
+  rewritten as a difference of two *prefix rank counts* over the
+  previous-occurrence array, and every (point, query) pair is counted
+  at exactly one merge level, so the whole trace resolves in
+  O(log n) numpy sorts instead of a per-access Python loop.
+- :func:`reuse_distances_fenwick` — the original Bennett–Kruskal
+  Fenwick-tree loop, kept as the bit-exact reference for differential
+  tests and the `bench_reuse_profile` microbenchmark.
 """
 
 from __future__ import annotations
@@ -18,6 +30,125 @@ from repro.trace.stream import AddressStream
 COLD_DISTANCE: int = -1
 
 
+def previous_occurrences(lines: np.ndarray) -> np.ndarray:
+    """Index of the previous access to the same line, -1 for first touch.
+
+    The backbone of the vectorized distance pass: one stable argsort
+    groups accesses by line in time order, so each access's predecessor
+    is simply its left neighbour within the group.
+    """
+    n = len(lines)
+    prev = np.full(n, -1, dtype=np.int64)
+    if n < 2:
+        return prev
+    order = np.argsort(lines, kind="stable")
+    grouped = lines[order]
+    same = grouped[1:] == grouped[:-1]
+    prev[order[1:][same]] = order[:-1][same]
+    return prev
+
+
+def _prefix_rank_counts(
+    values: np.ndarray, query_pos: np.ndarray, query_vals: np.ndarray
+) -> np.ndarray:
+    """``out[k] = #{j < query_pos[k] : values[j] <= query_vals[k]}``.
+
+    Offline 2-D dominance counting, fully vectorized: at merge level
+    ``w`` the positions split into blocks of width ``w``, and queries
+    in odd blocks count the points in their pair's even block. Every
+    (j < m) pair lands in exactly one level — the one where the two
+    positions' blocks first merge — so the counts are exact.
+
+    Block membership is purely positional, so each level's even-block
+    points are a reshape slice (no boolean gather), sorted *per row*
+    (O(n log w) instead of a full O(n log n) sort per level), and the
+    flat row offsets are ``pair * w`` by construction — queries need a
+    single ``searchsorted`` against pair-offset keys, not a lower and
+    an upper one.
+    """
+    n = len(values)
+    q = len(query_pos)
+    out = np.zeros(q, dtype=np.int64)
+    if n == 0 or q == 0:
+        return out
+    # Shift values so the smallest (COLD_DISTANCE's -1) maps to 0 and
+    # keys within a pair stay in [pair*M, pair*M + M). The pad
+    # sentinel M-1 exceeds every shifted query value, so padding rows
+    # to equal width never perturbs a count.
+    m_span = np.int64(n + 2)
+    vals = values.astype(np.int64) + 1
+    qvals = query_vals.astype(np.int64) + 1
+    qpos = query_pos.astype(np.int64)
+    for shift in range(max(1, n - 1).bit_length()):
+        qblock = qpos >> shift
+        odd = (qblock & 1) == 1
+        if not odd.any():
+            continue
+        w = 1 << shift
+        period = 2 * w
+        pairs = (n + period - 1) // period
+        padded = np.full(pairs * period, m_span - 1, dtype=np.int64)
+        padded[:n] = vals
+        rows = np.sort(padded.reshape(pairs, period)[:, :w], axis=1)
+        qpair = qblock[odd] >> 1
+        rows += (np.arange(pairs, dtype=np.int64) * m_span)[:, None]
+        hi = np.searchsorted(
+            rows.reshape(-1), qpair * m_span + qvals[odd], side="right"
+        )
+        out[odd] += hi - qpair * w
+    return out
+
+
+def _distances_run_heads(lines: np.ndarray) -> np.ndarray:
+    """Stack distances for a stream with no immediate repeats."""
+    n = len(lines)
+    distances = np.full(n, COLD_DISTANCE, dtype=np.int64)
+    if n == 0:
+        return distances
+    prev = previous_occurrences(lines)
+    warm = np.flatnonzero(prev >= 0)
+    if len(warm) == 0:
+        return distances
+    p = prev[warm]
+    distances[warm] = _prefix_rank_counts(prev, warm, p) - (p + 1)
+    return distances
+
+
+def distances_for_lines(lines: np.ndarray) -> np.ndarray:
+    """LRU stack distance of every access, given per-access line ids.
+
+    The distance of access ``i`` with previous occurrence ``p`` is the
+    number of distinct lines in ``(p, i)`` — the count of accesses
+    ``j`` in that window that are the *first* touch of their line
+    within it, i.e. with ``prev[j] <= p``. Splitting the window at
+    ``p``: the count up to ``p`` is exactly ``p + 1`` (``prev[j] < j``
+    always), so one prefix rank count per warm access suffices.
+
+    Immediate repeats of the preceding line are collapsed before the
+    dominance pass: a repeat has distance 0 by definition and never
+    adds a distinct line to any other access's window, so only run
+    heads go through the full computation. At page granularity
+    high-locality streams collapse substantially — the same run
+    structure the exact engine's run-collapse path exploits.
+    """
+    n = len(lines)
+    if n == 0:
+        return np.full(0, COLD_DISTANCE, dtype=np.int64)
+    head = np.empty(n, dtype=bool)
+    head[0] = True
+    np.not_equal(lines[1:], lines[:-1], out=head[1:])
+    if head.all():
+        return _distances_run_heads(lines)
+    distances = np.zeros(n, dtype=np.int64)  # repeats: distance 0
+    idx = np.flatnonzero(head)
+    distances[idx] = _distances_run_heads(lines[idx])
+    return distances
+
+
+def _line_shift(line_size: int) -> np.uint64:
+    return np.uint64(int(line_size).bit_length() - 1)
+
+
 def reuse_distances(stream: AddressStream, line_size: int = 64) -> np.ndarray:
     """LRU stack (reuse) distance of every access, at line granularity.
 
@@ -25,18 +156,30 @@ def reuse_distances(stream: AddressStream, line_size: int = 64) -> np.ndarray:
     touched since the previous access to the same line; cold misses get
     :data:`COLD_DISTANCE`.
 
-    Implementation: the Bennett–Kruskal algorithm — a Fenwick (binary
-    indexed) tree over access timestamps holds a 1 at each line's
-    most-recent access time; the stack distance of an access at time t
-    to a line last touched at time t_prev is the number of ones in
-    (t_prev, t), i.e. the count of distinct lines touched in between.
-    O(log n) per access, so full multi-million-event traces are
-    analyzable directly.
+    Vectorized offline implementation (see the module docstring);
+    bit-identical to :func:`reuse_distances_fenwick`.
 
     Returns:
         int64 array of per-access distances.
     """
-    shift = np.uint64(int(line_size).bit_length() - 1)
+    batch = stream.as_batch()
+    lines = (batch.addresses >> _line_shift(line_size)).astype(np.int64)
+    return distances_for_lines(lines)
+
+
+def reuse_distances_fenwick(
+    stream: AddressStream, line_size: int = 64
+) -> np.ndarray:
+    """Reference Bennett–Kruskal implementation (per-access Fenwick loop).
+
+    A Fenwick (binary indexed) tree over access timestamps holds a 1 at
+    each line's most-recent access time; the stack distance of an
+    access at time t to a line last touched at t_prev is the number of
+    ones in (t_prev, t). O(log n) per access but pure Python per
+    update — kept as the differential-test oracle and microbenchmark
+    baseline for :func:`reuse_distances`.
+    """
+    shift = _line_shift(line_size)
     n = len(stream)
     distances = np.empty(n, dtype=np.int64)
     tree = np.zeros(n + 2, dtype=np.int64)  # Fenwick, 1-indexed times
@@ -100,7 +243,7 @@ def working_set_curve(
     Returns:
         Mapping window size -> mean distinct line count.
     """
-    shift = np.uint64(int(line_size).bit_length() - 1)
+    shift = _line_shift(line_size)
     batch = stream.as_batch()
     lines = batch.addresses >> shift
     result: dict[int, float] = {}
@@ -120,7 +263,7 @@ def working_set_curve(
 
 def footprint_lines(stream: AddressStream, line_size: int = 64) -> int:
     """Total number of distinct lines the stream touches."""
-    shift = np.uint64(int(line_size).bit_length() - 1)
+    shift = _line_shift(line_size)
     seen: set[int] = set()
     for chunk in stream.chunks():
         seen.update(np.unique(chunk.addresses >> shift).tolist())

@@ -93,9 +93,16 @@ class TestEngineField:
         with pytest.raises(ConfigError):
             CacheConfig("L4", 256 * KiB, 8, 4096, sector_size=64,
                         engine="setpar")
+        # Random victims come from a serial RNG stream.
         with pytest.raises(ConfigError):
-            CacheConfig("L1", 32 * KiB, 8, 64, policy="fifo",
+            CacheConfig("L1", 32 * KiB, 8, 64, policy="random",
                         engine="setpar")
+
+    def test_setpar_accepts_fifo(self):
+        cfg = CacheConfig("L1", 32 * KiB, 8, 64, policy="fifo",
+                          engine="setpar")
+        assert cfg.engine == "setpar"
+        assert supports_setpar(cfg)
 
     def test_supports_setpar(self):
         assert supports_setpar(CacheConfig("L1", 32 * KiB, 8, 64))

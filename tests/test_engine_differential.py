@@ -158,6 +158,99 @@ class TestSimPlanIdentical:
             )
 
 
+class TestFIFOSetpar:
+    """FIFO joined the set-parallel engine: same bit-identical promise
+    as LRU, against the independent policy-object implementation."""
+
+    @staticmethod
+    def _make(policy_engine, sets, ways, hashed):
+        from repro.cache.config import CacheConfig
+        from repro.cache.setassoc import SetAssociativeCache
+
+        return SetAssociativeCache(CacheConfig(
+            "T", sets * ways * 64, ways, 64, hashed_sets=hashed,
+            policy="fifo", engine=policy_engine,
+        ))
+
+    def test_auto_resolves_fifo_to_setpar(self):
+        assert self._make("auto", 64, 8, False).engine == "setpar"
+
+    def test_fifo_differential_vs_policy_loop(self, monkeypatch):
+        """Stats, emitted request stream, resident state, and dirty
+        state must match the scalar policy loop exactly — vector
+        rounds forced even on tiny caches."""
+        import repro.cache.setassoc as setassoc_mod
+        from repro.trace.events import AccessBatch
+
+        monkeypatch.setattr(setassoc_mod, "SETPAR_MIN_LANES", 2)
+        rng = np.random.default_rng(7)
+        for trial in range(40):
+            sets = int(rng.choice([4, 16, 64]))
+            ways = int(rng.choice([1, 2, 4, 8]))
+            hashed = bool(rng.integers(0, 2))
+            n = int(rng.integers(64, 4000))
+            span = int(rng.choice([64, 512, 4096]))
+            blocks = rng.zipf(1.2, size=n) % span
+            addrs = blocks.astype(np.uint64) * 64
+            kinds = (rng.random(n) < 0.4).astype(np.uint8)
+
+            scalar = self._make("scalar", sets, ways, hashed)
+            setpar = self._make("setpar", sets, ways, hashed)
+            cut = int(rng.integers(1, n))
+            for lo, hi in ((0, cut), (cut, n)):
+                batch = AccessBatch.from_lists(
+                    addrs[lo:hi], 8, kinds[lo:hi]
+                )
+                out_sc = scalar.process(batch)
+                out_sp = setpar.process(batch)
+                assert np.array_equal(
+                    out_sc.addresses, out_sp.addresses
+                ), f"trial {trial}"
+                assert np.array_equal(out_sc.is_store, out_sp.is_store)
+            assert vars(scalar.stats) == vars(setpar.stats), f"trial {trial}"
+            for si in range(sets):
+                assert scalar._policy.contents(si) == setpar._sets[si]
+            assert np.array_equal(
+                scalar.flush_dirty().addresses,
+                setpar.flush_dirty().addresses,
+            )
+
+    def test_fifo_hierarchy_identical(self):
+        """A two-level FIFO hierarchy agrees across engines — stats and
+        the terminal request stream both."""
+        rng = np.random.default_rng(13)
+        n = 30_000
+        addrs = rng.integers(0, 1 << 13, size=n).astype(np.uint64) * 64
+        kinds = (rng.random(n) < 0.3).astype(np.uint8)
+        stream = AddressStream.from_arrays(addrs, 8, kinds)
+
+        from repro.cache.config import CacheConfig
+        from repro.cache.setassoc import SetAssociativeCache
+
+        captured = {}
+        stats = {}
+        for eng in ENGINES:
+            levels = [
+                SetAssociativeCache(CacheConfig(
+                    "C1", 64 * 1024, 8, 64, policy="fifo", engine=eng,
+                )),
+                SetAssociativeCache(CacheConfig(
+                    "C2", 256 * 1024, 8, 64, hashed_sets=True,
+                    policy="fifo", engine=eng,
+                )),
+            ]
+            memory = CapturingMemory()
+            Hierarchy(levels, memory).run(stream, drain=True)
+            captured[eng] = list(memory.captured.chunks())
+            stats[eng] = [vars(level.stats) for level in levels]
+
+        assert stats["scalar"] == stats["setpar"]
+        assert len(captured["scalar"]) == len(captured["setpar"])
+        for a, b in zip(captured["scalar"], captured["setpar"]):
+            assert np.array_equal(a.addresses, b.addresses)
+            assert np.array_equal(a.is_store, b.is_store)
+
+
 @pytest.mark.resilience
 class TestSweepResumeAcrossEngines:
     def test_parallel_sweep_and_cross_engine_resume(self, trace_cache,
