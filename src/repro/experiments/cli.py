@@ -398,6 +398,14 @@ def main(argv: list[str] | None = None) -> int:
         "set-associative ones — see docs/performance.md)",
     )
     parser.add_argument(
+        "--sample", type=str, default=None, metavar="WARMUP:WINDOW:STRIDE",
+        help="sampled simulation: per stride of the trace, simulate "
+        "WARMUP events to re-warm cache state, measure the next WINDOW "
+        "events, skip the rest, and extrapolate whole-stream stats "
+        "(approximate — recorded fidelity; incompatible with --drain "
+        "and --engine analytic; see docs/performance.md)",
+    )
+    parser.add_argument(
         "-v", "--verbose", action="store_true",
         help="log tracing/simulation progress",
     )
@@ -765,10 +773,14 @@ def _dispatch(args, workloads) -> int:
         print(f"{len(checks) - failed}/{len(checks)} analytical checks passed")
         return 1 if failed else 0
 
-    runner = Runner(
-        scale=args.scale, seed=args.seed, trace_cache_dir=args.trace_cache,
-        drain=args.drain, engine=args.engine,
-    )
+    try:
+        runner = Runner(
+            scale=args.scale, seed=args.seed,
+            trace_cache_dir=args.trace_cache,
+            drain=args.drain, engine=args.engine, sample=args.sample,
+        )
+    except ConfigError as exc:
+        raise SystemExit(f"error: {exc}") from None
     if args.command == "figure":
         _print_figure(args.number, runner, workloads,
                       per_workload=args.per_workload, svg=args.svg)

@@ -76,10 +76,23 @@ class WorkloadTrace:
         workload: the workload instance.
         result: the traced run (stream + tracer + algorithm checks).
         upper_stats: L1/L2/L3 statistics (shared by every design).
+            Extrapolated to the whole stream when sampling.
         references: program reference count (Eq. 2 denominator).
+            Extrapolated when sampling.
         post_l3: the request stream leaving L3 (fills + writebacks).
+            Under sampling this holds only the simulated (warmup +
+            measured) segments' capture.
         ref_raw: the reference design's raw evaluation on this trace.
         traced_footprint_bytes: footprint of the traced (scaled) run.
+        sample_factor: extrapolation multiplier applied to measured
+            counters (1.0 for exact runs).
+        sample_fidelity: fraction of the trace actually measured (1.0
+            for exact runs) — the recorded fidelity estimate of every
+            sampled result derived from this trace.
+        post_l3_segments: per simulated source segment, the number of
+            captured post-L3 requests it produced and whether it was
+            measured; lower-level replays use this to re-align their
+            own measurement windows. ``None`` for exact runs.
     """
 
     workload: Workload
@@ -89,6 +102,9 @@ class WorkloadTrace:
     post_l3: AddressStream
     ref_raw: RawEvaluation
     traced_footprint_bytes: int
+    sample_factor: float = 1.0
+    sample_fidelity: float = 1.0
+    post_l3_segments: list[tuple[int, bool]] | None = None
 
 
 #: Default ratio of local (stack/temporary) references to traced data
@@ -150,6 +166,25 @@ class Runner:
             :mod:`repro.telemetry.core`), which is the disabled
             :data:`~repro.telemetry.core.NULL_TELEMETRY` unless a
             caller activated one.
+        sample: periodic sampled simulation —
+            a :class:`~repro.experiments.sampling.SampleSpec` or its
+            CLI string form ``"warmup:window:stride"`` (event counts).
+            Only warmup + measured-window events are simulated per
+            stride; measured counters are extrapolated to the whole
+            stream and the measured fraction is recorded as the
+            result's fidelity estimate
+            (:attr:`WorkloadTrace.sample_fidelity`). Approximate by
+            construction, so it is journalled under a distinct
+            ``engine_class`` — sampled and exact cells never satisfy
+            each other on resume. Incompatible with ``drain`` (flush
+            traffic belongs to exact accounting) and with the
+            ``analytic`` engine (a different approximation; compose
+            intentionally, not accidentally).
+        trace_arena: published trace handles keyed by workload name
+            (see :class:`repro.trace.arena.TraceArena`). A workload
+            found here is attached zero-copy instead of re-traced or
+            loaded from the cache — how parallel sweep workers share
+            one physical trace copy.
     """
 
     def __init__(
@@ -162,6 +197,8 @@ class Runner:
         drain: bool = False,
         telemetry: Telemetry | NullTelemetry | None = None,
         engine: str = "auto",
+        sample: "SampleSpec | str | None" = None,
+        trace_arena: "dict | None" = None,
     ) -> None:
         if local_factor < 0:
             raise ValueError("local_factor must be non-negative")
@@ -170,6 +207,26 @@ class Runner:
                 f"unknown engine {engine!r}; expected 'auto', 'scalar', "
                 f"'setpar' or 'analytic'"
             )
+        from repro.experiments.sampling import SampleSpec
+
+        if isinstance(sample, str):
+            sample = SampleSpec.parse(sample)
+        if sample is not None:
+            from repro.errors import ConfigError
+
+            if engine == "analytic":
+                raise ConfigError(
+                    "sampled simulation and the analytic engine are both "
+                    "approximations; pick one (--sample xor --engine "
+                    "analytic)"
+                )
+            if drain:
+                raise ConfigError(
+                    "sampled simulation extrapolates steady-state windows; "
+                    "end-of-stream drain accounting requires an exact run"
+                )
+        self.sample = sample
+        self.trace_arena = trace_arena
         self.scale = scale
         self.seed = seed
         self.reference = reference or ReferenceSystem.sandy_bridge()
@@ -207,6 +264,16 @@ class Runner:
         return f"{workload.name}-s{self.scale:g}-r{self.seed}".replace("/", "_")
 
     def _load_cached_trace(self, workload: Workload) -> TraceResult | None:
+        if self.trace_arena:
+            handle = self.trace_arena.get(workload.name)
+            if handle is not None:
+                stream, regions = handle.attach()
+                tracer = Tracer()
+                tracer.regions.extend(regions)
+                tracer.stream = stream
+                return TraceResult(
+                    stream=stream, tracer=tracer, checks={"cached": True}
+                )
         if not self.trace_cache_dir:
             return None
         from pathlib import Path
@@ -216,10 +283,17 @@ class Runner:
 
         name = self._cache_name(workload)
         directory = Path(self.trace_cache_dir)
-        if not (directory / f"{name}.stream.npz").exists():
+        if not (directory / f"{name}.stream.rts").exists() and not (
+            directory / f"{name}.stream.npz"
+        ).exists():
             return None
         try:
-            stream, regions = load_trace(directory, name)
+            stream, regions = load_trace(directory, name, migrate=True)
+            # A v2 store verifies chunks lazily as they are read; force
+            # the pass here so a corrupt entry self-heals (below)
+            # instead of failing mid-simulation. This is the *only*
+            # full read — the data stays mmap'd, not copied.
+            stream.verify()
         except TraceIntegrityError as exc:
             # A corrupt cache entry is recoverable: drop the pair and
             # fall through to re-tracing, which re-saves clean artifacts.
@@ -275,6 +349,34 @@ class Runner:
     # Tracing + shared upper-level simulation
     # ------------------------------------------------------------------
 
+    def trace_only(self, workload: Workload) -> tuple[TraceResult, bool]:
+        """Obtain a workload's trace without simulating anything.
+
+        Returns ``(result, cached)`` where ``cached`` says whether the
+        trace came from the arena or the on-disk cache instead of a
+        fresh trace (which is stored to the cache on the way out).
+        Used by the sweep executor to publish each workload's trace to
+        the shared arena before forking workers; :meth:`prepare` runs
+        the same path before the upper-level simulation.
+        """
+        telemetry = self._telemetry()
+        trace_span = telemetry.span("runner.trace", workload=workload.name)
+        with trace_span:
+            result = self._load_cached_trace(workload)
+            cached = result is not None
+            if not cached:
+                result = workload.trace(scale=self.scale, seed=self.seed)
+                self._store_cached_trace(workload, result)
+        if cached:
+            logger.info("loaded cached trace for %s", workload.name)
+        else:
+            logger.info(
+                "traced %s: %s events in %.1fs",
+                workload.name, f"{len(result.stream):,}",
+                trace_span.duration_s,
+            )
+        return result, cached
+
     def prepare(self, workload: Workload) -> WorkloadTrace:
         """Trace a workload and simulate the shared SRAM prefix (cached)."""
         key = workload.name
@@ -283,43 +385,42 @@ class Runner:
         telemetry = self._telemetry()
         prepare_span = telemetry.span("runner.prepare", workload=key)
         with prepare_span:
-            trace_span = telemetry.span("runner.trace", workload=key)
-            with trace_span:
-                result = self._load_cached_trace(workload)
-                cached = result is not None
-                if not cached:
-                    result = workload.trace(scale=self.scale, seed=self.seed)
-                    self._store_cached_trace(workload, result)
-            if cached:
-                logger.info("loaded cached trace for %s", workload.name)
-            else:
-                logger.info(
-                    "traced %s: %s events in %.1fs",
-                    workload.name, f"{len(result.stream):,}",
-                    trace_span.duration_s,
-                )
+            result, cached = self.trace_only(workload)
             upper = self.reference.build_caches(self.scale, engine=self._sim_engine)
             capture = CapturingMemory()
             hierarchy = Hierarchy(upper, capture)
-            collector = None
-            if telemetry.enabled:
-                collector = telemetry.window_collector(
-                    f"upper-{key}", lambda: hierarchy.stats().levels
-                )
-                hierarchy.observer = collector
-            with telemetry.span("runner.upper_sim", workload=key):
-                # drain=True flushes L1-L3 at end of stream; the flush
-                # traffic lands in the captured post-L3 stream *in
-                # hierarchy drain order*, so suffix replays stay
-                # bit-exact against a full Hierarchy.run(drain=True).
-                hierarchy.run(result.stream, drain=self.drain)
-            if collector is not None:
-                telemetry.finish_collector(collector)
+            factor, fidelity, segments = 1.0, 1.0, None
+            if self.sample is None:
+                collector = None
+                if telemetry.enabled:
+                    collector = telemetry.window_collector(
+                        f"upper-{key}", lambda: hierarchy.stats().levels
+                    )
+                    hierarchy.observer = collector
+                with telemetry.span("runner.upper_sim", workload=key):
+                    # drain=True flushes L1-L3 at end of stream; the flush
+                    # traffic lands in the captured post-L3 stream *in
+                    # hierarchy drain order*, so suffix replays stay
+                    # bit-exact against a full Hierarchy.run(drain=True).
+                    hierarchy.run(result.stream, drain=self.drain)
+                if collector is not None:
+                    telemetry.finish_collector(collector)
+                upper_raw = [cache.stats for cache in upper]
+                references_raw = hierarchy.references
+            else:
+                with telemetry.span(
+                    "runner.upper_sim", workload=key, sampled=True
+                ):
+                    upper_raw, references_raw, factor, fidelity, segments = (
+                        self._run_upper_sampled(
+                            hierarchy, upper, capture, result.stream
+                        )
+                    )
             telemetry.counter("repro_references_simulated_total").inc(
                 hierarchy.references
             )
             upper_stats, references = self._inject_locals(
-                [cache.stats for cache in upper], hierarchy.references
+                upper_raw, references_raw
             )
 
             # The reference design's DRAM sees exactly the post-L3 stream.
@@ -327,10 +428,36 @@ class Runner:
                 scale=self.scale, reference=self.reference, engine=self._sim_engine
             )
             dram = ref_design.memory()
-            for chunk in capture.captured.chunks():
-                dram.process(chunk)
+            if segments is None:
+                for chunk in capture.captured.chunks():
+                    dram.process(chunk)
+                dram_stats = [dram.stats]
+            else:
+                from repro.experiments.sampling import (
+                    add_levels,
+                    delta_levels,
+                    iter_recorded_segments,
+                    scale_levels,
+                    snapshot_levels,
+                )
+
+                acc = None
+                for batch, measured in iter_recorded_segments(
+                    capture.captured, segments
+                ):
+                    if measured:
+                        before = snapshot_levels([dram.stats])
+                    dram.process(batch)
+                    if measured:
+                        acc = add_levels(
+                            acc, delta_levels([dram.stats], before)
+                        )
+                dram_stats = scale_levels(
+                    acc if acc is not None else snapshot_levels([dram.stats]),
+                    factor,
+                )
             ref_stats = HierarchyStats(
-                levels=upper_stats + [dram.stats], references=references
+                levels=upper_stats + dram_stats, references=references
             )
             ref_raw = evaluate_stats(
                 ref_design.name,
@@ -345,6 +472,9 @@ class Runner:
                 post_l3=capture.captured,
                 ref_raw=ref_raw,
                 traced_footprint_bytes=result.stream.stats().footprint_bytes,
+                sample_factor=factor,
+                sample_fidelity=fidelity,
+                post_l3_segments=segments,
             )
             self._traces[key] = trace
             self._design_stats[("REF", key)] = ref_stats
@@ -367,9 +497,78 @@ class Runner:
             post_l3_nbytes=capture.captured.nbytes,
             references=references,
             trace_cached=cached,
+            sample_fidelity=round(trace.sample_fidelity, 6),
             duration_s=round(prepare_span.duration_s, 6),
         )
         return trace
+
+    def _run_upper_sampled(
+        self,
+        hierarchy: Hierarchy,
+        upper: list,
+        capture: CapturingMemory,
+        stream: AddressStream,
+    ) -> tuple[list[LevelStats], int, float, float, list[tuple[int, bool]]]:
+        """Sampled upper-level simulation (see ``sample`` on the class).
+
+        Simulates only warmup + measured-window segments, snapshots the
+        upper levels' counters around each measured window, and scales
+        the measured deltas to the whole stream. Records, per simulated
+        segment, how many post-L3 requests it captured, so lower-level
+        replays can re-align the same measurement windows on the
+        captured stream.
+
+        Returns ``(upper_stats, references, factor, fidelity,
+        segments)`` where stats/references are extrapolated raw values
+        (local-reference injection happens in the caller).
+        """
+        from repro.experiments.sampling import (
+            add_levels,
+            delta_levels,
+            iter_sample_segments,
+            scale_levels,
+            snapshot_levels,
+        )
+
+        acc = None
+        segments: list[tuple[int, bool]] = []
+        measured_events = 0
+        measured_refs = 0
+        for batch, measured in iter_sample_segments(stream, self.sample):
+            captured_before = len(capture.captured)
+            if measured:
+                refs_before = hierarchy.references
+                before = snapshot_levels(cache.stats for cache in upper)
+            hierarchy.process_batch(batch)
+            if measured:
+                acc = add_levels(
+                    acc,
+                    delta_levels(
+                        (cache.stats for cache in upper), before
+                    ),
+                )
+                measured_refs += hierarchy.references - refs_before
+                measured_events += len(batch)
+            segments.append(
+                (len(capture.captured) - captured_before, measured)
+            )
+        total_events = len(stream)
+        factor = (
+            total_events / measured_events if measured_events else 1.0
+        )
+        fidelity = (
+            measured_events / total_events if total_events else 1.0
+        )
+        if acc is None:
+            acc = snapshot_levels(cache.stats for cache in upper)
+        upper_stats = scale_levels(acc, factor)
+        references = int(round(measured_refs * factor))
+        logger.info(
+            "sampled upper sim: %s of %s events measured "
+            "(fidelity %.3f, factor %.1f)",
+            f"{measured_events:,}", f"{total_events:,}", fidelity, factor,
+        )
+        return upper_stats, references, factor, fidelity, segments
 
     # ------------------------------------------------------------------
     # Analytic fast path
@@ -500,6 +699,8 @@ class Runner:
         """
         if self.engine == "analytic":
             return self._analytic_stats_for(design, workload)
+        if self.sample is not None:
+            return self._sampled_stats_for(design, workload)
         key = (design.sim_key(), workload.name)
         if key in self._design_stats:
             return self._design_stats[key]
@@ -543,6 +744,68 @@ class Runner:
         logger.debug("simulated %s on %s", design.sim_key(), workload.name)
         return stats
 
+    def _sampled_stats_for(
+        self, design: MemoryDesign, workload: Workload
+    ) -> HierarchyStats:
+        """Sampled lower-level replay with extrapolated statistics.
+
+        Replays the captured (warmup + window) post-L3 segments through
+        the design's lower levels — warmup segments warm cache state,
+        measured segments' counter deltas are scaled by the trace's
+        extrapolation factor — and prepends the (already extrapolated)
+        shared upper stats.
+        """
+        key = (design.sim_key(), workload.name)
+        if key in self._design_stats:
+            return self._design_stats[key]
+        from repro.experiments.sampling import (
+            add_levels,
+            delta_levels,
+            iter_recorded_segments,
+            scale_levels,
+            snapshot_levels,
+        )
+
+        trace = self.prepare(workload)
+        telemetry = self._telemetry()
+        lower = design.lower_caches()
+        memory = design.memory()
+
+        def live_levels() -> list[LevelStats]:
+            if isinstance(memory, PartitionedMemory):
+                return [cache.stats for cache in lower] + memory.stats_list
+            return [cache.stats for cache in lower] + [memory.stats]
+
+        acc = None
+        with telemetry.span(
+            "runner.design_sim", design=design.sim_key(),
+            workload=workload.name, sampled=True,
+        ):
+            for batch, measured in iter_recorded_segments(
+                trace.post_l3, trace.post_l3_segments
+            ):
+                if measured:
+                    before = snapshot_levels(live_levels())
+                run_chain(batch, lower, memory)
+                if measured:
+                    acc = add_levels(
+                        acc, delta_levels(live_levels(), before)
+                    )
+        lower_stats = scale_levels(
+            acc if acc is not None else snapshot_levels(live_levels()),
+            trace.sample_factor,
+        )
+        stats = HierarchyStats(
+            levels=trace.upper_stats + lower_stats,
+            references=trace.references,
+        )
+        self._design_stats[key] = stats
+        logger.debug(
+            "sampled-simulated %s on %s (fidelity %.3f)",
+            design.sim_key(), workload.name, trace.sample_fidelity,
+        )
+        return stats
+
     def simulate_designs(
         self, designs: list[MemoryDesign], workload: Workload
     ) -> None:
@@ -563,6 +826,12 @@ class Runner:
             # No streams to share — each design is already O(1) passes.
             for design in designs:
                 self._analytic_stats_for(design, workload)
+            return
+        if self.sample is not None:
+            # Snapshot/delta windows are per-chain state; replay each
+            # design's (short, sampled) stream independently.
+            for design in designs:
+                self._sampled_stats_for(design, workload)
             return
         from repro.experiments.simplan import SimPlan
 

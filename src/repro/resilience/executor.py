@@ -305,6 +305,7 @@ class SweepExecutor:
         worker_faults=None,
         pool_tuning=None,
         share_prefixes: bool = True,
+        share_traces: bool = True,
         profile_hz: float | None = None,
         profile_memory: bool = False,
     ) -> None:
@@ -348,8 +349,13 @@ class SweepExecutor:
         self.worker_faults = worker_faults
         self.pool_tuning = pool_tuning
         self.share_prefixes = share_prefixes
+        self.share_traces = share_traces
         self.profile_hz = profile_hz
         self.profile_memory = profile_memory
+        # Populated (and torn down) per run() by _publish_traces: the
+        # picklable handles workers use to attach the one shared copy
+        # of each workload's trace.
+        self._arena_handles: dict | None = None
 
     def _telemetry(self) -> Telemetry | NullTelemetry:
         """The explicit instance if one was given, else the active one."""
@@ -357,15 +363,20 @@ class SweepExecutor:
 
     @property
     def engine_class(self) -> str:
-        """``"exact"`` or ``"analytic"`` — the result class of every cell.
+        """The result class of every cell in this campaign.
 
-        Enters each cell's journal key: the exact engines are
-        bit-identical (and share the ``"exact"`` class), but analytic
-        results are approximate and must never satisfy an exact
-        campaign's resume (or vice versa).
+        ``"exact"`` (bit-identical scalar/setpar/auto engines),
+        ``"analytic"`` (reuse-profile model), or
+        ``"sampled:<warmup>:<window>:<stride>"`` (periodic measured
+        windows). Enters each cell's journal key: approximate results
+        must never satisfy an exact campaign's resume (or vice versa),
+        and sampled results with different specs are likewise mutually
+        unsatisfiable.
         """
-        engine = getattr(self.runner, "engine", "auto")
-        return "analytic" if engine == "analytic" else "exact"
+        return _engine_class_for(
+            getattr(self.runner, "engine", "auto"),
+            getattr(self.runner, "sample", None),
+        )
 
     # -- single-attempt plumbing ----------------------------------------
 
@@ -543,14 +554,20 @@ class SweepExecutor:
         pending.set(total)
 
         if self.workers > 1:
-            if self.supervise:
-                result = self._run_supervised(
-                    grid, journalled, tel, progress, pending, run_id
-                )
-            else:
-                result = self._run_parallel(
-                    grid, journalled, tel, progress, pending, run_id
-                )
+            arena = self._publish_traces(grid, journalled, tel)
+            try:
+                if self.supervise:
+                    result = self._run_supervised(
+                        grid, journalled, tel, progress, pending, run_id
+                    )
+                else:
+                    result = self._run_parallel(
+                        grid, journalled, tel, progress, pending, run_id
+                    )
+            finally:
+                self._arena_handles = None
+                if arena is not None:
+                    arena.close()
             tel.event("sweep_finished", cells=total, **result.counts())
             tel.flush()
             return result
@@ -784,7 +801,12 @@ class SweepExecutor:
         )
 
     def _runner_args(self) -> dict:
-        """The picklable kwargs rebuilding the runner in a worker."""
+        """The picklable kwargs rebuilding the runner in a worker.
+
+        Includes the published trace-arena handles when a parallel run
+        has them: workers attach each workload's single shared trace
+        copy instead of re-tracing or re-loading privately.
+        """
         return {
             "scale": self.runner.scale,
             "seed": self.runner.seed,
@@ -795,7 +817,64 @@ class SweepExecutor:
             ),
             "drain": getattr(self.runner, "drain", False),
             "engine": getattr(self.runner, "engine", "auto"),
+            "sample": getattr(self.runner, "sample", None),
+            "trace_arena": self._arena_handles,
         }
+
+    # -- shared trace arena ---------------------------------------------
+
+    def _publish_traces(self, grid, journalled, tel):
+        """Trace each to-run workload once and publish it for workers.
+
+        Returns the owning :class:`~repro.trace.arena.TraceArena` (the
+        caller must close it after the campaign drains) or ``None``
+        when sharing is off or nothing was published. Best effort: a
+        failure to trace or publish any workload abandons the arena and
+        the campaign falls back to per-worker tracing — the arena is an
+        optimization, never a correctness dependency.
+        """
+        self._arena_handles = None
+        if not (self.share_traces and hasattr(self.runner, "trace_only")):
+            return None
+        todo: dict[str, Workload] = {}
+        for design, workload, key in grid:
+            prior = journalled.get(key)
+            if prior is not None and prior.status == STATUS_OK:
+                continue
+            todo.setdefault(workload.name, workload)
+        if not todo:
+            return None
+        from repro.trace.arena import TraceArena
+
+        arena = TraceArena()
+        try:
+            for workload in todo.values():
+                with tel.span(
+                    "sweep.publish_trace", workload=workload.name
+                ):
+                    result, cached = self.runner.trace_only(workload)
+                    handle = arena.publish(
+                        workload.name, result.stream, result.regions
+                    )
+                tel.event(
+                    "trace_published", workload=workload.name,
+                    kind=handle.kind, events=handle.events,
+                    cached=cached,
+                )
+        except Exception as exc:
+            tel.event(
+                "trace_publish_failed",
+                error=format_exception_chain(exc),
+            )
+            logger.warning(
+                "trace arena publishing failed (%s); workers fall back "
+                "to private trace loading",
+                format_exception_chain(exc),
+            )
+            arena.close()
+            return None
+        self._arena_handles = arena.handles
+        return arena
 
     # -- shared-prefix batch simulation ---------------------------------
 
@@ -952,19 +1031,7 @@ class SweepExecutor:
             payloads.append({
                 "worker_index": index,
                 "run_id": run_id,
-                "runner_args": {
-                    "scale": self.runner.scale,
-                    "seed": self.runner.seed,
-                    "reference": getattr(self.runner, "reference", None),
-                    "local_factor": getattr(
-                        self.runner, "local_factor", 0.0
-                    ),
-                    "trace_cache_dir": getattr(
-                        self.runner, "trace_cache_dir", None
-                    ),
-                    "drain": getattr(self.runner, "drain", False),
-                    "engine": getattr(self.runner, "engine", "auto"),
-                },
+                "runner_args": self._runner_args(),
                 "retry": self.retry,
                 "cell_timeout_s": self.cell_timeout_s,
                 "share_prefixes": self.share_prefixes,
@@ -1063,6 +1130,15 @@ class SweepExecutor:
         return CampaignResult(outcomes=outcomes, seed=self.retry.seed)
 
 
+def _engine_class_for(engine: str, sample) -> str:
+    """The journal engine class for an engine/sample combination."""
+    if engine == "analytic":
+        return "analytic"
+    if sample is not None:
+        return f"sampled:{sample.key}"
+    return "exact"
+
+
 def _outcome_from_record(record: dict) -> CellOutcome:
     """Rebuild a :class:`CellOutcome` from a worker's serialized record."""
     evaluation = record.get("evaluation")
@@ -1130,10 +1206,9 @@ def _run_shard(payload: dict) -> list[dict]:
             if payload.get("journal_sidecar")
             else None
         )
-        engine_class = (
-            "analytic"
-            if payload["runner_args"].get("engine") == "analytic"
-            else "exact"
+        engine_class = _engine_class_for(
+            payload["runner_args"].get("engine", "auto"),
+            payload["runner_args"].get("sample"),
         )
         workload = payload["workload"]
         cells = payload["cells"]

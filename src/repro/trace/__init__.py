@@ -13,7 +13,11 @@ same role is played by:
 
 Synthetic stream generators (:mod:`repro.trace.synthetic`) and reuse
 distance analysis (:mod:`repro.trace.reuse`) support testing and the
-generalization study.
+generalization study. For scale-out, :mod:`repro.trace.store` persists
+streams in a chunked mmap-ready on-disk format read back zero-copy as
+:class:`~repro.trace.store.MappedStream`, and
+:mod:`repro.trace.arena` shares one physical trace copy across all
+workers of a parallel sweep.
 """
 
 from repro.trace.events import LOAD, STORE, AccessBatch
@@ -36,8 +40,15 @@ from repro.trace.filters import (
     stores_only,
 )
 from repro.trace.io import discard_trace, load_trace, save_trace, verify_artifact
+from repro.trace.store import MappedStream, write_store
+from repro.trace.arena import SharedStream, TraceArena, TraceHandle
 
 __all__ = [
+    "MappedStream",
+    "write_store",
+    "TraceArena",
+    "TraceHandle",
+    "SharedStream",
     "split_windows",
     "sample_stream",
     "filter_range",

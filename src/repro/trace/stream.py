@@ -37,9 +37,11 @@ class StreamStats:
         stores: number of store accesses.
         bytes_read: total bytes loaded.
         bytes_written: total bytes stored.
-        footprint_bytes: number of distinct 64-byte-aligned... no —
-            number of distinct bytes is too expensive; this is the
-            distinct 64 B line count times 64, a standard footprint proxy.
+        footprint_bytes: footprint proxy — the number of distinct
+            ``footprint_line``-aligned lines touched, times the line
+            size (64 B by default). Counting distinct *bytes* would be
+            prohibitively expensive on long traces; the line-granular
+            count is the standard working-set estimate.
         min_address: lowest byte address touched (0 if empty).
         max_address: highest byte address touched (0 if empty).
     """
@@ -219,27 +221,34 @@ class AddressStream:
         Convenient for tests and small streams; avoid on very long
         streams (copies everything).
         """
-        self._flush()
-        if not self._chunks:
+        chunks = list(self.chunks())
+        if not chunks:
             return AccessBatch.empty()
-        if len(self._chunks) == 1:
-            return self._chunks[0]
+        if len(chunks) == 1:
+            return chunks[0]
         return AccessBatch(
-            np.concatenate([c.addresses for c in self._chunks]),
-            np.concatenate([c.sizes for c in self._chunks]),
-            np.concatenate([c.is_store for c in self._chunks]),
+            np.concatenate([c.addresses for c in chunks]),
+            np.concatenate([c.sizes for c in chunks]),
+            np.concatenate([c.is_store for c in chunks]),
         )
 
     def stats(self, footprint_line: int = 64) -> StreamStats:
-        """Compute summary statistics in one pass over the chunks."""
-        self._flush()
+        """Compute summary statistics in one pass over the chunks.
+
+        The footprint count stays vectorized end to end: each chunk
+        contributes its ``np.unique`` line array and the per-chunk
+        uniques are merged with a single ``np.unique`` at the end,
+        instead of round-tripping every line through a Python ``set``
+        (bit-identical result, ~20x less per-chunk overhead on long
+        streams; see docs/performance.md).
+        """
         loads = stores = 0
         bytes_read = bytes_written = 0
         min_addr: int | None = None
         max_addr = 0
-        lines: set[int] = set()
+        chunk_lines: list[np.ndarray] = []
         shift = int(footprint_line).bit_length() - 1
-        for chunk in self._chunks:
+        for chunk in self.chunks():
             store_mask = chunk.is_store != 0
             n_stores = int(np.count_nonzero(store_mask))
             stores += n_stores
@@ -252,17 +261,34 @@ class AddressStream:
                 cmax = int(chunk.addresses.max())
                 min_addr = cmin if min_addr is None else min(min_addr, cmin)
                 max_addr = max(max_addr, cmax)
-                lines.update(np.unique(chunk.addresses >> np.uint64(shift)).tolist())
+                chunk_lines.append(
+                    np.unique(chunk.addresses >> np.uint64(shift))
+                )
+        if not chunk_lines:
+            footprint_lines = 0
+        elif len(chunk_lines) == 1:
+            footprint_lines = len(chunk_lines[0])
+        else:
+            footprint_lines = len(np.unique(np.concatenate(chunk_lines)))
         return StreamStats(
-            events=self._events,
+            events=len(self),
             loads=loads,
             stores=stores,
             bytes_read=bytes_read,
             bytes_written=bytes_written,
-            footprint_bytes=len(lines) * footprint_line,
+            footprint_bytes=footprint_lines * footprint_line,
             min_address=min_addr or 0,
             max_address=max_addr,
         )
+
+    def verify(self) -> None:
+        """Force integrity verification of the stream's backing data.
+
+        In-memory streams have nothing to verify; mmap-backed streams
+        (:class:`~repro.trace.store.MappedStream`) override this to
+        hash every chunk against the store header up front instead of
+        lazily on first read.
+        """
 
     def head(self, n: int) -> "AddressStream":
         """A new stream holding only the first ``n`` events."""

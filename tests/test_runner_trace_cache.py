@@ -15,7 +15,7 @@ class TestTraceCache:
     def test_cache_files_written(self, tmp_path):
         runner = Runner(scale=SCALE, seed=4, trace_cache_dir=str(tmp_path))
         runner.prepare(get_workload("CG"))
-        assert list(tmp_path.glob("CG-*.stream.npz"))
+        assert list(tmp_path.glob("CG-*.stream.rts"))
         assert list(tmp_path.glob("CG-*.regions.json"))
 
     def test_second_runner_reloads(self, tmp_path):
@@ -70,12 +70,15 @@ class TestTraceCache:
 
 class TestCorruptCacheSelfHeal:
     def test_corrupt_entry_discarded_and_retraced(self, tmp_path):
-        from repro.resilience import bitflip_file
-
         first = Runner(scale=SCALE, seed=4, trace_cache_dir=str(tmp_path))
         trace_a = first.prepare(get_workload("CG"))
-        stream_path = next(iter(tmp_path.glob("CG-*.stream.npz")))
-        bitflip_file(stream_path, seed=1)
+        stream_path = next(iter(tmp_path.glob("CG-*.stream.rts")))
+        # Corrupt a byte inside the first chunk's payload (chunks start
+        # at the first page boundary), which the runner's eager
+        # verify() pass must catch.
+        data = bytearray(stream_path.read_bytes())
+        data[4096 + 10] ^= 0xFF
+        stream_path.write_bytes(bytes(data))
 
         healed = Runner(scale=SCALE, seed=4, trace_cache_dir=str(tmp_path))
         trace_b = healed.prepare(get_workload("CG"))
@@ -93,8 +96,8 @@ class TestCorruptCacheSelfHeal:
 
         runner = Runner(scale=SCALE, seed=4, trace_cache_dir=str(tmp_path))
         runner.prepare(get_workload("CG"))
-        name = next(iter(tmp_path.glob("CG-*.stream.npz"))).name
-        name = name.removesuffix(".stream.npz")
+        name = next(iter(tmp_path.glob("CG-*.stream.rts"))).name
+        name = name.removesuffix(".stream.rts")
         removed = discard_trace(tmp_path, name)
         assert len(removed) == 4  # two artifacts + two sidecars
         assert not list(tmp_path.iterdir())

@@ -1,0 +1,270 @@
+"""Sampled simulation window tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.runner import Runner
+from repro.experiments.sampling import (
+    SampleSpec,
+    add_levels,
+    delta_levels,
+    iter_recorded_segments,
+    iter_sample_segments,
+    iter_sample_segments_of_length,
+    scale_levels,
+    snapshot_levels,
+)
+from repro.trace.synthetic import random_stream
+from repro.workloads.registry import get_workload
+
+SCALE = 1.0 / 8192
+
+
+class TestSampleSpec:
+    def test_parse(self):
+        spec = SampleSpec.parse("100:400:2000")
+        assert (spec.warmup, spec.window, spec.stride) == (100, 400, 2000)
+        assert spec.key == "100:400:2000"
+        assert spec.measured_fraction == pytest.approx(0.2)
+
+    @pytest.mark.parametrize("text", ["", "1:2", "1:2:3:4", "a:b:c", "1:-2:3"])
+    def test_parse_rejects_malformed(self, text):
+        with pytest.raises(ConfigError):
+            SampleSpec.parse(text)
+
+    def test_rejects_stride_shorter_than_coverage(self):
+        with pytest.raises(ConfigError, match="stride"):
+            SampleSpec(warmup=100, window=400, stride=400)
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ConfigError, match="window"):
+            SampleSpec(warmup=0, window=0, stride=10)
+
+
+class TestSegments:
+    def test_covers_warmup_and_window_only(self):
+        spec = SampleSpec(warmup=10, window=20, stride=100)
+        spans = list(iter_sample_segments_of_length(350, spec))
+        # 4 strides started, each fitting its full warmup + window.
+        measured = sum(len(r) for r, m in spans if m)
+        warmed = sum(len(r) for r, m in spans if not m)
+        assert measured == 4 * 20
+        assert warmed == 4 * 10
+        for r, _ in spans:
+            assert (r.start % 100) < 30  # nothing from the skipped tail
+        # A stream ending mid-window measures the partial window.
+        spans = list(iter_sample_segments_of_length(315, spec))
+        assert sum(len(r) for r, m in spans if m) == 3 * 20 + 5
+
+    def test_short_stream_fully_measured(self):
+        spec = SampleSpec(warmup=100, window=400, stride=2000)
+        spans = list(iter_sample_segments_of_length(300, spec))
+        assert spans == [(range(0, 300), True)]
+        assert spec.simulated_events(300) == 300
+
+    def test_stream_slicing_concatenates_back(self):
+        stream = random_stream(3000, footprint_bytes=1 << 16, seed=7)
+        spec = SampleSpec(warmup=64, window=128, stride=512)
+        batches = list(iter_sample_segments(stream, spec))
+        got = np.concatenate([b.addresses for b, _ in batches])
+        spans = iter_sample_segments_of_length(len(stream), spec)
+        full = stream.as_batch().addresses
+        want = np.concatenate([full[r.start:r.stop] for r, _ in spans])
+        assert np.array_equal(got, want)
+
+    def test_recorded_segments_reslice(self):
+        stream = random_stream(1000, footprint_bytes=1 << 14, seed=9)
+        recorded = [(300, False), (500, True), (200, False)]
+        batches = list(iter_recorded_segments(stream, recorded))
+        assert sum(len(b) for b, _ in batches) == 1000
+        assert sum(len(b) for b, m in batches if m) == 500
+        got = np.concatenate([b.addresses for b, _ in batches])
+        assert np.array_equal(got, stream.as_batch().addresses)
+
+    def test_recorded_segments_too_short_rejected(self):
+        stream = random_stream(100, footprint_bytes=1 << 12, seed=1)
+        with pytest.raises(ConfigError, match="shorter"):
+            list(iter_recorded_segments(stream, [(40, True)]))
+
+
+class TestLevelArithmetic:
+    def _levels(self, n):
+        from repro.cache.stats import LevelStats
+
+        return [
+            LevelStats(name="L1", loads=10 * n, load_hits=8 * n,
+                       load_misses=2 * n)
+        ]
+
+    def test_snapshot_is_value_copy(self):
+        live = self._levels(1)
+        snap = snapshot_levels(live)
+        live[0].loads += 5
+        assert snap[0].loads == 10
+
+    def test_delta_and_add(self):
+        before, after = self._levels(1), self._levels(3)
+        delta = delta_levels(after, before)
+        assert delta[0].loads == 20
+        acc = add_levels(None, delta)
+        acc = add_levels(acc, delta)
+        assert acc[0].loads == 40
+
+    def test_scale_preserves_rates(self):
+        scaled = scale_levels(self._levels(2), 2.5)
+        assert scaled[0].loads == 50
+        assert scaled[0].load_hits == 40
+        assert scaled[0].hit_rate == self._levels(1)[0].hit_rate
+
+    def test_scale_identity(self):
+        levels = self._levels(2)
+        assert scale_levels(levels, 1.0)[0] == levels[0]
+
+
+class TestRejectedCombos:
+    def test_sample_with_drain(self):
+        with pytest.raises(ConfigError, match="drain"):
+            Runner(scale=SCALE, sample="100:400:2000", drain=True)
+
+    def test_sample_with_analytic(self):
+        with pytest.raises(ConfigError, match="analytic"):
+            Runner(scale=SCALE, sample="100:400:2000", engine="analytic")
+
+    def test_bad_sample_string(self):
+        with pytest.raises(ConfigError):
+            Runner(scale=SCALE, sample="nope")
+
+
+class TestSampledAccuracy:
+    def test_degenerate_spec_is_exact(self):
+        # warmup+window covers every CG event at this scale: the
+        # sampled run must be bit-identical to the exact one.
+        workload = get_workload("CG")
+        exact = Runner(scale=SCALE, seed=4)
+        sampled = Runner(scale=SCALE, seed=4, sample="0:100000000:100000000")
+        te = exact.prepare(workload)
+        ts = sampled.prepare(workload)
+        assert ts.sample_factor == 1.0
+        assert ts.sample_fidelity == 1.0
+        assert ts.references == te.references
+        assert [s.__dict__ for s in ts.upper_stats] == [
+            s.__dict__ for s in te.upper_stats
+        ]
+
+    def test_hit_rate_error_within_envelope(self):
+        from repro.designs.configs import N_CONFIGS
+        from repro.designs.nmm import NMMDesign
+        from repro.tech.params import PCM
+
+        workload = get_workload("CG")
+        design_of = lambda r: NMMDesign(
+            PCM, N_CONFIGS["N6"], scale=SCALE, reference=r.reference
+        )
+        exact = Runner(scale=SCALE, seed=4)
+        sampled = Runner(scale=SCALE, seed=4, sample="500:2000:5000")
+        he = exact.stats_for(design_of(exact), workload)
+        hs = sampled.stats_for(design_of(sampled), workload)
+        assert 0.0 < sampled.prepare(workload).sample_fidelity < 1.0
+        for le, ls in zip(he.levels, hs.levels):
+            if le.loads + le.stores == 0:
+                continue
+            assert abs(le.hit_rate - ls.hit_rate) <= 0.02, le.name
+        # Extrapolated totals land near the exact reference count.
+        assert hs.references == pytest.approx(he.references, rel=0.05)
+
+    def test_evaluation_runs_end_to_end(self):
+        from repro.designs.reference import ReferenceDesign
+
+        sampled = Runner(scale=SCALE, seed=4, sample="500:2000:5000")
+        ev = sampled.evaluate(ReferenceDesign(scale=SCALE),
+                              get_workload("CG"))
+        assert ev.time_norm == pytest.approx(1.0, abs=0.05)
+
+
+@pytest.mark.resilience
+class TestJournalIsolation:
+    def _run(self, tmp_path, sample=None):
+        from repro.designs.reference import ReferenceDesign
+        from repro.resilience import SweepExecutor
+
+        runner = Runner(scale=SCALE, seed=4,
+                        trace_cache_dir=str(tmp_path / "cache"),
+                        sample=sample)
+        executor = SweepExecutor(runner, journal=tmp_path / "j.jsonl")
+        return executor.run(
+            [ReferenceDesign(scale=SCALE)], [get_workload("CG")]
+        )
+
+    def test_engine_class_value(self):
+        from repro.resilience import SweepExecutor
+
+        runner = Runner(scale=SCALE, sample="100:400:2000")
+        assert SweepExecutor(runner).engine_class == "sampled:100:400:2000"
+
+    def test_sampled_never_satisfies_exact(self, tmp_path):
+        first = self._run(tmp_path, sample="500:2000:5000")
+        assert all(o.ok and not o.from_journal for o in first.outcomes)
+        resumed = self._run(tmp_path, sample=None)
+        assert all(not o.from_journal for o in resumed.outcomes)
+
+    def test_exact_never_satisfies_sampled(self, tmp_path):
+        first = self._run(tmp_path, sample=None)
+        assert all(o.ok and not o.from_journal for o in first.outcomes)
+        resumed = self._run(tmp_path, sample="500:2000:5000")
+        assert all(not o.from_journal for o in resumed.outcomes)
+
+    def test_same_spec_resumes(self, tmp_path):
+        self._run(tmp_path, sample="500:2000:5000")
+        resumed = self._run(tmp_path, sample="500:2000:5000")
+        assert all(o.from_journal for o in resumed.outcomes)
+
+    def test_different_spec_does_not_resume(self, tmp_path):
+        self._run(tmp_path, sample="500:2000:5000")
+        resumed = self._run(tmp_path, sample="500:2000:10000")
+        assert all(not o.from_journal for o in resumed.outcomes)
+
+    def test_exact_journal_entries_stay_byte_stable(self, tmp_path):
+        # Exact cells serialize without any engine_class key — old
+        # journals and new ones are byte-compatible.
+        self._run(tmp_path, sample=None)
+        lines = (tmp_path / "j.jsonl").read_text().splitlines()
+        exact = [json.loads(l) for l in lines]
+        assert exact
+        assert all("engine_class" not in e for e in exact)
+        self._run(tmp_path, sample="500:2000:5000")
+        lines = (tmp_path / "j.jsonl").read_text().splitlines()
+        tagged = [json.loads(l) for l in lines if "engine_class" in l]
+        assert tagged
+        assert all(
+            e["engine_class"] == "sampled:500:2000:5000" for e in tagged
+        )
+
+
+class TestSampledCLI:
+    def test_sample_flag_round_trip(self, capsys):
+        from repro.experiments.cli import main
+
+        code = main([
+            "--scale", str(SCALE), "--seed", "4", "--workloads", "CG",
+            "--sample", "500:2000:5000", "figure", "1",
+        ])
+        assert code == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_bad_sample_flag_errors(self):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit, match="WARMUP:WINDOW:STRIDE"):
+            main(["--sample", "nope", "--workloads", "CG", "figure", "1"])
+
+    def test_sample_drain_conflict_errors(self):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit, match="drain"):
+            main([
+                "--sample", "1:2:3", "--drain", "--workloads", "CG",
+                "figure", "1",
+            ])

@@ -90,6 +90,14 @@ class TestIntegrity:
         _ = a[:]
         return save_trace(tracer.stream, tracer, tmp_path, "run")
 
+    @pytest.fixture
+    def saved_v1(self, tmp_path):
+        tracer = Tracer()
+        a = tracer.array("data", (512,))
+        _ = a[:]
+        return save_trace(tracer.stream, tracer, tmp_path, "run",
+                          version=1)
+
     def test_sidecars_written(self, saved):
         for path in saved:
             sidecar = checksum_path(path)
@@ -108,9 +116,20 @@ class TestIntegrity:
             load_stream(stream_path)
 
     def test_bitflipped_stream_detected(self, saved):
+        # A v2 store verifies chunk digests as data is read; corrupt a
+        # byte inside the first chunk's payload (chunks start at the
+        # first page boundary) and force the pass.
+        stream_path, _ = saved
+        data = bytearray(stream_path.read_bytes())
+        data[4096 + 10] ^= 0xFF
+        stream_path.write_bytes(bytes(data))
+        with pytest.raises(TraceIntegrityError, match="re-trace"):
+            load_stream(stream_path).verify()
+
+    def test_bitflipped_v1_stream_detected(self, saved_v1):
         from repro.resilience import bitflip_file
 
-        stream_path, _ = saved
+        stream_path, _ = saved_v1
         bitflip_file(stream_path, seed=5)
         with pytest.raises(TraceIntegrityError, match="re-trace"):
             load_stream(stream_path)
@@ -145,8 +164,8 @@ class TestIntegrity:
         with pytest.raises(TraceIntegrityError):
             load_regions(regions_path)
 
-    def test_unreadable_sidecar_detected(self, saved):
-        stream_path, _ = saved
+    def test_unreadable_sidecar_detected(self, saved_v1):
+        stream_path, _ = saved_v1
         checksum_path(stream_path).write_text("")
         with pytest.raises(TraceIntegrityError, match="sidecar"):
             load_stream(stream_path)
@@ -161,9 +180,18 @@ class TestIntegrity:
         verify_artifact(path)  # no sidecar: tolerated
 
     def test_corrupt_pair_detected_via_load_trace(self, saved, tmp_path):
+        data = bytearray(saved[0].read_bytes())
+        data[4096 + 10] ^= 0xFF
+        saved[0].write_bytes(bytes(data))
+        with pytest.raises(TraceIntegrityError):
+            load_trace(tmp_path, "run")[0].verify()
+
+    def test_corrupt_v1_pair_detected_via_load_trace(
+        self, saved_v1, tmp_path
+    ):
         from repro.resilience import bitflip_file
 
-        bitflip_file(saved[0], seed=9)
+        bitflip_file(saved_v1[0], seed=9)
         with pytest.raises(TraceIntegrityError):
             load_trace(tmp_path, "run")
 
