@@ -17,7 +17,13 @@ Two jobs in one harness:
    for both. Since the batched event spool landed (labels stamped and
    JSON serialized at drain, not per ``event()`` call) this is a hard
    gate: labelled events must cost <5% over plain ones.
-4. **Price the sampling profiler** — time one CG pipeline cell with
+4. **Price live serving** — time one CG pipeline cell with
+   file-backed telemetry, ``sweep --serve`` off vs on with one
+   connected SSE client consuming the event stream throughout, and
+   gate the serve-enabled overhead under 3%. The server runs on its
+   own daemon threads and tails on-disk files, so the simulated cell
+   should pay (almost) nothing for being watched.
+5. **Price the sampling profiler** — time one CG pipeline cell with
    file-backed telemetry, profiler off vs on at the default rate, and
    gate the enabled overhead under 10%. The profiler-disabled path is
    the plain telemetry path (no hot-loop checks), already gated at 2%
@@ -61,6 +67,7 @@ DEFAULT_SCALE = 1.0 / 1024
 DEFAULT_REPS = 12
 OVERHEAD_LIMIT_PCT = 2.0
 LABELLED_LIMIT_PCT = 5.0
+SERVE_LIMIT_PCT = 3.0
 PROFILING_LIMIT_PCT = 10.0
 WORKLOAD = "CG"
 
@@ -213,6 +220,95 @@ def measure_context_stamping(reps: int, events: int = 4000) -> dict:
     }
 
 
+def measure_serving(scale: float, reps: int) -> dict:
+    """Whole-cell cost of live HTTP/SSE serving with one watcher.
+
+    Times one NMM/CG cell end to end with file-backed telemetry,
+    ``TelemetryServer`` off vs on — the on variant with a connected
+    SSE client draining ``/events`` for the whole cell, the worst
+    realistic single-watcher load. ABBA-paired as in
+    :func:`measure_overhead`. The server tails the on-disk event log
+    from its own daemon threads, so the only cost visible to the
+    simulated cell is scheduler pressure; the gate keeps it under 3%.
+    """
+    import shutil
+    import tempfile
+    import threading
+    import urllib.request
+
+    from repro.telemetry.live import TelemetryServer
+
+    workload = get_workload(WORKLOAD)
+
+    def timed(serve: bool) -> float:
+        directory = tempfile.mkdtemp(prefix="bench-serve-")
+        telemetry = Telemetry(
+            directory, run_context=RunContext(new_run_id())
+        )
+        server = None
+        client = None
+        stop = threading.Event()
+        if serve:
+            server = TelemetryServer(
+                directory, registry=telemetry.registry,
+                poll_interval_s=0.05,
+            ).start()
+
+            def consume() -> None:
+                try:
+                    with urllib.request.urlopen(
+                        server.url + "/events", timeout=30
+                    ) as response:
+                        while not stop.is_set():
+                            if not response.readline():
+                                break
+                except OSError:
+                    pass
+
+            client = threading.Thread(target=consume, daemon=True)
+            client.start()
+        runner = Runner(scale=scale, seed=0, telemetry=telemetry)
+        design = NMMDesign(
+            get_technology("PCM"), N_CONFIGS["N6"],
+            scale=scale, reference=runner.reference,
+        )
+        with activate(telemetry):
+            start = time.perf_counter()
+            runner.evaluate(design, workload)
+            elapsed = time.perf_counter() - start
+        stop.set()
+        if server is not None:
+            server.stop()
+        if client is not None:
+            client.join(timeout=5.0)
+        telemetry.close()
+        shutil.rmtree(directory, ignore_errors=True)
+        return elapsed
+
+    off_times, on_times = [], []
+    for _ in range(reps):
+        a1 = timed(False)
+        b1 = timed(True)
+        b2 = timed(True)
+        a2 = timed(False)
+        off_times += [a1, a2]
+        on_times += [b1, b2]
+    off = min(off_times)
+    on = min(on_times)
+    overhead_pct = (on / off - 1.0) * 100.0
+    floor = noise_floor_pct(off_times)
+    return {
+        "serve_off_s": round(off, 6),
+        "serve_on_s": round(on, 6),
+        "overhead_pct": round(overhead_pct, 3),
+        "noise_floor_pct": floor,
+        "verdict": verdict(overhead_pct, floor),
+        "limit_pct": SERVE_LIMIT_PCT,
+        "sse_clients": 1,
+        "reps": reps,
+    }
+
+
 def measure_profiling(scale: float, reps: int) -> dict:
     """Whole-cell cost of the sampling profiler at the default rate.
 
@@ -355,6 +451,9 @@ def main(argv=None) -> int:
     print("run-context stamping cost ...", flush=True)
     result["run_context"] = measure_context_stamping(reps)
 
+    print("live-serving cost ...", flush=True)
+    result["serving"] = measure_serving(scale, reps)
+
     print("sampling-profiler cost ...", flush=True)
     result["profiling"] = measure_profiling(scale, reps)
     result["scale"] = scale
@@ -378,6 +477,14 @@ def main(argv=None) -> int:
         f"({stamping['overhead_pct']:+.1f}% with run/worker/seq stamping, "
         f"noise floor {stamping['noise_floor_pct']:.2f}% -> "
         f"{stamping['verdict']}, limit {LABELLED_LIMIT_PCT:g}%)"
+    )
+    serving = result["serving"]
+    print(
+        f"  live serving (1 SSE client): {serving['serve_off_s']:.3f}s -> "
+        f"{serving['serve_on_s']:.3f}s per cell "
+        f"({serving['overhead_pct']:+.1f}%, noise floor "
+        f"{serving['noise_floor_pct']:.2f}% -> {serving['verdict']}, "
+        f"limit {SERVE_LIMIT_PCT:g}%)"
     )
     profiling = result["profiling"]
     print(
@@ -418,13 +525,17 @@ def main(argv=None) -> int:
         LABELLED_LIMIT_PCT, stamping["noise_floor_pct"],
     )
     failed |= gate(
+        "live-serving", serving["overhead_pct"],
+        SERVE_LIMIT_PCT, serving["noise_floor_pct"],
+    )
+    failed |= gate(
         "sampling-profiler", profiling["enabled_overhead_pct"],
         PROFILING_LIMIT_PCT, profiling["noise_floor_pct"],
     )
     if failed:
         return 1
-    print("ok: disabled, labelled, and profiled paths are all within "
-          "their overhead budgets")
+    print("ok: disabled, labelled, served, and profiled paths are all "
+          "within their overhead budgets")
     return 0
 
 

@@ -38,6 +38,14 @@ Subcommands:
 - ``telemetry flame DIR [--out FILE]`` — merge a profiled run's
   ``profile.jsonl`` files (root + workers) into one collapsed-stack
   ``flame.folded`` flamegraph file.
+- ``telemetry serve DIR [--host H] [--port P]`` — HTTP/SSE service
+  over a telemetry directory (finished or still running): /metrics,
+  /events (resumable SSE tail), /runs, /runs/<id>/progress, /healthz,
+  /readyz. ``sweep --serve [PORT]`` starts the same server in-process
+  with a live registry and pool-heartbeat readiness.
+- ``telemetry watch URL|DIR [--interval S] [--once]`` — live ANSI
+  dashboard over a serve URL or a directory: progress bars, rolling
+  hit-rate gauges, worker liveness, recent supervision events.
 
 Common options: ``--scale`` (capacity/footprint scale), ``--seed``,
 ``--workloads`` (comma-separated subset of the suite), ``--drain``
@@ -274,7 +282,36 @@ def _run_resilient_sweep(args, runner: Runner, workloads) -> int:
         profile_hz=args.profile,
         profile_memory=args.profile_memory,
     )
-    result = executor.run(designs, workloads)
+    server = None
+    if getattr(args, "serve", None) is not None:
+        if not args.telemetry:
+            raise SystemExit(
+                "error: --serve needs --telemetry DIR (the server tails "
+                "the telemetry directory)"
+            )
+        from repro.telemetry.live import TelemetryServer
+
+        active = get_active()
+        live_registry = active.registry if isinstance(active, Telemetry) else None
+        labels = (
+            active.run_context.labels()
+            if isinstance(active, Telemetry) and active.run_context is not None
+            else None
+        )
+        server = TelemetryServer(
+            args.telemetry,
+            port=args.serve,
+            registry=live_registry,
+            extra_labels=labels,
+            readiness=executor.pool_snapshot,
+            journal=args.journal or None,
+        ).start()
+        print(f"live telemetry: {server.url}", file=sys.stderr)
+    try:
+        result = executor.run(designs, workloads)
+    finally:
+        if server is not None:
+            server.stop()
     for outcome in result.outcomes:
         source = " (journal)" if outcome.from_journal else ""
         ev = outcome.evaluation
@@ -535,6 +572,14 @@ def main(argv: list[str] | None = None) -> int:
         help="disable shared lower-level prefix simulation (designs "
         "with config-identical L4 chains then simulate independently)",
     )
+    sweep.add_argument(
+        "--serve", type=int, nargs="?", const=0, default=None,
+        metavar="PORT",
+        help="serve live telemetry over HTTP while the sweep runs "
+        "(requires --telemetry): /metrics, /events (SSE), /runs, "
+        "/runs/<id>/progress, /healthz, /readyz on 127.0.0.1:PORT "
+        "(bare --serve picks an ephemeral port; URL printed to stderr)",
+    )
     telem = sub.add_parser(
         "telemetry",
         help="inspect, merge, export, or diff telemetry from "
@@ -548,6 +593,49 @@ def main(argv: list[str] | None = None) -> int:
     )
     telem_report.add_argument("dir", type=str,
                               help="telemetry directory to summarize")
+    telem_report.add_argument(
+        "--json", action="store_true",
+        help="emit the full report (spans, engines, supervision, "
+        "hotspots) as JSON instead of the text rendering",
+    )
+    telem_serve = telem_sub.add_parser(
+        "serve",
+        help="serve a telemetry directory over HTTP: /metrics "
+        "(metrics.prom), /events (SSE tail with Last-Event-ID "
+        "resume), /runs, /runs/<id>/progress, /healthz, /readyz; "
+        "works on finished or still-running directories",
+    )
+    telem_serve.add_argument("dir", type=str,
+                             help="telemetry directory to serve")
+    telem_serve.add_argument(
+        "--host", type=str, default=None,
+        help="bind address (default 127.0.0.1; widening this exposes "
+        "an unauthenticated read-only API)",
+    )
+    telem_serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0: ephemeral, printed to stderr)",
+    )
+    telem_watch = telem_sub.add_parser(
+        "watch",
+        help="live in-terminal dashboard over a telemetry serve URL "
+        "or a telemetry directory: per-workload progress bars, "
+        "rolling hit-rate gauges, worker liveness, supervision events",
+    )
+    telem_watch.add_argument(
+        "target", type=str,
+        help="a telemetry serve URL (http://...) or a telemetry "
+        "directory to read directly",
+    )
+    telem_watch.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="redraw period in seconds (default 1.0)",
+    )
+    telem_watch.add_argument(
+        "--once", action="store_true",
+        help="render a single frame without ANSI control codes and "
+        "exit (scripting / CI)",
+    )
     telem_merge = telem_sub.add_parser(
         "merge",
         help="merge a run root plus its worker-N/ telemetry into one "
@@ -665,24 +753,78 @@ def _telemetry_command(args) -> int:
 
     from repro.errors import TelemetryError
     from repro.telemetry import observatory
-    from repro.telemetry.report import render_summary, summarize_directory
+    from repro.telemetry.report import (
+        render_summary,
+        summarize_directory,
+        summary_to_dict,
+    )
 
     try:
         if args.action == "report":
+            import json as json_mod
+
             root = Path(args.dir)
             if any(
                 observatory.worker_index(child) is not None
                 for child in root.iterdir() if child.is_dir()
             ):
                 aggregate = observatory.aggregate_run(root)
-                print(observatory.render_run_overview(aggregate))
-                print()
-                print(render_summary(
-                    observatory.summary_from_aggregate(aggregate)
-                ))
+                summary = observatory.summary_from_aggregate(aggregate)
+                if args.json:
+                    print(json_mod.dumps(
+                        summary_to_dict(summary), indent=2))
+                else:
+                    print(observatory.render_run_overview(aggregate))
+                    print()
+                    print(render_summary(summary))
             else:
-                print(render_summary(summarize_directory(root)))
+                summary = summarize_directory(root)
+                if args.json:
+                    print(json_mod.dumps(
+                        summary_to_dict(summary), indent=2))
+                else:
+                    print(render_summary(summary))
             return 0
+
+        if args.action == "serve":
+            import signal
+
+            from repro.telemetry.live import DEFAULT_HOST, TelemetryServer
+
+            root = Path(args.dir)
+            if not root.is_dir():
+                raise TelemetryError(f"no telemetry directory at {root}")
+            journal = root / "campaign.jsonl"
+            server = TelemetryServer(
+                root,
+                host=args.host or DEFAULT_HOST,
+                port=args.port,
+                journal=journal if journal.is_file() else None,
+            ).start()
+            print(f"serving telemetry from {root} at {server.url} "
+                  f"(Ctrl-C to stop)", file=sys.stderr)
+            try:
+                signal.pause()
+            except (KeyboardInterrupt, AttributeError):
+                # AttributeError: no signal.pause() on Windows — fall
+                # back to a sleep loop.
+                if not hasattr(signal, "pause"):
+                    import time as time_mod
+                    try:
+                        while True:
+                            time_mod.sleep(3600)
+                    except KeyboardInterrupt:
+                        pass
+            finally:
+                server.stop()
+            return 0
+
+        if args.action == "watch":
+            from repro.telemetry.live import watch
+
+            return watch(
+                args.target, interval_s=args.interval, once=args.once
+            )
 
         if args.action == "merge":
             root = Path(args.dir)

@@ -356,10 +356,27 @@ class SweepExecutor:
         # picklable handles workers use to attach the one shared copy
         # of each workload's trace.
         self._arena_handles: dict | None = None
+        # The SupervisedPool currently driving this campaign, exposed
+        # for the live observability plane's readiness probe (set for
+        # the duration of _run_supervised, None otherwise).
+        self._active_pool = None
 
     def _telemetry(self) -> Telemetry | NullTelemetry:
         """The explicit instance if one was given, else the active one."""
         return self.telemetry if self.telemetry is not None else get_active()
+
+    def pool_snapshot(self) -> dict | None:
+        """The running pool's heartbeat snapshot, or None.
+
+        The live observability plane polls this from its server thread
+        to answer ``/readyz``: None (serial campaign, pool not running
+        yet, or already finished) reads as idle-and-ready; a snapshot
+        is judged by :func:`repro.telemetry.live.pool_readiness`.
+        """
+        pool = self._active_pool
+        if pool is None:
+            return None
+        return pool.heartbeat_snapshot()
 
     @property
     def engine_class(self) -> str:
@@ -766,9 +783,13 @@ class SweepExecutor:
             profile_hz=self.profile_hz,
             profile_memory=self.profile_memory,
         )
-        stats, leftover = pool.run(
-            run_cells, keep_going=self.keep_going, on_result=deliver
-        )
+        self._active_pool = pool
+        try:
+            stats, leftover = pool.run(
+                run_cells, keep_going=self.keep_going, on_result=deliver
+            )
+        finally:
+            self._active_pool = None
 
         outcomes: list[CellOutcome] = []
         for design, workload, key in grid:

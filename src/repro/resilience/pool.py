@@ -477,6 +477,47 @@ class SupervisedPool:
                 self._shutdown(force.is_set())
         return stats, list(self._pending)
 
+    def heartbeat_snapshot(self) -> dict:
+        """Point-in-time worker liveness for the readiness probe.
+
+        Safe to call from another thread while :meth:`run` is looping
+        (list copies + GIL-atomic field reads; no locks shared with
+        the supervisor). The live observability plane's ``/readyz``
+        endpoint folds this through
+        :func:`repro.telemetry.live.pool_readiness`: an exhausted pool,
+        no live workers, or a live worker silent past the heartbeat
+        timeout (or already under watchdog escalation) flips readiness.
+
+        Returns a dict with ``workers`` (one entry per ever-spawned
+        worker: label, alive, seconds since the last heartbeat, the
+        in-flight cell key, and the watchdog escalation stage),
+        ``exhausted`` / ``drained`` flags, and the pool's heartbeat
+        timeout so the policy needs no back-channel to the tuning.
+        """
+        now = time.monotonic()
+        workers = []
+        for handle in list(self._handles):
+            try:
+                alive = not handle.closed and handle.proc.is_alive()
+            except ValueError:  # pragma: no cover - closed process obj
+                alive = False
+            workers.append({
+                "worker": handle.label,
+                "alive": alive,
+                "beat_age_s": round(max(0.0, now - handle.last_beat), 3),
+                "inflight": (
+                    handle.inflight[2]
+                    if handle.inflight is not None else None
+                ),
+                "stage": _STAGE_NAMES.get(handle.stage),
+            })
+        return {
+            "workers": workers,
+            "exhausted": self._stats.exhausted,
+            "drained": self._stats.drained,
+            "heartbeat_timeout_s": self.tuning.heartbeat_timeout_s,
+        }
+
     # -- lifecycle ------------------------------------------------------
 
     def _spawn(self, replaces: int | None = None) -> _WorkerHandle:

@@ -23,6 +23,11 @@ progress while running. This package is that layer:
 - :mod:`repro.telemetry.profiling` — continuous profiling: a sampled
   wall-clock stack profiler attributed to spans/cells (``flame.folded``
   flamegraphs) and tracemalloc memory watermarks.
+- :mod:`repro.telemetry.live` — the live observability plane:
+  :class:`TelemetryServer` (``telemetry serve`` / ``sweep --serve``)
+  with Prometheus ``/metrics``, a resumable ``/events`` SSE stream,
+  progress/readiness endpoints, and the :func:`watch` terminal
+  dashboard.
 """
 
 from repro.telemetry.core import (
@@ -41,11 +46,22 @@ from repro.telemetry.core import (
 )
 from repro.telemetry.exporters import (
     JsonlEventLog,
+    JsonlTailer,
     atomic_write_text,
     read_jsonl,
     read_windows_csv,
     write_prometheus,
     write_windows_csv,
+)
+from repro.telemetry.live import (
+    DirectoryFollower,
+    EventCursor,
+    ProgressTracker,
+    RunIndex,
+    TelemetryServer,
+    pool_readiness,
+    render_dashboard,
+    watch,
 )
 from repro.telemetry.observatory import (
     MERGED_WINDOWS_FILE,
@@ -86,7 +102,11 @@ from repro.telemetry.profiling import (
     write_flame,
     write_memory_csv,
 )
-from repro.telemetry.progress import ProgressReporter, format_duration
+from repro.telemetry.progress import (
+    ProgressReporter,
+    format_duration,
+    price_eta,
+)
 from repro.telemetry.registry import (
     NULL_REGISTRY,
     Counter,
@@ -94,11 +114,14 @@ from repro.telemetry.registry import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    escape_label_value,
+    unescape_label_value,
 )
 from repro.telemetry.report import (
     TelemetrySummary,
     render_summary,
     summarize_directory,
+    summary_to_dict,
 )
 from repro.telemetry.windows import (
     DEFAULT_WINDOW_REFS,
@@ -150,6 +173,7 @@ __all__ = [
     "DEFAULT_WINDOW_REFS",
     "sum_windows",
     "JsonlEventLog",
+    "JsonlTailer",
     "read_jsonl",
     "read_windows_csv",
     "write_windows_csv",
@@ -175,7 +199,19 @@ __all__ = [
     "write_memory_csv",
     "ProgressReporter",
     "format_duration",
+    "price_eta",
+    "escape_label_value",
+    "unescape_label_value",
     "TelemetrySummary",
     "summarize_directory",
     "render_summary",
+    "summary_to_dict",
+    "DirectoryFollower",
+    "EventCursor",
+    "ProgressTracker",
+    "RunIndex",
+    "TelemetryServer",
+    "pool_readiness",
+    "render_dashboard",
+    "watch",
 ]

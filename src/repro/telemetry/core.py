@@ -359,8 +359,11 @@ class Telemetry:
         """Stamp ``cell`` into every event emitted inside the block.
 
         Thread-local, so parallel in-process cells (deadline threads)
-        never cross-stamp each other's events. The spool drains when
-        the scope closes — cell boundaries are durability points.
+        never cross-stamp each other's events. The spool drains — and
+        the event log flushes — when the scope closes, so cell
+        boundaries are durability points *and* visibility points for
+        live tailers (``telemetry serve`` readers see every cell's
+        events promptly even when the spool is far from capacity).
         """
         previous = getattr(self._stack, "cell", None)
         self._stack.cell = cell_key
@@ -380,6 +383,8 @@ class Telemetry:
             if self._profile is not None:
                 self._profile.on_exit("cell", cell_key)
             self._drain_events()
+            if self._events is not None:
+                self._events.flush()
 
     # -- metrics passthrough --------------------------------------------
 

@@ -10,6 +10,13 @@ durability discipline:
 - the JSONL event log is append-only with a flush per line, so a kill
   can at worst tear the final line; :func:`read_jsonl` tolerates (and
   drops) exactly that torn trailing line, like the resilience journal.
+
+Live readers get the same guarantees in follow mode:
+:class:`JsonlTailer` incrementally reads a growing event log, buffers
+a torn trailing line until its newline arrives, and detects
+truncation/replacement (inode change or size regression) so a
+re-created file is re-read from the start instead of streaming
+garbage from a stale offset.
 """
 
 from __future__ import annotations
@@ -102,12 +109,84 @@ class JsonlEventLog:
             self._handle.write(text)
             self._handle.flush()
 
+    def flush(self) -> None:
+        """Push buffered bytes to the OS so live tailers see them.
+
+        Appends already flush per batch; this explicit hook exists for
+        boundary points (cell scopes, drain points) where a caller
+        wants to guarantee visibility to a concurrent
+        :class:`JsonlTailer` even when nothing was pending — it is a
+        no-op on a closed or never-opened log.
+        """
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+
     def close(self) -> None:
         """Close the underlying file (reopened on next append)."""
         with self._lock:
             if self._handle is not None:
                 self._handle.close()
                 self._handle = None
+
+
+class JsonlTailer:
+    """Incremental follow-mode reader for one JSONL event log.
+
+    Each :meth:`poll` returns the complete events appended since the
+    previous poll. Robustness for the live-serving path:
+
+    - a torn trailing line (append in progress) is buffered and only
+      parsed once its terminating newline lands — polling never
+      returns half an event;
+    - truncation or replacement is detected (inode change, or size
+      shrinking below the read offset) and the file is re-read from
+      the start instead of streaming garbage from a stale offset;
+    - a line that still fails to parse (mid-file corruption) is
+      skipped, mirroring :func:`read_jsonl`'s tolerance rather than
+      killing a long-lived stream.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._position = 0
+        self._inode: int | None = None
+        self._buffer = b""
+
+    def poll(self) -> list[dict]:
+        """Events appended since the last poll (empty when none)."""
+        try:
+            stat = os.stat(self.path)
+        except (FileNotFoundError, NotADirectoryError):
+            return []
+        if self._inode is not None and (
+            stat.st_ino != self._inode or stat.st_size < self._position
+        ):
+            # Truncated in place or atomically replaced: restart.
+            self._position = 0
+            self._buffer = b""
+        self._inode = stat.st_ino
+        if stat.st_size <= self._position:
+            return []
+        with open(self.path, "rb") as handle:
+            handle.seek(self._position)
+            chunk = handle.read()
+            self._position = handle.tell()
+        data = self._buffer + chunk
+        lines = data.split(b"\n")
+        self._buffer = lines.pop()  # torn tail: kept for the next poll
+        events: list[dict] = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(payload, dict):
+                events.append(payload)
+        return events
 
 
 def read_jsonl(path: str | Path) -> list[dict]:

@@ -1,0 +1,938 @@
+"""Live observability plane: HTTP/SSE serving + terminal dashboard.
+
+Every other telemetry surface is post-hoc: events, metrics, windows
+and profiles are only inspectable after the run (or by re-running
+``telemetry report``). This module makes a campaign observable *while
+it runs* — and keeps working, unchanged, on a finished run's
+directory:
+
+- :class:`TelemetryServer` — a stdlib-only (``http.server``) HTTP
+  service over a telemetry directory. Started in-process next to a
+  sweep (``sweep --serve [PORT]``) it renders the active registry
+  live and answers readiness from the supervised pool's heartbeats;
+  started detached (``telemetry serve DIR``) it serves the on-disk
+  artifacts of any run, finished or not. Endpoints:
+
+  ========================  ==========================================
+  ``GET /metrics``          Prometheus text: live registry render
+                            (in-process) or ``metrics.prom`` bytes
+                            (detached).
+  ``GET /events``           SSE stream tailing every ``events.jsonl``
+                            under the directory — torn-tail-tolerant,
+                            following ``worker-K/`` subdirectories as
+                            they appear, resumable via
+                            ``Last-Event-ID``.
+  ``GET /runs``             The run ids observed, with brief progress.
+  ``GET /runs/ID/progress`` Cell counts by status, reused / failed /
+                            poisoned, per-workload progress, worker
+                            liveness, recent supervision events, and
+                            an ETA priced exactly like
+                            :class:`~repro.telemetry.progress.ProgressReporter`.
+  ``GET /healthz``          Liveness (always 200 while serving).
+  ``GET /readyz``           Readiness: 503 when the supervised pool is
+                            exhausted, hung, or dead
+                            (:func:`pool_readiness`).
+  ========================  ==========================================
+
+- :func:`watch` — a live in-terminal ANSI dashboard (no dependencies)
+  over the same feed, pointed at either a serve URL or a directory:
+  per-workload progress bars, rolling hit-rate gauges from the window
+  events, worker liveness, and the last N supervision events.
+
+**SSE resume semantics.** Event identity is the existing
+``(run, worker, seq)`` triple; per-worker ``seq`` is monotone (it
+continues across resumes). A single scalar cannot resume N interleaved
+per-worker streams, so each SSE ``id:`` carries a full cursor — comma
+separated ``source=seq`` high-water marks (e.g.
+``root=41,worker-0=17``). A client reconnecting with ``Last-Event-ID``
+set to any previously received id gets every event it has not seen,
+each exactly once (:class:`EventCursor`).
+
+**Security.** The server binds ``127.0.0.1`` by default and performs
+no authentication; exposing it beyond localhost is an explicit opt-in
+(``--host``) for trusted networks only.
+
+The SSE stream and the progress API are the foundation the ROADMAP's
+campaign server builds on: it reuses both unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Callable, TextIO
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import TelemetryError
+from repro.telemetry.core import EVENTS_FILE, METRICS_FILE
+from repro.telemetry.exporters import JsonlTailer
+from repro.telemetry.observatory import ROOT_WORKER, worker_index
+from repro.telemetry.progress import format_duration, price_eta
+from repro.telemetry.report import _SUPERVISION_EVENTS
+
+#: Default bind address: localhost only (see the security note above).
+DEFAULT_HOST = "127.0.0.1"
+
+#: Content type of the Prometheus exposition format.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Supervision events kept (per run) for the progress API / dashboard.
+RECENT_SUPERVISION = 8
+
+#: Rolling window of hit-rate samples kept per level.
+HIT_RATE_SAMPLES = 24
+
+#: Run id bucket for events recorded without a RunContext.
+UNKNOWN_RUN = "unidentified"
+
+
+# ----------------------------------------------------------------------
+# SSE resume cursor
+# ----------------------------------------------------------------------
+
+
+class EventCursor:
+    """Per-source high-water marks over ``(worker, seq)`` identities.
+
+    Encoded into every SSE ``id:`` (``root=41,worker-0=17``) so a
+    reconnect with ``Last-Event-ID`` resumes *all* interleaved
+    per-worker streams at once: an event is admitted exactly when its
+    ``seq`` is above the cursor's mark for its source, so no
+    ``(run, worker, seq)`` is ever delivered twice across reconnects.
+    """
+
+    def __init__(self, positions: dict[str, int] | None = None) -> None:
+        self.positions: dict[str, int] = dict(positions or {})
+
+    def admits(self, source: str, seq: int) -> bool:
+        """Whether ``seq`` from ``source`` is new to this cursor."""
+        return seq > self.positions.get(source, -1)
+
+    def advance(self, source: str, seq: int) -> None:
+        """Raise ``source``'s high-water mark to at least ``seq``."""
+        if seq > self.positions.get(source, -1):
+            self.positions[source] = seq
+
+    def encode(self) -> str:
+        """``source=seq`` pairs, comma separated, sorted for stability."""
+        return ",".join(
+            f"{source}={seq}"
+            for source, seq in sorted(self.positions.items())
+        )
+
+    @classmethod
+    def decode(cls, text: str | None) -> "EventCursor":
+        """Parse an encoded cursor; malformed fragments are ignored
+        (worst case the client re-receives some events — never loses
+        any)."""
+        cursor = cls()
+        for item in (text or "").split(","):
+            source, _, raw = item.strip().partition("=")
+            if not source or not raw:
+                continue
+            try:
+                cursor.advance(source, int(raw))
+            except ValueError:
+                continue
+        return cursor
+
+
+# ----------------------------------------------------------------------
+# Directory following
+# ----------------------------------------------------------------------
+
+
+class DirectoryFollower:
+    """Tail every ``events.jsonl`` under a telemetry run directory.
+
+    Follows the root log plus each ``worker-K/`` subdirectory's log,
+    discovering new worker directories on every poll (the pool creates
+    them as it spawns workers mid-run). Yields ``(source, event)``
+    pairs where ``source`` is the directory-derived worker label —
+    stable across reconnects, which is what the SSE cursor keys on.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self._tailers: dict[str, JsonlTailer] = {
+            ROOT_WORKER: JsonlTailer(self.root / EVENTS_FILE)
+        }
+
+    def _discover(self) -> None:
+        try:
+            children = list(self.root.iterdir())
+        except (FileNotFoundError, NotADirectoryError):
+            return
+        for child in children:
+            if not child.is_dir() or worker_index(child) is None:
+                continue
+            if child.name not in self._tailers:
+                self._tailers[child.name] = JsonlTailer(child / EVENTS_FILE)
+
+    @staticmethod
+    def _order(source: str) -> tuple[int, int | None, str]:
+        index = worker_index(Path(source))
+        return (0, 0, "") if source == ROOT_WORKER else (1, index, source)
+
+    def poll(self) -> list[tuple[str, dict]]:
+        """New complete events since the last poll, per-source ordered."""
+        self._discover()
+        fresh: list[tuple[str, dict]] = []
+        for source in sorted(self._tailers, key=self._order):
+            for event in self._tailers[source].poll():
+                fresh.append((source, event))
+        return fresh
+
+
+def event_source(source: str, event: dict) -> str:
+    """The cursor key for one event: its stamped ``worker`` identity
+    when present, else the directory it was read from."""
+    worker = event.get("worker")
+    return str(worker) if worker else source
+
+
+# ----------------------------------------------------------------------
+# Progress tracking
+# ----------------------------------------------------------------------
+
+
+class ProgressTracker:
+    """Fold one run's event stream into a progress snapshot.
+
+    Consumes the same events the sweep executor emits
+    (``sweep_started`` / ``sweep_resume`` / ``cell_finished`` /
+    ``window`` / supervision kinds) and answers the ``/runs/ID/progress``
+    endpoint: counts by status, per-workload progress, worker liveness,
+    rolling hit rates, and an ETA priced by the exact formula
+    :class:`~repro.telemetry.progress.ProgressReporter` prints.
+    """
+
+    def __init__(self, run_id: str) -> None:
+        self.run_id = run_id
+        self.total = 0
+        self.designs = 0
+        self.done = 0
+        self.evaluated = 0
+        self.evaluated_s = 0.0
+        self.expected_reused = 0
+        self.reused_done = 0
+        self.by_status: dict[str, int] = {}
+        self.workloads: dict[str, dict] = {}
+        self.workers: dict[str, str] = {}
+        self.supervision: deque = deque(maxlen=RECENT_SUPERVISION)
+        self.hit_rates: dict[str, deque] = {}
+        self.first_ts: float | None = None
+        self.last_ts: float | None = None
+        self.finished = False
+
+    def consume(self, event: dict) -> None:
+        """Fold one event into the running counters."""
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)):
+            if self.first_ts is None or ts < self.first_ts:
+                self.first_ts = ts
+            if self.last_ts is None or ts > self.last_ts:
+                self.last_ts = ts
+        kind = str(event.get("kind", "event"))
+        if kind == "sweep_started":
+            self.total = int(event.get("cells", 0))
+            self.designs = int(event.get("designs", 0))
+        elif kind == "sweep_resume":
+            self.expected_reused = int(event.get("reused", 0))
+        elif kind == "sweep_finished":
+            self.finished = True
+        elif kind == "cell_finished":
+            self._cell_finished(event)
+        elif kind == "window":
+            self._window(event)
+        if kind in _SUPERVISION_EVENTS:
+            self._supervision(kind, event)
+
+    def _cell_finished(self, event: dict) -> None:
+        self.done += 1
+        status = str(event.get("status", "?"))
+        self.by_status[status] = self.by_status.get(status, 0) + 1
+        duration = float(event.get("duration_s", 0.0) or 0.0)
+        if event.get("from_journal"):
+            self.reused_done += 1
+        elif status != "skipped":
+            self.evaluated += 1
+            self.evaluated_s += duration
+        workload = str(event.get("workload", "?"))
+        per = self.workloads.setdefault(
+            workload, {"done": 0, "by_status": {}}
+        )
+        per["done"] += 1
+        per["by_status"][status] = per["by_status"].get(status, 0) + 1
+
+    def _window(self, event: dict) -> None:
+        levels = event.get("levels")
+        if not isinstance(levels, dict):
+            return
+        for level, values in levels.items():
+            if not isinstance(values, dict):
+                continue
+            rate = values.get("hit_rate")
+            if isinstance(rate, (int, float)):
+                self.hit_rates.setdefault(
+                    str(level), deque(maxlen=HIT_RATE_SAMPLES)
+                ).append(float(rate))
+
+    def _supervision(self, kind: str, event: dict) -> None:
+        entry = {"kind": kind}
+        for field in ("pool_worker", "cell", "stage", "reason",
+                      "exitcode", "pending"):
+            if event.get(field) is not None:
+                entry[field] = event[field]
+        if isinstance(event.get("ts"), (int, float)):
+            entry["ts"] = event["ts"]
+        self.supervision.append(entry)
+        worker = event.get("pool_worker")
+        if worker:
+            if kind in ("worker_spawned", "worker_respawned"):
+                self.workers[str(worker)] = "alive"
+            elif kind == "worker_died":
+                self.workers[str(worker)] = "dead"
+
+    def eta_s(self) -> float | None:
+        """Remaining seconds via the shared reporter pricing."""
+        if not self.total:
+            return None
+        return price_eta(
+            total=self.total,
+            done=self.done,
+            evaluated=self.evaluated,
+            evaluated_s=self.evaluated_s,
+            expected_reused=self.expected_reused,
+            reused_done=self.reused_done,
+        )
+
+    def brief(self) -> dict:
+        """The ``/runs`` row for this run."""
+        return {
+            "run": self.run_id,
+            "total": self.total,
+            "done": self.done,
+            "finished": self.finished,
+            "by_status": dict(self.by_status),
+            "last_ts": self.last_ts,
+        }
+
+    def snapshot(self) -> dict:
+        """The full ``/runs/ID/progress`` document."""
+        per_workload_total = self.designs or None
+        return {
+            "run": self.run_id,
+            "total": self.total,
+            "done": self.done,
+            "finished": self.finished,
+            "by_status": dict(self.by_status),
+            "reused": self.reused_done,
+            "failed": self.by_status.get("failed", 0),
+            "poisoned": self.by_status.get("poisoned", 0),
+            "evaluated": self.evaluated,
+            "evaluated_s": self.evaluated_s,
+            "eta_s": self.eta_s(),
+            "workloads": {
+                name: {
+                    "total": per_workload_total,
+                    "done": per["done"],
+                    "by_status": dict(per["by_status"]),
+                }
+                for name, per in sorted(self.workloads.items())
+            },
+            "workers": dict(sorted(self.workers.items())),
+            "supervision": list(self.supervision),
+            "hit_rates": {
+                level: list(rates)
+                for level, rates in sorted(self.hit_rates.items())
+            },
+            "first_ts": self.first_ts,
+            "last_ts": self.last_ts,
+        }
+
+
+def read_journal_progress(path: str | Path) -> dict[str, dict]:
+    """Per-run cell counts straight from a campaign journal.
+
+    Tolerant reader (torn tails and foreign lines are skipped): the
+    journal is the authoritative per-cell record, so ``/runs/ID/progress``
+    carries its counts alongside the event-derived ones when a journal
+    lives in (or is pointed at from) the telemetry directory.
+    """
+    path = Path(path)
+    runs: dict[str, dict] = {}
+    try:
+        raw = path.read_text()
+    except (FileNotFoundError, NotADirectoryError, OSError):
+        return runs
+    for line in raw.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(entry, dict) or "status" not in entry:
+            continue
+        run_id = str(entry.get("run_id") or UNKNOWN_RUN)
+        per = runs.setdefault(run_id, {"entries": 0, "by_status": {}})
+        per["entries"] += 1
+        status = str(entry["status"])
+        per["by_status"][status] = per["by_status"].get(status, 0) + 1
+    return runs
+
+
+class RunIndex:
+    """Thread-safe per-run progress over a followed directory tree.
+
+    The server refreshes it lazily on each ``/runs`` request (events
+    are routed to a :class:`ProgressTracker` per run id); ``watch``
+    uses it directly in DIR mode, so URL and DIR dashboards render the
+    same structure.
+    """
+
+    def __init__(
+        self, root: str | Path, *, journal: str | Path | None = None
+    ) -> None:
+        self.root = Path(root)
+        self.journal = Path(journal) if journal is not None else None
+        self._follower = DirectoryFollower(self.root)
+        self._runs: dict[str, ProgressTracker] = {}
+        self._lock = threading.Lock()
+
+    def refresh(self) -> None:
+        """Consume everything appended since the previous refresh."""
+        with self._lock:
+            for _, event in self._follower.poll():
+                run_id = str(event.get("run") or UNKNOWN_RUN)
+                tracker = self._runs.get(run_id)
+                if tracker is None:
+                    tracker = self._runs[run_id] = ProgressTracker(run_id)
+                tracker.consume(event)
+
+    def runs(self) -> list[dict]:
+        """Brief rows for ``/runs``, most recent run id last."""
+        self.refresh()
+        with self._lock:
+            return [
+                self._runs[run_id].brief()
+                for run_id in sorted(self._runs)
+            ]
+
+    def latest_run_id(self) -> str | None:
+        """The lexicographically last run id (ids sort by timestamp)."""
+        self.refresh()
+        with self._lock:
+            return max(self._runs) if self._runs else None
+
+    def progress(self, run_id: str) -> dict | None:
+        """The full progress document for one run, or None."""
+        self.refresh()
+        with self._lock:
+            tracker = self._runs.get(run_id)
+            if tracker is None:
+                return None
+            snapshot = tracker.snapshot()
+        if self.journal is not None:
+            snapshot["journal"] = read_journal_progress(
+                self.journal
+            ).get(run_id)
+        return snapshot
+
+
+# ----------------------------------------------------------------------
+# Readiness policy
+# ----------------------------------------------------------------------
+
+
+def pool_readiness(snapshot: dict | None) -> tuple[bool, dict]:
+    """Judge a :meth:`SupervisedPool.heartbeat_snapshot` for ``/readyz``.
+
+    ``None`` (no pool running: serial campaign, detached serving, or
+    the pool already finished) is idle-and-ready. A snapshot flips
+    readiness when the pool is exhausted, has no live workers left, or
+    any live worker is under watchdog escalation / silent past the
+    heartbeat timeout while holding a cell.
+    """
+    if snapshot is None:
+        return True, {"state": "idle"}
+    if snapshot.get("exhausted"):
+        return False, {"state": "exhausted"}
+    workers = snapshot.get("workers") or []
+    live = [w for w in workers if w.get("alive")]
+    if workers and not live:
+        return False, {"state": "no_live_workers"}
+    timeout = float(snapshot.get("heartbeat_timeout_s") or 10.0)
+    hung = [
+        str(w.get("worker"))
+        for w in live
+        if w.get("stage")
+        or (w.get("inflight") and float(w.get("beat_age_s", 0.0)) > timeout)
+    ]
+    if hung:
+        return False, {"state": "hung", "workers": hung}
+    state = "drained" if snapshot.get("drained") else "serving"
+    return True, {"state": state, "workers_alive": len(live)}
+
+
+# ----------------------------------------------------------------------
+# The HTTP server
+# ----------------------------------------------------------------------
+
+
+class _LiveHandler(BaseHTTPRequestHandler):
+    """Request handler; the owning :class:`TelemetryServer` hangs off
+    the ``http.server`` instance as ``live_server``."""
+
+    server_version = "repro-telemetry"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # quiet: one line per SSE keepalive would swamp stderr
+
+    # -- plumbing -------------------------------------------------------
+
+    @property
+    def live(self) -> "TelemetryServer":
+        return self.server.live_server  # type: ignore[attr-defined]
+
+    def _send_body(
+        self, status: int, body: bytes, content_type: str
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: dict | list) -> None:
+        body = json.dumps(payload, indent=2, default=str).encode() + b"\n"
+        self._send_body(status, body, "application/json")
+
+    # -- routing --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parts = urlsplit(self.path)
+        segments = [s for s in parts.path.split("/") if s]
+        try:
+            if segments == ["healthz"]:
+                self._send_json(200, {"status": "alive"})
+            elif segments == ["readyz"]:
+                self._serve_readyz()
+            elif segments == ["metrics"]:
+                self._serve_metrics()
+            elif segments == ["runs"]:
+                self._send_json(200, self.live.index.runs())
+            elif len(segments) == 3 and segments[0] == "runs" \
+                    and segments[2] == "progress":
+                self._serve_progress(segments[1])
+            elif segments == ["events"]:
+                self._serve_events(parse_qs(parts.query))
+            elif not segments:
+                self._send_json(200, {
+                    "service": "repro-telemetry",
+                    "directory": str(self.live.directory),
+                    "endpoints": [
+                        "/metrics", "/events", "/runs",
+                        "/runs/<run_id>/progress", "/healthz", "/readyz",
+                    ],
+                })
+            else:
+                self._send_json(404, {"error": f"no route {parts.path}"})
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response
+
+    # -- endpoints ------------------------------------------------------
+
+    def _serve_readyz(self) -> None:
+        probe = self.live.readiness
+        snapshot = probe() if probe is not None else None
+        ready, detail = pool_readiness(snapshot)
+        self._send_json(
+            200 if ready else 503, {"ready": ready, **detail}
+        )
+
+    def _serve_metrics(self) -> None:
+        registry = self.live.registry
+        if registry is not None:
+            text = registry.render_prometheus(self.live.extra_labels)
+            self._send_body(200, text.encode(), PROM_CONTENT_TYPE)
+            return
+        path = self.live.directory / METRICS_FILE
+        try:
+            body = path.read_bytes()
+        except (FileNotFoundError, NotADirectoryError):
+            self._send_json(
+                404, {"error": f"no {METRICS_FILE} in "
+                               f"{self.live.directory} yet"}
+            )
+            return
+        self._send_body(200, body, PROM_CONTENT_TYPE)
+
+    def _serve_progress(self, run_id: str) -> None:
+        snapshot = self.live.index.progress(run_id)
+        if snapshot is None:
+            self._send_json(404, {"error": f"unknown run {run_id!r}"})
+            return
+        self._send_json(200, snapshot)
+
+    def _serve_events(self, query: dict[str, list[str]]) -> None:
+        last_id = self.headers.get("Last-Event-ID")
+        if last_id is None and query.get("last_event_id"):
+            last_id = query["last_event_id"][0]
+        cursor = EventCursor.decode(last_id)
+        follower = DirectoryFollower(self.live.directory)
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        live = self.live
+        last_write = time.monotonic()
+        try:
+            while not live.stopping.is_set():
+                wrote = False
+                for source, event in follower.poll():
+                    key = event_source(source, event)
+                    seq = event.get("seq")
+                    if isinstance(seq, int):
+                        if not cursor.admits(key, seq):
+                            continue
+                        cursor.advance(key, seq)
+                    frame = (
+                        f"id: {cursor.encode()}\n"
+                        f"data: {json.dumps(event, default=str)}\n\n"
+                    )
+                    self.wfile.write(frame.encode())
+                    wrote = True
+                now = time.monotonic()
+                if wrote:
+                    self.wfile.flush()
+                    last_write = now
+                    continue  # drain quickly while events keep landing
+                if now - last_write >= live.keepalive_s:
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+                    last_write = now
+                live.stopping.wait(live.poll_interval_s)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # client disconnected; its cursor lets it resume
+
+
+class TelemetryServer:
+    """Serve a telemetry directory over HTTP (see module docstring).
+
+    Args:
+        directory: the telemetry directory to serve (a run root; its
+            ``worker-K/`` subdirectories are followed automatically).
+        host: bind address — ``127.0.0.1`` by default; widening it is
+            an explicit, trusted-network-only decision.
+        port: TCP port; 0 picks an ephemeral one (read :attr:`port`
+            after :meth:`start`).
+        registry: a live :class:`MetricsRegistry` to render for
+            ``/metrics`` (in-process mode); None serves the on-disk
+            ``metrics.prom`` instead (detached mode).
+        extra_labels: labels stamped onto live ``/metrics`` renders
+            (a run context's ``run`` / ``worker`` pair).
+        readiness: zero-arg callable returning a pool heartbeat
+            snapshot (or None when idle) — typically
+            ``executor.pool_snapshot``; judged by
+            :func:`pool_readiness`. None means always ready.
+        journal: campaign journal whose per-run counts are merged into
+            ``/runs/ID/progress`` (None skips the journal section).
+        poll_interval_s / keepalive_s: SSE tail poll period and
+            comment-keepalive interval.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        registry=None,
+        extra_labels: dict[str, str] | None = None,
+        readiness: Callable[[], dict | None] | None = None,
+        journal: str | Path | None = None,
+        poll_interval_s: float = 0.1,
+        keepalive_s: float = 10.0,
+    ) -> None:
+        self.directory = Path(directory)
+        self.host = host
+        self.port = int(port)
+        self.registry = registry
+        self.extra_labels = extra_labels
+        self.readiness = readiness
+        self.poll_interval_s = float(poll_interval_s)
+        self.keepalive_s = float(keepalive_s)
+        self.index = RunIndex(self.directory, journal=journal)
+        self.stopping = threading.Event()
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "TelemetryServer":
+        """Bind and serve on a daemon thread; returns self."""
+        if self._httpd is not None:
+            return self
+        try:
+            httpd = ThreadingHTTPServer(
+                (self.host, self.port), _LiveHandler
+            )
+        except OSError as exc:
+            raise TelemetryError(
+                f"cannot bind telemetry server on "
+                f"{self.host}:{self.port}: {exc}"
+            ) from exc
+        httpd.daemon_threads = True
+        httpd.live_server = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self.port = httpd.server_address[1]
+        self.stopping.clear()
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            kwargs={"poll_interval": self.poll_interval_s},
+            name="repro-telemetry-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def url(self) -> str:
+        """The server's base URL."""
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self) -> None:
+        """Graceful shutdown: SSE streams end, then the socket closes."""
+        httpd = self._httpd
+        if httpd is None:
+            return
+        self.stopping.set()  # SSE loops exit within one poll interval
+        httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        httpd.server_close()
+        self._httpd = None
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+# ----------------------------------------------------------------------
+# The terminal dashboard
+# ----------------------------------------------------------------------
+
+#: ANSI: cursor home + erase to end of screen (no full clear: avoids
+#: flicker on redraw).
+ANSI_REDRAW = "\x1b[H\x1b[J"
+
+_STATUS_GLYPHS = (
+    ("ok", "ok"), ("failed", "fail"), ("timed_out", "timeout"),
+    ("poisoned", "poison"), ("skipped", "skip"),
+)
+
+
+def _bar(fraction: float, width: int = 28) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "[" + "#" * filled + "." * (width - filled) + "]"
+
+
+def render_dashboard(
+    progress: dict | None,
+    ready: dict | None = None,
+    *,
+    source: str = "",
+    width: int = 72,
+) -> str:
+    """One dashboard frame as plain text (pure: trivially testable).
+
+    Renders the ``/runs/ID/progress`` document: overall + per-workload
+    progress bars, rolling hit-rate gauges, worker liveness, and the
+    recent supervision events. ``ready`` is the ``/readyz`` document
+    when available.
+    """
+    title = "repro live telemetry"
+    if source:
+        title += f" — {source}"
+    lines = [title, "=" * min(width, len(title))]
+    if progress is None:
+        lines.append("waiting for events ...")
+        return "\n".join(lines) + "\n"
+
+    total = progress.get("total") or 0
+    done = progress.get("done", 0)
+    state = "finished" if progress.get("finished") else "running"
+    if ready is not None:
+        state += " | ready" if ready.get("ready") else (
+            f" | NOT READY ({ready.get('state', '?')})"
+        )
+    lines.append(f"run {progress.get('run', '?')}  [{state}]")
+    counts = ", ".join(
+        f"{label} {progress.get('by_status', {}).get(status, 0)}"
+        for status, label in _STATUS_GLYPHS
+        if progress.get("by_status", {}).get(status)
+    )
+    eta_s = progress.get("eta_s")
+    if progress.get("finished") or (total and done >= total):
+        eta = "done"
+    elif isinstance(eta_s, (int, float)):
+        eta = "ETA " + format_duration(eta_s)
+    else:
+        eta = "ETA ?"
+    if total:
+        frac = done / total
+        lines.append(
+            f"cells {_bar(frac)} {done}/{total} ({frac:4.0%})  {eta}"
+        )
+    else:
+        lines.append(f"cells {done} finished  {eta}")
+    if counts:
+        lines.append(f"  {counts}"
+                     + (f", {progress['reused']} reused"
+                        if progress.get("reused") else ""))
+
+    workloads = progress.get("workloads") or {}
+    if workloads:
+        lines.append("")
+        lines.append("workloads")
+        name_w = max(len(name) for name in workloads)
+        for name, per in workloads.items():
+            per_total = per.get("total")
+            per_done = per.get("done", 0)
+            if per_total:
+                lines.append(
+                    f"  {name:<{name_w}} "
+                    f"{_bar(per_done / per_total, 20)} "
+                    f"{per_done}/{per_total}"
+                )
+            else:
+                lines.append(f"  {name:<{name_w}} {per_done} done")
+
+    hit_rates = progress.get("hit_rates") or {}
+    if hit_rates:
+        lines.append("")
+        lines.append("hit rates (rolling)")
+        level_w = max(len(level) for level in hit_rates)
+        for level, rates in hit_rates.items():
+            if not rates:
+                continue
+            latest = rates[-1]
+            lines.append(
+                f"  {level:<{level_w}} {_bar(latest, 20)} {latest:6.4f}"
+            )
+
+    workers = progress.get("workers") or {}
+    if workers:
+        lines.append("")
+        lines.append("workers  " + "  ".join(
+            f"{name}:{status}" for name, status in workers.items()
+        ))
+
+    supervision = progress.get("supervision") or []
+    if supervision:
+        lines.append("")
+        lines.append(f"supervision (last {len(supervision)})")
+        for entry in supervision:
+            detail = " ".join(
+                f"{k}={entry[k]}"
+                for k in ("pool_worker", "cell", "stage", "reason")
+                if entry.get(k) is not None
+            )
+            lines.append(f"  {entry.get('kind', '?'):<16} {detail}".rstrip())
+    return "\n".join(lines) + "\n"
+
+
+def _http_json(url: str, timeout: float = 5.0):
+    """GET a JSON document; errors (incl. 503 bodies) degrade to the
+    parsed error body or None, never an exception — the dashboard must
+    survive a server mid-restart."""
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return json.loads(response.read().decode())
+    except urllib.error.HTTPError as exc:
+        try:
+            return json.loads(exc.read().decode())
+        except ValueError:
+            return None
+    except (urllib.error.URLError, OSError, ValueError):
+        return None
+
+
+def _watch_state(
+    target: str, index: RunIndex | None
+) -> tuple[dict | None, dict | None]:
+    """(progress, ready) for one dashboard frame, URL or DIR mode."""
+    if index is not None:
+        run_id = index.latest_run_id()
+        return (
+            index.progress(run_id) if run_id is not None else None,
+            None,
+        )
+    base = target.rstrip("/")
+    runs = _http_json(f"{base}/runs")
+    progress = None
+    if isinstance(runs, list) and runs:
+        run_id = runs[-1].get("run")
+        if run_id:
+            progress = _http_json(f"{base}/runs/{run_id}/progress")
+    ready = _http_json(f"{base}/readyz")
+    if not isinstance(ready, dict) or "ready" not in ready:
+        ready = None
+    return progress if isinstance(progress, dict) else None, ready
+
+
+def watch(
+    target: str,
+    *,
+    interval_s: float = 1.0,
+    once: bool = False,
+    out: TextIO | None = None,
+) -> int:
+    """``telemetry watch URL|DIR``: live ANSI dashboard loop.
+
+    ``target`` is either a serve URL (``http://...``) or a telemetry
+    directory read directly. ``once`` renders a single frame without
+    ANSI control codes (scripting / CI); otherwise the loop redraws
+    every ``interval_s`` seconds until interrupted.
+    """
+    out = out if out is not None else sys.stdout
+    is_url = target.startswith(("http://", "https://"))
+    index = None
+    if not is_url:
+        directory = Path(target)
+        if not directory.is_dir():
+            raise TelemetryError(
+                f"no telemetry directory at {directory} (pass a "
+                f"--telemetry DIR or a telemetry serve URL)"
+            )
+        index = RunIndex(directory)
+    try:
+        while True:
+            progress, ready = _watch_state(target, index)
+            frame = render_dashboard(progress, ready, source=target)
+            if once:
+                out.write(frame)
+                out.flush()
+                return 0
+            out.write(ANSI_REDRAW + frame)
+            out.flush()
+            time.sleep(interval_s)
+    except KeyboardInterrupt:
+        out.write("\n")
+        return 0

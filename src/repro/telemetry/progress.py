@@ -30,6 +30,36 @@ def format_duration(seconds: float) -> str:
     return f"{hours}h{minutes:02d}m"
 
 
+def price_eta(
+    *,
+    total: int,
+    done: int,
+    evaluated: int,
+    evaluated_s: float,
+    expected_reused: int = 0,
+    reused_done: int = 0,
+) -> float | None:
+    """Remaining campaign seconds, priced the way the reporter prints.
+
+    Journal replays cost ~nothing, so pending reuses (announced but
+    not yet replayed) are subtracted from the remaining count before
+    multiplying by the mean seconds per *evaluated* cell. Returns
+    ``None`` while no cell has been evaluated yet (unknown rate,
+    unless nothing priced remains — then 0.0) and ``0.0`` once the
+    campaign is done. Shared by :class:`ProgressReporter` and the live
+    progress API (``telemetry serve`` / ``watch``), so both quote the
+    same number.
+    """
+    remaining = max(0, total - done)
+    if remaining == 0:
+        return 0.0
+    pending_reused = max(0, expected_reused - reused_done)
+    to_evaluate = max(0, remaining - pending_reused)
+    if evaluated:
+        return to_evaluate * (evaluated_s / evaluated)
+    return 0.0 if to_evaluate == 0 else None
+
+
 class ProgressReporter:
     """Prints sweep progress lines with a running ETA.
 
@@ -99,16 +129,11 @@ class ProgressReporter:
         elif status != "skipped":
             self._evaluated += 1
             self._evaluated_s += duration_s
-        remaining = max(0, self.total - self._done)
-        pending_reused = max(0, self._expected_reused - self._reused_done)
-        to_evaluate = max(0, remaining - pending_reused)
-        if remaining == 0:
+        eta_s = self.eta_s()
+        if self._done >= self.total:
             eta = "done"
-        elif self._evaluated:
-            mean = self._evaluated_s / self._evaluated
-            eta = f"ETA {format_duration(to_evaluate * mean)}"
-        elif to_evaluate == 0:
-            eta = "ETA 0.0s"
+        elif eta_s is not None:
+            eta = f"ETA {format_duration(eta_s)}"
         else:
             eta = "ETA ?"
         if self._reused_done:
@@ -118,3 +143,27 @@ class ProgressReporter:
             f"[{self._done}/{self.total}] {design}/{workload}: "
             f"{status}{source} in {format_duration(duration_s)} ({eta})"
         )
+
+    # ------------------------------------------------------------------
+
+    def eta_s(self) -> float | None:
+        """Remaining seconds via :func:`price_eta` (None = unknown)."""
+        return price_eta(
+            total=self.total,
+            done=self._done,
+            evaluated=self._evaluated,
+            evaluated_s=self._evaluated_s,
+            expected_reused=self._expected_reused,
+            reused_done=self._reused_done,
+        )
+
+    def snapshot(self) -> dict:
+        """The reporter's counters + ETA as a JSON-friendly dict."""
+        return {
+            "total": self.total,
+            "done": self._done,
+            "evaluated": self._evaluated,
+            "evaluated_s": self._evaluated_s,
+            "reused": self._reused_done,
+            "eta_s": self.eta_s(),
+        }

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import logging
 import math
+import re
 import threading
 from typing import Iterable
 
@@ -354,6 +355,33 @@ def _render_labels(labels: dict[str, str]) -> str:
 
 def _escape(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote, and newline become ``\\\\``, ``\\"`` and
+    ``\\n`` — in that order of application, so a cell key containing
+    any of them (quoted workload names, embedded newlines) cannot
+    terminate the quoted value early and corrupt a scrape.
+    """
+    return _escape(value)
+
+
+_UNESCAPE = re.compile(r"\\(.)")
+
+
+def unescape_label_value(value: str) -> str:
+    """Invert :func:`escape_label_value` (single left-to-right pass).
+
+    A sequential ``str.replace`` chain is *not* a correct inverse:
+    ``"\\\\n"`` (an escaped backslash followed by a literal ``n``)
+    would first be misread as an escaped newline. Scanning each
+    backslash escape exactly once round-trips every value.
+    """
+    return _UNESCAPE.sub(
+        lambda m: "\n" if m.group(1) == "n" else m.group(1), value
+    )
 
 
 def _render_value(value: float) -> str:

@@ -23,6 +23,7 @@ from repro.telemetry.profiling import (
     read_profile,
     total_samples,
 )
+from repro.telemetry.registry import unescape_label_value
 from repro.telemetry.windows import WindowRecord
 
 #: Functions listed per stage in the report's hotspots section.
@@ -229,8 +230,10 @@ def _digest_windows(context: str, records: list[WindowRecord]) -> StageWindows:
 
 
 #: ``name{label="a",other="b"} value`` — the exposition-format shape
-#: :meth:`MetricsRegistry.render_prometheus` writes for scalars.
-_PROM_LINE = re.compile(r"^(\w+)(?:\{([^}]*)\})?\s+(\S+)$")
+#: :meth:`MetricsRegistry.render_prometheus` writes for scalars. The
+#: label body is matched greedily up to the *last* ``}`` so escaped
+#: values containing ``}`` cannot truncate the match.
+_PROM_LINE = re.compile(r"^(\w+)(?:\{(.*)\})?\s+(\S+)$")
 _PROM_LABEL = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
 
 
@@ -245,7 +248,7 @@ def _parse_prom_line(line: str) -> tuple[str, dict[str, str], float] | None:
     except ValueError:
         return None
     labels = {
-        k: v.replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\")
+        k: unescape_label_value(v)
         for k, v in _PROM_LABEL.findall(label_body or "")
     }
     return name, labels, value
@@ -338,6 +341,82 @@ def summarize_directory(directory: str | Path) -> TelemetrySummary:
     summary.profile_samples = total_samples(profile_records)
     summary.hotspots = hotspot_digests(profile_records, top=HOTSPOT_TOP)
     return summary
+
+
+def summary_to_dict(summary: TelemetrySummary) -> dict:
+    """The summary as a JSON-serializable dict (``report --json``).
+
+    Shares the exact aggregation the text renderer consumes — spans,
+    stages, engines, supervision, hotspots — so machine consumers (the
+    live progress API, the future campaign server) read the same
+    structure the human report prints. Derived ratios (mean durations,
+    hit rates, vector fractions) are materialized so consumers need no
+    re-computation.
+    """
+    return {
+        "directory": str(summary.directory),
+        "events_by_kind": dict(sorted(summary.events_by_kind.items())),
+        "spans": [
+            {
+                "name": d.name,
+                "count": d.count,
+                "total_s": d.total_s,
+                "mean_s": d.mean_s,
+                "max_s": d.max_s,
+            }
+            for d in summary.spans
+        ],
+        "stages": [
+            {
+                "context": stage.context,
+                "windows": stage.windows,
+                "refs": stage.refs,
+                "levels": [
+                    {
+                        "level": d.level,
+                        "accesses": d.accesses,
+                        "hits": d.hits,
+                        "hit_rate": d.hit_rate,
+                        "bytes_moved": d.bytes_moved,
+                        "writebacks": d.writebacks,
+                    }
+                    for d in stage.levels
+                ],
+            }
+            for stage in summary.stages
+        ],
+        "engines": [
+            {
+                "level": d.level,
+                "engine": d.engine,
+                "policy": d.policy,
+                "rounds": d.rounds,
+                "runs_vector": d.runs_vector,
+                "runs_scalar": d.runs_scalar,
+                "vector_fraction": d.vector_fraction,
+                "occupancy": d.occupancy,
+            }
+            for d in summary.engines
+        ],
+        "supervision": {
+            attr: getattr(summary.supervision, attr)
+            for attr in (
+                "spawned", "died", "respawned", "requeued",
+                "poisoned", "hung", "drains", "exhausted",
+            )
+        },
+        "hotspots": [
+            {
+                "stage": d.stage,
+                "function": d.function,
+                "samples": d.samples,
+                "share": d.share,
+            }
+            for d in summary.hotspots
+        ],
+        "profile_samples": summary.profile_samples,
+        "metrics_lines": summary.metrics_lines,
+    }
 
 
 # ----------------------------------------------------------------------

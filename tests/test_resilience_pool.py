@@ -435,6 +435,169 @@ class TestLegacyShardRecovery:
         assert not list(tmp_path.glob("j.jsonl.worker-*"))
 
 
+class TestLiveObservability:
+    def test_sse_client_sees_chaos_exactly_once_across_reconnect(
+        self, trace_cache, workloads, tmp_path
+    ):
+        """The live-plane acceptance chaos test: an SSE client watching
+        a campaign across a worker SIGKILL + respawn — with a mid-stream
+        disconnect and a ``Last-Event-ID`` reconnect — sees
+        ``worker_died`` and ``cell_requeued`` exactly once, and no
+        ``(worker, seq)`` identity twice."""
+        import urllib.request
+
+        from repro.telemetry.live import TelemetryServer
+
+        tel_dir = tmp_path / "tel"
+        tel_dir.mkdir()
+        server = TelemetryServer(tel_dir, keepalive_s=0.2).start()
+        received: list[dict] = []
+        stop = threading.Event()
+
+        def client() -> None:
+            last_id = None
+            torn = False
+            while not stop.is_set():
+                headers = (
+                    {"Last-Event-ID": last_id} if last_id else {}
+                )
+                request = urllib.request.Request(
+                    server.url + "/events", headers=headers
+                )
+                try:
+                    with urllib.request.urlopen(
+                        request, timeout=30
+                    ) as resp:
+                        while not stop.is_set():
+                            line = resp.readline().decode().strip()
+                            if line.startswith("id: "):
+                                last_id = line[4:]
+                            elif line.startswith("data: "):
+                                received.append(json.loads(line[6:]))
+                                if not torn and len(received) >= 5:
+                                    torn = True
+                                    break  # tear the stream mid-run
+                except OSError:
+                    time.sleep(0.05)
+
+        watcher = threading.Thread(target=client, daemon=True)
+        watcher.start()
+
+        runner = make_runner(trace_cache)
+        designs = make_designs(runner.reference)
+        faults = FaultInjector().worker_kill_cell(
+            designs[0].name, "CG", latch=tmp_path / "kill.latch"
+        )
+        tel = Telemetry(tel_dir, run_context=RunContext(new_run_id()))
+        result = SweepExecutor(
+            runner, workers=2, telemetry=tel, worker_faults=faults,
+            pool_tuning=FAST_TUNING,
+        ).run(designs, workloads)
+        tel.close()
+        assert all(o.ok for o in result.outcomes), result.report()
+
+        wanted = {"worker_died", "cell_requeued", "worker_respawned"}
+        deadline = time.monotonic() + 20.0
+        while time.monotonic() < deadline:
+            if wanted <= {e.get("kind") for e in received}:
+                break
+            time.sleep(0.05)
+        stop.set()
+        server.stop()
+        watcher.join(timeout=10.0)
+
+        kinds = [e.get("kind") for e in received]
+        assert wanted <= set(kinds), kinds
+        assert kinds.count("worker_died") == 1, kinds
+        assert kinds.count("cell_requeued") == 1, kinds
+        identities = [
+            (e.get("worker"), e.get("seq"))
+            for e in received if e.get("seq") is not None
+        ]
+        assert len(identities) == len(set(identities)), (
+            "duplicate (worker, seq) across SSE reconnect"
+        )
+
+    def test_pool_snapshot_feeds_readiness_through_the_lifecycle(
+        self, trace_cache, workloads, tmp_path
+    ):
+        """``executor.pool_snapshot`` (the ``/readyz`` probe) reports
+        ready with live heartbeats during a healthy campaign and idle
+        (None) outside one."""
+        from repro.telemetry.live import pool_readiness
+
+        runner = make_runner(trace_cache)
+        designs = make_designs(runner.reference)
+        executor = SweepExecutor(
+            runner, workers=2, pool_tuning=FAST_TUNING
+        )
+        assert executor.pool_snapshot() is None  # idle before
+        snapshots: list[dict] = []
+        stop = threading.Event()
+
+        def probe() -> None:
+            while not stop.is_set():
+                snapshot = executor.pool_snapshot()
+                if snapshot is not None:
+                    snapshots.append(snapshot)
+                time.sleep(0.002)
+
+        prober = threading.Thread(target=probe, daemon=True)
+        prober.start()
+        result = executor.run(designs, workloads)
+        stop.set()
+        prober.join(timeout=10.0)
+
+        assert all(o.ok for o in result.outcomes), result.report()
+        assert executor.pool_snapshot() is None  # idle after
+        assert pool_readiness(None)[0]
+        assert snapshots, "probe never saw the pool"
+        assert any(
+            pool_readiness(s)[0]
+            and sum(1 for w in s["workers"] if w["alive"]) == 2
+            for s in snapshots
+        ), "no snapshot showed a ready 2-worker pool"
+
+    def test_exhausted_pool_flips_readiness(
+        self, trace_cache, workloads, tmp_path
+    ):
+        """While every worker dies and the restart budget burns down,
+        the readiness probe must observe a not-ready pool."""
+        from repro.telemetry.live import pool_readiness
+
+        runner = make_runner(trace_cache)
+        designs = make_designs(runner.reference)
+        faults = FaultInjector().worker_kill(1)
+        executor = SweepExecutor(
+            runner, workers=2, worker_faults=faults,
+            max_worker_restarts=1, poison_threshold=2,
+            pool_tuning=FAST_TUNING,
+        )
+        verdicts: list[tuple[bool, dict]] = []
+        stop = threading.Event()
+
+        def probe() -> None:
+            while not stop.is_set():
+                snapshot = executor.pool_snapshot()
+                if snapshot is not None:
+                    verdicts.append(pool_readiness(snapshot))
+                time.sleep(0.001)
+
+        prober = threading.Thread(target=probe, daemon=True)
+        prober.start()
+        result = executor.run(designs, workloads)
+        stop.set()
+        prober.join(timeout=10.0)
+
+        assert {o.status for o in result.outcomes} <= {
+            "failed", "poisoned"
+        }
+        assert verdicts, "probe never saw the pool"
+        assert any(not ready for ready, _ in verdicts), (
+            "readiness never flipped while the pool was dying"
+        )
+
+
 class TestFaultPicklability:
     def test_process_fault_rules_cross_the_process_boundary(self,
                                                             tmp_path):
